@@ -1,0 +1,47 @@
+"""Figure 12: ATTNChecker overhead for multi-billion-parameter LLMs on 1,024 GPUs.
+
+The paper simulates data-parallel training of 30B / 60B / 100B-parameter
+models on 1,024 GPUs and reports that ATTNChecker's per-step overhead stays
+essentially constant (~6.3 %) as the model grows.  The harness regenerates the
+sweep from the multi-GPU scale model and asserts the near-constancy.
+"""
+
+import pytest
+
+from repro.analysis import format_percent, format_table
+from repro.perfmodel import MultiGPUScaleModel
+from repro.perfmodel.scale import BILLION_SCALE_MODELS
+
+PAPER_OVERHEAD = {"30B": 0.0632, "60B": 0.0633, "100B": 0.0634}
+
+
+def run_sweep(num_gpus: int = 1024):
+    return MultiGPUScaleModel(num_gpus=num_gpus).sweep()
+
+
+def test_fig12_multi_billion_parameter_scaling(benchmark, report):
+    points = benchmark(run_sweep)
+
+    rows = [
+        [p.model_name, f"{p.parameters / 1e9:.0f}B", p.num_gpus,
+         f"{p.compute_seconds:.2f}", f"{p.allreduce_seconds:.2f}", f"{p.step_seconds:.2f}",
+         format_percent(p.abft_overhead, digits=2), format_percent(PAPER_OVERHEAD[p.model_name], digits=2)]
+        for p in points
+    ]
+    report(format_table(
+        ["model", "params", "GPUs", "compute (s)", "all-reduce (s)", "step (s)", "ATTNChecker overhead", "paper"],
+        rows,
+        title="Figure 12 — data-parallel training of multi-billion parameter LLMs (modelled)",
+    ))
+    benchmark.extra_info["figure12"] = {p.model_name: p.abft_overhead for p in points}
+
+    overheads = [p.abft_overhead for p in points]
+    # Overhead is small (same regime as the single-GPU per-step overhead)...
+    assert all(0.001 < o < 0.12 for o in overheads)
+    # ...and nearly constant across model sizes (the paper's 6.32-6.34 %).
+    assert max(overheads) / min(overheads) < 1.8
+    # Step time grows with model size, as expected for the scaling study.
+    steps = [p.step_seconds for p in points]
+    assert steps == sorted(steps)
+    # The configured model sizes match the paper's 30B / 60B / 100B points.
+    assert [p.model_name for p in points] == list(BILLION_SCALE_MODELS)

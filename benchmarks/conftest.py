@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper:
+
+* it prints the reproduced rows/series through :mod:`repro.analysis.reporting`
+  (run pytest with ``-s`` to see them),
+* it attaches the same rows to ``benchmark.extra_info`` so they are preserved
+  in the pytest-benchmark JSON output, and
+* the benchmarked callable is the actual computation that produces the
+  numbers, so ``--benchmark-only`` runs double as a performance regression
+  check for the library itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, SyntheticMRPC
+from repro.models import build_model
+
+#: The four models of the paper's main evaluation.
+MAIN_MODELS = ["bert-base", "gpt2", "gpt-neo", "roberta"]
+#: The six models of the Figure-7 overhead study.
+OVERHEAD_MODELS = ["bert-small", "bert-base", "bert-large", "gpt2", "gpt-neo", "roberta"]
+
+
+def make_model(name: str = "bert-base", seed: int = 0):
+    """Fresh tiny model for CPU-side experiments."""
+    return build_model(name, size="tiny", rng=np.random.default_rng(seed))
+
+
+def make_batch(model, n: int = 8, full_mask: bool = False, seed: int = 99):
+    """One encoded synthetic-MRPC batch matching the model's geometry."""
+    data = SyntheticMRPC(
+        num_examples=max(2 * n, 16),
+        max_seq_len=model.config.max_seq_len,
+        vocab_size=model.config.vocab_size,
+        seed=seed,
+    )
+    batch = dict(data.encode(range(n)))
+    if full_mask:
+        batch["attention_mask"] = np.ones_like(batch["attention_mask"])
+    return batch
+
+
+def make_batches(model, batch_size: int = 8, seed: int = 99):
+    """A full epoch of training batches for the model."""
+    data = SyntheticMRPC(
+        num_examples=8 * batch_size,
+        max_seq_len=model.config.max_seq_len,
+        vocab_size=model.config.vocab_size,
+        seed=seed,
+    )
+    return DataLoader(data, batch_size=batch_size, shuffle=False, seed=3).batches()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduced table bypassing pytest's capture suppression summary."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _print

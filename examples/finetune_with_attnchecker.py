@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Fine-tuning under faults: fault-free vs. ATTNChecker-recovered (Figure 6).
+
+Fine-tunes a tiny BERT on the synthetic MRPC-style corpus for three epochs in
+three configurations:
+
+1. fault-free (the baseline curve of Figure 6),
+2. faulty and unprotected — an INF fault per epoch typically drives the loss
+   to NaN (a non-trainable state),
+3. faulty and protected by ATTNChecker — the faults are corrected on the fly
+   and the loss curve tracks the fault-free one.
+
+Run with:  python examples/finetune_with_attnchecker.py [model-name]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ATTNChecker, FaultInjector, FaultSpec, Trainer, TrainerConfig, build_model
+from repro.analysis import format_table
+from repro.data import DataLoader, SyntheticMRPC
+
+EPOCHS = 3
+
+
+def build_setup(model_name: str, seed: int = 0):
+    model = build_model(model_name, size="tiny", rng=np.random.default_rng(seed))
+    data = SyntheticMRPC(
+        num_examples=64,
+        max_seq_len=model.config.max_seq_len,
+        vocab_size=model.config.vocab_size,
+        seed=21,
+    )
+    loader = DataLoader(data, batch_size=8, shuffle=False, seed=3)
+    return model, loader.batches()
+
+
+def run(model_name: str, inject: bool, protect: bool, seed: int = 0):
+    """Fine-tune and return per-epoch mean losses plus checker statistics."""
+    model, batches = build_setup(model_name, seed=seed)
+    injector = None
+    fault_hooks = []
+    if inject:
+        injector = FaultInjector(
+            [FaultSpec(matrix="Q", error_type="inf")], rng=np.random.default_rng(13)
+        )
+        fault_hooks = [injector]
+    checker = ATTNChecker() if protect else None
+    trainer = Trainer(
+        model,
+        config=TrainerConfig(learning_rate=1e-3),
+        checker=checker,
+        fault_hooks=fault_hooks,
+    )
+    for _ in range(EPOCHS):
+        if injector is not None:
+            injector.arm()  # one fault per epoch
+        for batch in batches:
+            trainer.train_step(batch)
+        trainer.metrics.end_epoch()
+    return trainer.metrics.epoch_losses(), checker, trainer.metrics.num_non_trainable()
+
+
+def main():
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "bert-base"
+    print(f"fine-tuning {model_name} (tiny config) for {EPOCHS} epochs\n")
+
+    clean, _, _ = run(model_name, inject=False, protect=False)
+    faulty, _, faulty_bad_steps = run(model_name, inject=True, protect=False)
+    recovered, checker, recovered_bad_steps = run(model_name, inject=True, protect=True)
+
+    rows = []
+    for epoch in range(EPOCHS):
+        rows.append([
+            epoch + 1,
+            f"{clean[epoch]:.4f}",
+            f"{faulty[epoch]:.4f}",
+            f"{recovered[epoch]:.4f}",
+        ])
+    print(format_table(
+        ["epoch", "fault-free", "faulty (no protection)", "faulty + ATTNChecker"],
+        rows,
+        title="Per-epoch mean training loss (Figure 6 layout)",
+    ))
+    print()
+    print(f"non-trainable steps without protection : {faulty_bad_steps}")
+    print(f"non-trainable steps with ATTNChecker   : {recovered_bad_steps}")
+    print(f"faults corrected by ATTNChecker        : {checker.stats.total_corrections}")
+    print(f"ABFT time across the run               : {checker.overhead_seconds() * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Performance projections on the modelled A100 testbed (Figures 7, 9, 11, 12).
+
+Prints four projections from the analytical GPU performance model:
+
+1. ATTNChecker overhead on the six evaluated LLMs (Figure 7),
+2. checksum-encoding throughput, custom kernel vs. cuBLAS (Figure 9),
+3. recovery overhead, checkpoint/restore vs. ATTNChecker (Figure 11),
+4. overhead when training 30B / 60B / 100B-parameter models on 1,024 GPUs
+   with data parallelism (Figure 12).
+
+Run with:  python examples/scale_projection.py
+"""
+
+from repro.analysis import format_percent, format_table
+from repro.models import get_config
+from repro.perfmodel import (
+    EncoderThroughputModel,
+    MultiGPUScaleModel,
+    RecoveryCostModel,
+    TrainingStepCostModel,
+)
+
+OVERHEAD_MODELS = ["bert-small", "bert-base", "bert-large", "gpt2", "gpt-neo", "roberta"]
+MAIN_MODELS = ["bert-base", "gpt2", "gpt-neo", "roberta"]
+
+
+def figure7():
+    rows = []
+    for name in OVERHEAD_MODELS:
+        model = TrainingStepCostModel(get_config(name, size="paper"), batch_size=8)
+        rows.append([
+            name,
+            f"{model.attention_step_time() * 1e3:.2f}",
+            format_percent(model.attention_overhead()),
+            f"{model.step_time() * 1e3:.1f}",
+            format_percent(model.step_overhead()),
+        ])
+    print(format_table(
+        ["model", "attention time (ms)", "attention overhead", "step time (ms)", "per-step overhead"],
+        rows,
+        title="Figure 7: ATTNChecker overhead, batch size 8 (modelled A100)",
+    ))
+    print()
+
+
+def figure9():
+    sweep = EncoderThroughputModel()
+    custom = sweep.model_custom()
+    cublas = sweep.model_cublas()
+    rows = [
+        [c.batch_size, f"{c.throughput_tbps:.2f}", f"{b.throughput_tbps:.3f}",
+         f"{c.throughput_tbps / b.throughput_tbps:.1f}x"]
+        for c, b in zip(custom, cublas)
+    ]
+    print(format_table(
+        ["batch size", "ATTNChecker encoder (TB/s)", "cuBLAS (TB/s)", "speedup"],
+        rows,
+        title="Figure 9: checksum-encoding throughput (A100 peak 2 TB/s)",
+    ))
+    print()
+
+
+def figure11():
+    rows = []
+    for name in MAIN_MODELS:
+        comparison = RecoveryCostModel(get_config(name, size="paper"), batch_size=8).compare()
+        rows.append([
+            name,
+            format_percent(comparison.checkpoint_restore_overhead, digits=0),
+            format_percent(comparison.attnchecker_overhead),
+            f"{comparison.improvement:.0f}x",
+        ])
+    print(format_table(
+        ["model", "checkpoint/restore", "ATTNChecker", "overhead reduction"],
+        rows,
+        title="Figure 11: per-training-step recovery overhead",
+    ))
+    print()
+
+
+def figure12():
+    rows = []
+    for point in MultiGPUScaleModel(num_gpus=1024).sweep():
+        rows.append([
+            point.model_name,
+            f"{point.parameters / 1e9:.0f}B",
+            f"{point.step_seconds:.2f}",
+            format_percent(point.abft_overhead, digits=2),
+        ])
+    print(format_table(
+        ["model", "parameters", "step time (s)", "ATTNChecker overhead"],
+        rows,
+        title="Figure 12: data-parallel training on 1,024 GPUs",
+    ))
+
+
+def main():
+    figure7()
+    figure9()
+    figure11()
+    figure12()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,264 @@
+"""Command-line interface for running the reproduction experiments.
+
+The benchmark harness (``pytest benchmarks/ --benchmark-only``) is the
+canonical way to regenerate every table and figure, but a plain CLI is handy
+for quick looks and for users who do not want pytest in the loop::
+
+    python -m repro list                 # available experiments
+    python -m repro table3               # GEMM workload ratios
+    python -m repro fig7  --batch-size 8
+    python -m repro fig10 --rates 13 16 20
+    python -m repro quickstart           # inject + correct one fault
+
+Each experiment prints the same plain-text table the corresponding benchmark
+prints and returns a process exit code of 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import format_percent, format_table, gemm_ratio_table
+from repro.core import (
+    ATTNChecker,
+    ErrorRates,
+    OperationVulnerability,
+    optimize_abft_frequencies,
+)
+from repro.data import SyntheticMRPC
+from repro.faults import DetectionCorrectionCampaign, FaultInjector, FaultSpec, PropagationStudy
+from repro.models import build_model, get_config
+from repro.nn import ComposedHooks
+from repro.perfmodel import (
+    EncoderThroughputModel,
+    MultiGPUScaleModel,
+    RecoveryCostModel,
+    TrainingStepCostModel,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+MAIN_MODELS = ["bert-base", "gpt2", "gpt-neo", "roberta"]
+OVERHEAD_MODELS = ["bert-small", "bert-base", "bert-large", "gpt2", "gpt-neo", "roberta"]
+
+
+# ---------------------------------------------------------------------------
+# Experiment implementations (each returns the printed text)
+# ---------------------------------------------------------------------------
+
+def _tiny_model_and_batch(model_name: str, batch: int = 8, seed: int = 0):
+    model = build_model(model_name, size="tiny", rng=np.random.default_rng(seed))
+    data = SyntheticMRPC(
+        num_examples=max(16, 2 * batch),
+        max_seq_len=model.config.max_seq_len,
+        vocab_size=model.config.vocab_size,
+    )
+    encoded = dict(data.encode(range(batch)))
+    encoded["attention_mask"] = np.ones_like(encoded["attention_mask"])
+    return model, encoded
+
+
+def run_quickstart(args: argparse.Namespace) -> str:
+    model, batch = _tiny_model_and_batch(args.model)
+    injector = FaultInjector(
+        [FaultSpec(matrix=args.matrix, error_type=args.error_type)],
+        rng=np.random.default_rng(args.seed),
+    )
+    checker = ATTNChecker()
+    model.eval()
+    reference = model(batch["input_ids"], attention_mask=batch["attention_mask"],
+                      labels=batch["labels"]).loss_value
+    model.set_attention_hooks(ComposedHooks([injector, checker]))
+    protected = model(batch["input_ids"], attention_mask=batch["attention_mask"],
+                      labels=batch["labels"]).loss_value
+    model.set_attention_hooks(None)
+    lines = [
+        f"fault-free loss      : {reference:.6f}",
+        f"protected faulty loss: {protected:.6f}",
+        f"detections           : {checker.stats.total_detections}",
+        f"corrections          : {checker.stats.total_corrections}",
+        f"residual extremes    : {checker.stats.total_residual_extreme}",
+    ]
+    return "\n".join(lines)
+
+
+def run_table2(args: argparse.Namespace) -> str:
+    model, batch = _tiny_model_and_batch(args.model, batch=4)
+    study = PropagationStudy(model, batch, rng=np.random.default_rng(args.seed))
+    rows = []
+    for error_type in ("inf", "nan", "near_inf"):
+        for matrix in ("Q", "K", "V", "AS", "CL"):
+            result = study.trace(matrix, error_type)
+            rows.append([error_type, matrix] + [result.cell(m) for m in ("Q", "K", "V", "AS", "AP", "CL", "O")])
+    return format_table(
+        ["inject", "into", "Q", "K", "V", "AS", "AP", "CL", "O"], rows,
+        title=f"Table 2 — error propagation ({args.model}, tiny config)",
+    )
+
+
+def run_table3(args: argparse.Namespace) -> str:
+    table = gemm_ratio_table(model_names=MAIN_MODELS, batch_size=args.batch_size, size="paper")
+    rows = [[name, format_percent(table[name].gemm_ratio)] for name in MAIN_MODELS]
+    return format_table(["model", "GEMM ratio"], rows, title="Table 3 — GEMM workload ratio of attention")
+
+
+def run_sec52(args: argparse.Namespace) -> str:
+    model, batch = _tiny_model_and_batch(args.model, batch=4)
+    campaign = DetectionCorrectionCampaign(model, batch, rng=np.random.default_rng(args.seed))
+    results = campaign.run(trials=args.trials)
+    rows = [
+        [r.matrix, r.error_type, format_percent(r.detection_rate),
+         format_percent(r.correction_rate), format_percent(r.recovery_rate)]
+        for r in results
+    ]
+    footer = "ALL extreme errors corrected" if DetectionCorrectionCampaign.all_corrected(results) else "NOT all corrected"
+    return format_table(
+        ["matrix", "error", "detected", "corrected", "restored"], rows,
+        title=f"Section 5.2 — detection & correction ({args.model}); {footer}",
+    )
+
+
+def run_fig7(args: argparse.Namespace) -> str:
+    rows = []
+    for name in OVERHEAD_MODELS:
+        cost = TrainingStepCostModel(get_config(name, size="paper"), batch_size=args.batch_size)
+        rows.append([name, format_percent(cost.attention_overhead()), format_percent(cost.step_overhead())])
+    return format_table(
+        ["model", "attention overhead", "per-step overhead"], rows,
+        title=f"Figure 7 — ATTNChecker overhead (modelled A100, batch {args.batch_size})",
+    )
+
+
+def run_fig8(args: argparse.Namespace) -> str:
+    rows = []
+    for name in MAIN_MODELS:
+        cost = TrainingStepCostModel(get_config(name, size="paper"), batch_size=args.batch_size)
+        rows.append([
+            name,
+            format_percent(cost.attention_overhead(optimized=True)),
+            format_percent(cost.attention_overhead(optimized=False)),
+            format_percent(cost.step_overhead(optimized=True)),
+            format_percent(cost.step_overhead(optimized=False)),
+        ])
+    return format_table(
+        ["model", "attn OPT", "attn Non-OPT", "step OPT", "step Non-OPT"], rows,
+        title=f"Figure 8 — overhead with / without GPU optimisation (batch {args.batch_size})",
+    )
+
+
+def run_fig9(args: argparse.Namespace) -> str:
+    sweep = EncoderThroughputModel()
+    custom, cublas = sweep.model_custom(), sweep.model_cublas()
+    rows = [
+        [c.batch_size, f"{c.throughput_tbps:.2f}", f"{b.throughput_tbps:.3f}"]
+        for c, b in zip(custom, cublas)
+    ]
+    return format_table(
+        ["batch", "ATTNChecker (TB/s)", "cuBLAS (TB/s)"], rows,
+        title="Figure 9 — checksum-encoding throughput (modelled A100)",
+    )
+
+
+def run_fig10(args: argparse.Namespace) -> str:
+    config = get_config("bert-base", size="paper")
+    vulnerability = OperationVulnerability.from_table4("bert-base")
+    rows = []
+    for rate in args.rates:
+        plan = optimize_abft_frequencies(
+            config, batch_size=16, error_rates=ErrorRates.from_errors_per_1e25_flops(rate),
+            vulnerability=vulnerability, target_coverage=1 - 1e-11,
+            flops_multiplier=12 * 3 * 8,
+        )
+        rows.append([
+            rate, f"{plan.frequencies['AS']:.2f}", f"{plan.frequencies['CL']:.2f}",
+            f"{plan.frequencies['O']:.2f}", format_percent(plan.relative_overhead),
+        ])
+    return format_table(
+        ["errors/1e25 flops", "f_AS", "f_CL", "f_O", "ABFT time vs always-on"], rows,
+        title="Figure 10 — adaptive ABFT detection frequencies",
+    )
+
+
+def run_fig11(args: argparse.Namespace) -> str:
+    rows = []
+    for name in MAIN_MODELS:
+        comparison = RecoveryCostModel(get_config(name, size="paper"), batch_size=args.batch_size).compare()
+        rows.append([
+            name, format_percent(comparison.checkpoint_restore_overhead, digits=0),
+            format_percent(comparison.attnchecker_overhead), f"{comparison.improvement:.0f}x",
+        ])
+    return format_table(
+        ["model", "checkpoint/restore", "ATTNChecker", "reduction"], rows,
+        title="Figure 11 — per-step recovery overhead (modelled A100)",
+    )
+
+
+def run_fig12(args: argparse.Namespace) -> str:
+    rows = [
+        [p.model_name, f"{p.parameters / 1e9:.0f}B", f"{p.step_seconds:.2f}",
+         format_percent(p.abft_overhead, digits=2)]
+        for p in MultiGPUScaleModel(num_gpus=args.gpus).sweep()
+    ]
+    return format_table(
+        ["model", "params", "step (s)", "ATTNChecker overhead"], rows,
+        title=f"Figure 12 — data-parallel training on {args.gpus} GPUs (modelled)",
+    )
+
+
+#: Registry of experiments exposed by the CLI.
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "quickstart": run_quickstart,
+    "table2": run_table2,
+    "table3": run_table3,
+    "sec52": run_sec52,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+}
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ATTNChecker reproduction — run individual experiments from the command line.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["list"],
+                        help="experiment to run, or 'list' to enumerate them")
+    parser.add_argument("--model", default="bert-base", help="model name for the measured experiments")
+    parser.add_argument("--matrix", default="AS", help="fault-injection matrix for quickstart")
+    parser.add_argument("--error-type", default="inf", choices=["inf", "nan", "near_inf", "numeric"])
+    parser.add_argument("--trials", type=int, default=2, help="trials per cell for campaign experiments")
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--gpus", type=int, default=1024, help="GPU count for fig12")
+    parser.add_argument("--rates", type=float, nargs="+", default=[13, 14, 15, 16, 17, 18, 19, 20],
+                        help="error rates (per 1e25 flops) for fig10")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    text = EXPERIMENTS[args.experiment](args)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""ATTNChecker core: ABFT for the attention mechanism.
+
+This package is the reproduction of the paper's primary contribution:
+
+``thresholds``
+    Numerical thresholds (T_near-INF, T_correct, detection tolerances).
+``checksums``
+    Checksum encoding (unweighted + weighted), propagation of checksums
+    through GEMMs and bias additions, head split/merge of checksum blocks.
+``eec_abft``
+    The Extreme Error Correcting ABFT of Section 4.2 — per-vector detection,
+    case analysis (finite / INF / NaN deltas), location and correction of
+    INF, NaN and near-INF errors, vectorised over whole matrices.
+``patterns``
+    Error-pattern classification (0D / 1R / 1C / 2D) and error-type mixes,
+    shared with the fault-propagation study.
+``correction``
+    Matrix-level correction strategies for deterministic, nondeterministic
+    and mixed-type patterns (Section 4.3).
+``sections``
+    The three protection sections S_AS, S_CL, S_O with checksum passing
+    (Section 4.4) and their cost accounting.
+``attention_checker``
+    :class:`ATTNChecker` — the attention hook that ties everything together
+    and plugs into :class:`repro.nn.MultiHeadAttention`.
+``adaptive``
+    Adaptive ABFT detection frequencies (Section 4.5): Poisson error model,
+    fault coverage (FC), fault-coverage efficiency (FCE) and the greedy
+    frequency optimiser of Algorithm 1.
+"""
+
+from repro.core.thresholds import ABFTThresholds
+from repro.core.checksums import (
+    ChecksumState,
+    checksum_weights,
+    encode_column_checksums,
+    encode_row_checksums,
+    merge_head_column_checksums,
+    split_head_column_checksums,
+    update_column_checksums_through_gemm,
+    update_row_checksums_through_gemm,
+)
+from repro.core.eec_abft import ColumnCheckReport, check_columns, check_rows
+from repro.core.patterns import ErrorPattern, classify_error_pattern, classify_error_types
+from repro.core.correction import MatrixCorrectionReport, correct_matrix
+from repro.core.protected_gemm import ProtectedGemmResult, ProtectedMatmul, protected_matmul
+from repro.core.sections import PROTECTION_SECTIONS, ProtectionSection, SectionCostModel
+from repro.core.attention_checker import ATTNChecker, ATTNCheckerConfig, CheckerStats
+from repro.core.adaptive import (
+    AdaptiveFrequencyOptimizer,
+    ErrorRates,
+    OperationVulnerability,
+    SectionReliabilityModel,
+    optimize_abft_frequencies,
+)
+
+__all__ = [
+    "ABFTThresholds",
+    "ChecksumState",
+    "checksum_weights",
+    "encode_column_checksums",
+    "encode_row_checksums",
+    "update_column_checksums_through_gemm",
+    "update_row_checksums_through_gemm",
+    "split_head_column_checksums",
+    "merge_head_column_checksums",
+    "check_columns",
+    "check_rows",
+    "ColumnCheckReport",
+    "ErrorPattern",
+    "classify_error_pattern",
+    "classify_error_types",
+    "correct_matrix",
+    "MatrixCorrectionReport",
+    "protected_matmul",
+    "ProtectedMatmul",
+    "ProtectedGemmResult",
+    "ProtectionSection",
+    "PROTECTION_SECTIONS",
+    "SectionCostModel",
+    "ATTNChecker",
+    "ATTNCheckerConfig",
+    "CheckerStats",
+    "ErrorRates",
+    "OperationVulnerability",
+    "SectionReliabilityModel",
+    "AdaptiveFrequencyOptimizer",
+    "optimize_abft_frequencies",
+]

@@ -1,0 +1,392 @@
+"""ATTNChecker: systematic ABFT protection for the attention mechanism.
+
+:class:`ATTNChecker` is an :class:`repro.nn.AttentionHooks` implementation
+that plugs into :class:`repro.nn.MultiHeadAttention` (and therefore into every
+model of the zoo) and realises the protection scheme of Sections 4.2–4.6:
+
+* it encodes checksums for the *inputs* of each protection section,
+* passes them through the member GEMMs (including bias-add adjustment),
+* detects and corrects INF / NaN / near-INF and numeric errors at the section
+  boundaries (``AS``, ``CL``, ``O``) using EEC-ABFT,
+* handles nondeterministic and mixed-type propagation patterns via
+  :func:`repro.core.correction.correct_matrix`,
+* applies per-section detection frequencies (``f_AS``, ``f_CL``, ``f_O``)
+  produced by the adaptive optimiser of Section 4.5, and
+* records statistics and fine-grained timing so the overhead experiments
+  (Figures 7, 8, 10) can be regenerated.
+
+The checker is completely transparent to the model: attaching it changes no
+shapes and no semantics of the forward/backward pass (one of the paper's
+stated design goals).
+
+Usage
+-----
+>>> from repro.models import build_model
+>>> from repro.core import ATTNChecker
+>>> model = build_model("bert-base", size="tiny")
+>>> checker = ATTNChecker()
+>>> model.set_attention_hooks(checker)
+>>> # ... train as usual; checker.stats reports detections/corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.checksums import (
+    ChecksumState,
+    adjust_column_checksums_for_bias,
+    encode_column_checksums,
+    encode_per_head_row_checksums_of_weight,
+    checksum_weights,
+    merge_head_column_checksums,
+    split_head_column_checksums,
+    update_column_checksums_through_gemm,
+)
+from repro.core.correction import MatrixCorrectionReport, correct_matrix
+from repro.core.eec_abft import check_columns, check_rows
+from repro.core.sections import PROTECTION_SECTIONS
+from repro.core.thresholds import ABFTThresholds
+from repro.nn.attention import AttentionHooks, AttentionOp, GemmContext
+from repro.utils.timing import TimingRegistry
+
+__all__ = ["ATTNCheckerConfig", "SectionStats", "CheckerStats", "ATTNChecker"]
+
+
+@dataclass
+class ATTNCheckerConfig:
+    """Configuration of the checker.
+
+    Attributes
+    ----------
+    thresholds:
+        EEC-ABFT thresholds (T_near-INF, T_correct, detection tolerance).
+    frequencies:
+        Per-section detection frequency in [0, 1] (Section 4.5); 1.0 checks
+        every execution, 0.5 every other execution, 0 disables the section.
+    repair_operands:
+        After a boundary-matrix correction, additionally repair the upstream
+        operand (Q, K or V) whose 0D fault caused the propagation.  The
+        boundary correction alone restores the forward value (what the paper
+        evaluates); repairing the operand also keeps the *backward* pass
+        clean, which this NumPy reproduction needs for the Figure-6
+        training-loss experiment because the corrupted operand is reused by
+        autograd.  Costs nothing in the fault-free path.
+    refresh_checksums:
+        Rebuild column checksums after a row-side repair (see
+        :func:`repro.core.correction.correct_matrix`).
+    collect_timing:
+        Record wall-clock time per ABFT phase in :attr:`ATTNChecker.timers`.
+    """
+
+    thresholds: ABFTThresholds = field(default_factory=ABFTThresholds)
+    frequencies: Dict[str, float] = field(default_factory=lambda: {"AS": 1.0, "CL": 1.0, "O": 1.0})
+    repair_operands: bool = True
+    refresh_checksums: bool = True
+    collect_timing: bool = True
+
+    def __post_init__(self) -> None:
+        for name, value in self.frequencies.items():
+            if name not in PROTECTION_SECTIONS:
+                raise KeyError(f"unknown protection section {name!r}")
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"frequency for section {name} must be in [0, 1], got {value}")
+        for name in PROTECTION_SECTIONS:
+            self.frequencies.setdefault(name, 1.0)
+
+
+@dataclass
+class SectionStats:
+    """Counters for one protection section."""
+
+    checks_run: int = 0
+    checks_skipped: int = 0
+    detections: int = 0
+    corrections: int = 0
+    aborted_vectors: int = 0
+    residual_extreme: int = 0
+    operand_repairs: int = 0
+
+    def record(self, report: MatrixCorrectionReport) -> None:
+        self.checks_run += 1
+        self.detections += report.detected
+        self.corrections += report.corrected
+        self.aborted_vectors += report.aborted
+        self.residual_extreme += report.residual_extreme
+
+
+@dataclass
+class CheckerStats:
+    """Aggregated statistics across all sections."""
+
+    sections: Dict[str, SectionStats] = field(
+        default_factory=lambda: {name: SectionStats() for name in PROTECTION_SECTIONS}
+    )
+
+    @property
+    def total_detections(self) -> int:
+        return sum(s.detections for s in self.sections.values())
+
+    @property
+    def total_corrections(self) -> int:
+        return sum(s.corrections for s in self.sections.values())
+
+    @property
+    def total_residual_extreme(self) -> int:
+        return sum(s.residual_extreme for s in self.sections.values())
+
+    @property
+    def total_checks(self) -> int:
+        return sum(s.checks_run for s in self.sections.values())
+
+    def reset(self) -> None:
+        for name in list(self.sections):
+            self.sections[name] = SectionStats()
+
+
+class _PassState:
+    """Per-(layer, forward-pass) checksum state passed between GEMMs."""
+
+    __slots__ = (
+        "enabled",
+        "cs_x_col",
+        "cs_q_col",
+        "cs_k_col",
+        "cs_v_row",
+        "cs_cl_col",
+    )
+
+    def __init__(self, enabled: Dict[str, bool]) -> None:
+        self.enabled = enabled
+        self.cs_x_col: Optional[np.ndarray] = None
+        self.cs_q_col: Optional[np.ndarray] = None
+        self.cs_k_col: Optional[np.ndarray] = None
+        self.cs_v_row: Optional[np.ndarray] = None
+        self.cs_cl_col: Optional[np.ndarray] = None
+
+
+class ATTNChecker(AttentionHooks):
+    """The ABFT attention hook implementing the full ATTNChecker scheme."""
+
+    def __init__(self, config: Optional[ATTNCheckerConfig] = None) -> None:
+        self.config = config or ATTNCheckerConfig()
+        self.stats = CheckerStats()
+        self.timers = TimingRegistry()
+        self.last_reports: Dict[str, MatrixCorrectionReport] = {}
+        self._states: Dict[int, _PassState] = {}
+        self._freq_accumulators: Dict[str, float] = {name: 0.0 for name in PROTECTION_SECTIONS}
+
+    # -- configuration shortcuts -------------------------------------------------
+
+    @property
+    def thresholds(self) -> ABFTThresholds:
+        return self.config.thresholds
+
+    def set_frequencies(self, frequencies: Dict[str, float]) -> None:
+        """Install new per-section detection frequencies (from the optimiser)."""
+        for name, value in frequencies.items():
+            if name not in PROTECTION_SECTIONS:
+                raise KeyError(f"unknown protection section {name!r}")
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"frequency for {name} must be in [0, 1], got {value}")
+            self.config.frequencies[name] = float(value)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.timers.reset()
+        self.last_reports.clear()
+
+    # -- frequency gating -----------------------------------------------------------
+
+    def _section_enabled_this_pass(self) -> Dict[str, bool]:
+        """Decide which sections check on this forward pass (accumulator gating).
+
+        With frequency ``f`` the section runs on a deterministic ``f`` fraction
+        of passes, spread as evenly as possible (e.g. ``f = 0.5`` -> every
+        other pass), which is how the paper's ``f_S`` is defined.
+        """
+        enabled = {}
+        for name, freq in self.config.frequencies.items():
+            acc = self._freq_accumulators[name] + freq
+            if acc >= 1.0 - 1e-12:
+                enabled[name] = True
+                acc -= 1.0
+            else:
+                enabled[name] = False
+            self._freq_accumulators[name] = acc
+        return enabled
+
+    # -- AttentionHooks interface ------------------------------------------------------
+
+    def on_attention_start(self, layer_index: int, step: int) -> None:
+        self._states[layer_index] = _PassState(self._section_enabled_this_pass())
+
+    def on_attention_end(self, layer_index: int, step: int) -> None:
+        self._states.pop(layer_index, None)
+
+    def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
+        state = self._states.get(ctx.layer_index)
+        if state is None:  # hooks attached mid-pass; nothing to do safely
+            return out
+        op = ctx.op
+        if op is AttentionOp.XQ:
+            self._handle_projection(ctx, state, which="q")
+        elif op is AttentionOp.XK:
+            self._handle_projection(ctx, state, which="k")
+        elif op is AttentionOp.XV:
+            self._handle_value_projection(ctx, state)
+        elif op is AttentionOp.QK:
+            self._handle_attention_scores(ctx, state, out)
+        elif op is AttentionOp.APV:
+            self._handle_context_layer(ctx, state, out)
+        elif op is AttentionOp.CLO:
+            self._handle_output(ctx, state, out)
+        return out
+
+    # -- section S_AS -------------------------------------------------------------------
+
+    def _handle_projection(self, ctx: GemmContext, state: _PassState, which: str) -> None:
+        """X x W_Q / X x W_K: derive column checksums of Q / K from those of X."""
+        if not state.enabled.get("AS", False):
+            return
+        num_rows = ctx.a.shape[-2]
+        if state.cs_x_col is None:
+            with self.timers.measure("AS/encode"):
+                state.cs_x_col = encode_column_checksums(ctx.a)
+        with self.timers.measure("AS/update"):
+            cs = update_column_checksums_through_gemm(state.cs_x_col, ctx.b)
+            if ctx.bias is not None:
+                cs = adjust_column_checksums_for_bias(cs, ctx.bias, num_rows)
+        if which == "q":
+            state.cs_q_col = cs
+        else:
+            state.cs_k_col = cs
+
+    def _handle_attention_scores(self, ctx: GemmContext, state: _PassState, out: np.ndarray) -> None:
+        """Q x K^T: pass checksums to AS, then detect & correct at the boundary."""
+        if not state.enabled.get("AS", False):
+            self.stats.sections["AS"].checks_skipped += 1
+            return
+        if state.cs_q_col is None or state.cs_k_col is None:
+            return
+        num_heads = ctx.num_heads
+        with self.timers.measure("AS/update"):
+            cs_q_ph = split_head_column_checksums(state.cs_q_col, num_heads)   # (B, H, 2, dh)
+            cs_k_ph = split_head_column_checksums(state.cs_k_col, num_heads)
+            # Column side of AS: col(AS) = col(Q) K^T.
+            cs_as_col = np.matmul(cs_q_ph, ctx.b)                              # (B, H, 2, S)
+            # Row side of AS: row(AS) = Q row(K^T) = Q col(K)^T.
+            cs_as_row = np.matmul(ctx.a, np.swapaxes(cs_k_ph, -1, -2))          # (B, H, S, 2)
+        with self.timers.measure("AS/detect"):
+            checksums = ChecksumState(col=cs_as_col, row=cs_as_row)
+            report = correct_matrix(
+                out, checksums, thresholds=self.thresholds,
+                refresh_checksums=self.config.refresh_checksums,
+            )
+        self.stats.sections["AS"].record(report)
+        self.last_reports["AS"] = report
+        if self.config.repair_operands and report.corrected > 0:
+            with self.timers.measure("AS/correct"):
+                q_report = check_columns(ctx.a, cs_q_ph, thresholds=self.thresholds)
+                kt_report = check_rows(ctx.b, np.swapaxes(cs_k_ph, -1, -2), thresholds=self.thresholds)
+            self.stats.sections["AS"].operand_repairs += q_report.num_corrected + kt_report.num_corrected
+
+    # -- section S_CL -------------------------------------------------------------------
+
+    def _handle_value_projection(self, ctx: GemmContext, state: _PassState) -> None:
+        """X x W_V: derive per-head row checksums of V from those of W_V."""
+        if not (state.enabled.get("CL", False) or state.enabled.get("O", False)):
+            return
+        num_heads = ctx.num_heads
+        head_dim = ctx.head_dim
+        with self.timers.measure("CL/encode"):
+            rowcs_wv = encode_per_head_row_checksums_of_weight(ctx.b, num_heads)  # (D, H, 2)
+        with self.timers.measure("CL/update"):
+            cs_v_row = np.einsum("...sd,dhw->...hsw", ctx.a, rowcs_wv)            # (B, H, S, 2)
+            if ctx.bias is not None:
+                bias_heads = np.asarray(ctx.bias, dtype=np.float64).reshape(num_heads, head_dim)
+                _, v2 = checksum_weights(head_dim)
+                cs_v_row = cs_v_row.copy()
+                cs_v_row[..., 0] += bias_heads.sum(axis=-1)[None, :, None]
+                cs_v_row[..., 1] += (bias_heads * v2).sum(axis=-1)[None, :, None]
+        state.cs_v_row = cs_v_row
+
+    def _handle_context_layer(self, ctx: GemmContext, state: _PassState, out: np.ndarray) -> None:
+        """AP x V: encode AP, pass checksums to CL, detect & correct at the boundary."""
+        cl_enabled = state.enabled.get("CL", False)
+        o_enabled = state.enabled.get("O", False)
+        if not (cl_enabled or o_enabled):
+            self.stats.sections["CL"].checks_skipped += 1
+            return
+        with self.timers.measure("CL/encode"):
+            cs_ap_col = encode_column_checksums(ctx.a)                            # (B, H, 2, S)
+        with self.timers.measure("CL/update"):
+            cs_cl_col = np.matmul(cs_ap_col, ctx.b)                               # (B, H, 2, dh)
+            cs_cl_row = None
+            if cl_enabled and state.cs_v_row is not None:
+                # row(CL) = AP row(V): carry the per-head row checksums of V
+                # through the AP x V GEMM.
+                cs_cl_row = np.matmul(ctx.a, state.cs_v_row)                      # (B, H, S, 2)
+        checksums = ChecksumState(col=cs_cl_col, row=cs_cl_row)
+        if cl_enabled:
+            with self.timers.measure("CL/detect"):
+                report = correct_matrix(
+                    out, checksums, thresholds=self.thresholds,
+                    refresh_checksums=self.config.refresh_checksums,
+                )
+            self.stats.sections["CL"].record(report)
+            self.last_reports["CL"] = report
+            if self.config.repair_operands and report.corrected > 0 and state.cs_v_row is not None:
+                with self.timers.measure("CL/correct"):
+                    v_report = check_rows(ctx.b, state.cs_v_row, thresholds=self.thresholds)
+                self.stats.sections["CL"].operand_repairs += v_report.num_corrected
+        else:
+            self.stats.sections["CL"].checks_skipped += 1
+        # Pass the (possibly refreshed) column checksums of CL to section S_O.
+        state.cs_cl_col = checksums.col
+
+    # -- section S_O --------------------------------------------------------------------
+
+    def _handle_output(self, ctx: GemmContext, state: _PassState, out: np.ndarray) -> None:
+        """CL x W_O: carry column checksums through and correct the output O."""
+        if not state.enabled.get("O", False):
+            self.stats.sections["O"].checks_skipped += 1
+            return
+        if state.cs_cl_col is None:
+            return
+        with self.timers.measure("O/update"):
+            cs_cl_merged = merge_head_column_checksums(state.cs_cl_col)          # (B, 2, D)
+            cs_o_col = update_column_checksums_through_gemm(cs_cl_merged, ctx.b)  # (B, 2, D)
+        with self.timers.measure("O/detect"):
+            report = correct_matrix(
+                out, ChecksumState(col=cs_o_col), thresholds=self.thresholds,
+                refresh_checksums=self.config.refresh_checksums,
+            )
+        self.stats.sections["O"].record(report)
+        self.last_reports["O"] = report
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def overhead_seconds(self) -> float:
+        """Total wall-clock time spent in ABFT work (all sections, all phases)."""
+        return self.timers.total()
+
+    def section_overhead_seconds(self) -> Dict[str, float]:
+        """Wall-clock ABFT time per protection section."""
+        return {name: self.timers.total(prefix=f"{name}/") for name in PROTECTION_SECTIONS}
+
+    def summary(self) -> str:
+        """Human-readable multi-line statistics summary."""
+        lines = ["ATTNChecker statistics:"]
+        for name, stats in self.stats.sections.items():
+            lines.append(
+                f"  [{name}] checks={stats.checks_run} skipped={stats.checks_skipped} "
+                f"detected={stats.detections} corrected={stats.corrections} "
+                f"aborted={stats.aborted_vectors} residual_extreme={stats.residual_extreme} "
+                f"operand_repairs={stats.operand_repairs}"
+            )
+        lines.append(f"  total ABFT time: {self.overhead_seconds() * 1e3:.3f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""Checksum encoding and propagation for ABFT-protected GEMMs.
+
+Notation (Section 2.3 of the paper).  For a matrix block ``M`` of shape
+``(m, n)`` (possibly with leading batch/head axes):
+
+* the **column checksums** are the two row vectors obtained by multiplying
+  from the left with the unweighted and weighted checksum vectors::
+
+      col(M) = [ v1^T M ]      with  v1 = [1, 1, ..., 1]^T        shape (2, n)
+               [ v2^T M ]            v2 = [1, 2, ..., m]^T
+
+  Column checksums detect/correct one error *per column* and therefore handle
+  0D and 1R patterns.
+
+* the **row checksums** are the two column vectors ``M [v1 v2]`` with weights
+  over the ``n`` columns, shape ``(m, 2)``.  They handle 0D and 1C patterns.
+
+The central algebraic fact ABFT exploits is that checksums propagate through
+matrix multiplication: for ``C = A B``::
+
+    col(C) = col(A) B          row(C) = A row(B)
+
+so a checksum encoded once on the *input* of a protection section can be
+carried ("passed", Section 4.4) through every GEMM of the section with two
+extra GEMV-sized multiplications instead of a full re-encode — and, crucially,
+the carried checksum describes the *true* output even when the GEMM's computed
+output was corrupted by a transient fault.
+
+This module implements encoding, propagation (including bias-add adjustment,
+needed because the projections in real transformer layers are affine rather
+than linear), and the head split/merge plumbing required because the paper's
+GEMMs ``Q K^T`` and ``AP V`` operate per attention head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "checksum_weights",
+    "encode_column_checksums",
+    "encode_row_checksums",
+    "recompute_column_sums",
+    "recompute_row_sums",
+    "update_column_checksums_through_gemm",
+    "update_row_checksums_through_gemm",
+    "adjust_column_checksums_for_bias",
+    "adjust_row_checksums_for_bias",
+    "split_head_column_checksums",
+    "merge_head_column_checksums",
+    "encode_per_head_row_checksums_of_weight",
+    "ChecksumState",
+]
+
+
+def checksum_weights(length: int, dtype=np.float64) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the unweighted and weighted checksum vectors ``(v1, v2)``.
+
+    ``v1 = [1, 1, ..., 1]`` and ``v2 = [1, 2, ..., length]`` (1-based), the
+    classic Huang–Abraham choice that the paper uses: the ratio of the two
+    checksum differences directly yields the (1-based) error index.
+    """
+    if length <= 0:
+        raise ValueError(f"checksum length must be positive, got {length}")
+    v1 = np.ones(length, dtype=dtype)
+    v2 = np.arange(1, length + 1, dtype=dtype)
+    return v1, v2
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+def encode_column_checksums(matrix: np.ndarray) -> np.ndarray:
+    """Encode column checksums of ``matrix`` (..., m, n) -> (..., 2, n).
+
+    Row 0 holds the unweighted column sums, row 1 the weighted sums.  This is
+    the operation the paper's custom "encoding kernel" implements on GPU
+    (Section 4.6, Figure 9); here it is a dense matmul with the 2 x m weight
+    block, which NumPy dispatches to BLAS.
+    """
+    matrix = np.asarray(matrix)
+    m = matrix.shape[-2]
+    v1, v2 = checksum_weights(m, dtype=matrix.dtype)
+    weights = np.stack([v1, v2], axis=0)  # (2, m)
+    return np.matmul(weights, matrix)
+
+
+def encode_row_checksums(matrix: np.ndarray) -> np.ndarray:
+    """Encode row checksums of ``matrix`` (..., m, n) -> (..., m, 2)."""
+    matrix = np.asarray(matrix)
+    n = matrix.shape[-1]
+    v1, v2 = checksum_weights(n, dtype=matrix.dtype)
+    weights = np.stack([v1, v2], axis=1)  # (n, 2)
+    return np.matmul(matrix, weights)
+
+
+def recompute_column_sums(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Recompute (unweighted, weighted) column sums of the *current* data.
+
+    Unlike :func:`encode_column_checksums` this is used on the possibly
+    corrupted output at detection time; returning the two components
+    separately avoids an extra stack/copy in the hot detection path.
+    """
+    matrix = np.asarray(matrix)
+    m = matrix.shape[-2]
+    _, v2 = checksum_weights(m, dtype=np.float64)
+    unweighted = matrix.sum(axis=-2)
+    weighted = np.einsum("i,...ij->...j", v2, matrix)
+    return unweighted, weighted
+
+
+def recompute_row_sums(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Recompute (unweighted, weighted) row sums of the *current* data."""
+    matrix = np.asarray(matrix)
+    n = matrix.shape[-1]
+    _, v2 = checksum_weights(n, dtype=np.float64)
+    unweighted = matrix.sum(axis=-1)
+    weighted = np.einsum("j,...ij->...i", v2, matrix)
+    return unweighted, weighted
+
+
+# ---------------------------------------------------------------------------
+# Propagation through GEMM and bias
+# ---------------------------------------------------------------------------
+
+def update_column_checksums_through_gemm(col_checksums_a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Propagate column checksums through ``C = A B``:  ``col(C) = col(A) B``."""
+    return np.matmul(col_checksums_a, b)
+
+
+def update_row_checksums_through_gemm(a: np.ndarray, row_checksums_b: np.ndarray) -> np.ndarray:
+    """Propagate row checksums through ``C = A B``:  ``row(C) = A row(B)``."""
+    return np.matmul(a, row_checksums_b)
+
+
+def adjust_column_checksums_for_bias(
+    col_checksums: np.ndarray, bias: np.ndarray, num_rows: int
+) -> np.ndarray:
+    """Adjust column checksums for an affine output ``C' = C + 1 bias^T``.
+
+    Adding the same bias vector to every one of the ``num_rows`` rows shifts
+    the unweighted column sums by ``num_rows * bias`` and the weighted sums by
+    ``(1 + 2 + ... + num_rows) * bias``.
+    """
+    bias = np.asarray(bias, dtype=np.float64)
+    adjusted = np.array(col_checksums, copy=True)
+    adjusted[..., 0, :] = adjusted[..., 0, :] + num_rows * bias
+    adjusted[..., 1, :] = adjusted[..., 1, :] + (num_rows * (num_rows + 1) / 2.0) * bias
+    return adjusted
+
+
+def adjust_row_checksums_for_bias(row_checksums: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Adjust row checksums for ``C' = C + 1 bias^T``.
+
+    Every row gains ``sum(bias)`` on the unweighted side and
+    ``sum(bias * [1..n])`` on the weighted side.
+    """
+    bias = np.asarray(bias, dtype=np.float64)
+    n = bias.shape[-1]
+    _, v2 = checksum_weights(n)
+    adjusted = np.array(row_checksums, copy=True)
+    adjusted[..., 0] = adjusted[..., 0] + bias.sum()
+    adjusted[..., 1] = adjusted[..., 1] + float(np.dot(bias, v2))
+    return adjusted
+
+
+# ---------------------------------------------------------------------------
+# Head split / merge
+# ---------------------------------------------------------------------------
+
+def split_head_column_checksums(col_checksums: np.ndarray, num_heads: int) -> np.ndarray:
+    """Split column checksums of a ``(B, S, D)`` projection into per-head blocks.
+
+    ``(B, 2, D) -> (B, H, 2, D/H)`` — mirrors
+    :func:`repro.tensor.autograd.split_heads` applied to the data: because
+    head splitting partitions the *columns* (features) and leaves the rows
+    (sequence positions) untouched, the column checksums partition the same
+    way.
+    """
+    col_checksums = np.asarray(col_checksums)
+    *lead, two, d = col_checksums.shape
+    if two != 2:
+        raise ValueError(f"expected a checksum axis of size 2, got {two}")
+    if d % num_heads:
+        raise ValueError(f"feature dim {d} not divisible by num_heads {num_heads}")
+    head_dim = d // num_heads
+    reshaped = col_checksums.reshape(*lead, 2, num_heads, head_dim)
+    return np.moveaxis(reshaped, -2, -3)  # (..., H, 2, head_dim)
+
+
+def merge_head_column_checksums(per_head: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_head_column_checksums`: ``(B, H, 2, dh) -> (B, 2, H*dh)``."""
+    per_head = np.asarray(per_head)
+    *lead, h, two, dh = per_head.shape
+    if two != 2:
+        raise ValueError(f"expected a checksum axis of size 2, got {two}")
+    moved = np.moveaxis(per_head, -3, -2)  # (..., 2, H, dh)
+    return moved.reshape(*lead, 2, h * dh)
+
+
+def encode_per_head_row_checksums_of_weight(weight: np.ndarray, num_heads: int) -> np.ndarray:
+    """Row-checksum encode a projection weight per output head.
+
+    For ``W`` of shape ``(D_in, D_out)`` whose output features are split into
+    ``num_heads`` heads of ``dh = D_out / H`` columns each, return the block
+    of per-head row-checksum weights of shape ``(D_in, H, 2)``: entry
+    ``[:, h, 0]`` is ``W[:, h*dh:(h+1)*dh] @ 1`` and ``[:, h, 1]`` the
+    ``[1..dh]``-weighted version.  Multiplying ``X (B, S, D_in)`` by this
+    block yields per-head row checksums of ``V = X W`` directly — the
+    checksum-passing trick of protection section S_CL.
+    """
+    weight = np.asarray(weight)
+    d_in, d_out = weight.shape
+    if d_out % num_heads:
+        raise ValueError(f"output dim {d_out} not divisible by num_heads {num_heads}")
+    dh = d_out // num_heads
+    v1, v2 = checksum_weights(dh, dtype=weight.dtype)
+    weights = np.stack([v1, v2], axis=1)  # (dh, 2)
+    per_head = weight.reshape(d_in, num_heads, dh)
+    return np.einsum("dhk,kw->dhw", per_head, weights)  # (D_in, H, 2)
+
+
+# ---------------------------------------------------------------------------
+# Checksum state container
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChecksumState:
+    """Column and/or row checksums attached to one protected matrix.
+
+    Either side may be absent (``None``) — e.g. the attention output ``O``
+    only carries column checksums (Section 4.4, "Attention Output Protection
+    Section").
+    """
+
+    col: Optional[np.ndarray] = None
+    row: Optional[np.ndarray] = None
+
+    def has_col(self) -> bool:
+        return self.col is not None
+
+    def has_row(self) -> bool:
+        return self.row is not None
+
+    def copy(self) -> "ChecksumState":
+        return ChecksumState(
+            col=None if self.col is None else self.col.copy(),
+            row=None if self.row is None else self.row.copy(),
+        )
+
+    @staticmethod
+    def encode(matrix: np.ndarray, col: bool = True, row: bool = False) -> "ChecksumState":
+        """Encode fresh checksums directly from ``matrix``."""
+        return ChecksumState(
+            col=encode_column_checksums(matrix) if col else None,
+            row=encode_row_checksums(matrix) if row else None,
+        )
+
+    def verify(self, matrix: np.ndarray, rtol: float = 1e-6, atol: float = 1e-6) -> bool:
+        """Whether the stored checksums are consistent with ``matrix``."""
+        ok = True
+        if self.col is not None:
+            unweighted, weighted = recompute_column_sums(matrix)
+            ok &= bool(np.allclose(self.col[..., 0, :], unweighted, rtol=rtol, atol=atol))
+            ok &= bool(np.allclose(self.col[..., 1, :], weighted, rtol=rtol, atol=atol))
+        if self.row is not None:
+            unweighted, weighted = recompute_row_sums(matrix)
+            ok &= bool(np.allclose(self.row[..., 0], unweighted, rtol=rtol, atol=atol))
+            ok &= bool(np.allclose(self.row[..., 1], weighted, rtol=rtol, atol=atol))
+        return ok

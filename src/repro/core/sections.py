@@ -1,0 +1,241 @@
+"""Protection sections of the systematic ABFT scheme (Section 4.4).
+
+The attention execution flow (six GEMMs) is divided into three protection
+sections so that any single fault manifests at worst as a 1D pattern at the
+section boundary, which EEC-ABFT can correct:
+
+* ``S_AS = {X W_Q,  X W_K,  Q K^T}`` — input ``X`` is encoded with column
+  checksums once; the checksums are *passed* through the projections and the
+  score GEMM; detection/correction happen on ``AS``.
+* ``S_CL = {X W_V,  AP V}`` — ``W_V`` is encoded with (per-head) row
+  checksums and ``AP`` with column checksums; ``CL`` ends up with both sides
+  and is checked at the section boundary.
+* ``S_O  = {CL W_O}`` — the column checksums of ``CL`` are carried through the
+  output projection; ``O`` is checked with its column side only.
+
+Besides the descriptors themselves this module provides the FLOP/byte
+accounting of the ABFT work each section adds (encoding, checksum updates,
+detection, correction), which feeds both the adaptive-frequency optimiser
+(Section 4.5 needs the per-section overhead ``T_S``) and the GPU performance
+model used to reproduce Figures 7, 8, 10 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.models.config import ModelConfig
+
+__all__ = ["ProtectionSection", "PROTECTION_SECTIONS", "SectionCostModel", "SectionCosts"]
+
+
+@dataclass(frozen=True)
+class ProtectionSection:
+    """Static description of one protection section.
+
+    Attributes
+    ----------
+    name:
+        Section label — ``"AS"``, ``"CL"`` or ``"O"`` (the paper's
+        :math:`S_{AS}`, :math:`S_{CL}`, :math:`S_O`).
+    operations:
+        The GEMM op names (:class:`repro.nn.AttentionOp` values) the section
+        covers, in execution order.
+    boundary_matrix:
+        The matrix on which detection / correction runs.
+    maintains_column / maintains_row:
+        Which checksum sides the boundary matrix carries.
+    """
+
+    name: str
+    operations: Tuple[str, ...]
+    boundary_matrix: str
+    maintains_column: bool
+    maintains_row: bool
+
+    @property
+    def nondeterministic(self) -> bool:
+        """Whether the boundary matrix can see either a 1R or a 1C pattern."""
+        return self.maintains_column and self.maintains_row
+
+
+#: The three protection sections of the paper, keyed by name.
+PROTECTION_SECTIONS: Dict[str, ProtectionSection] = {
+    "AS": ProtectionSection(
+        name="AS",
+        operations=("xq", "xk", "qk"),
+        boundary_matrix="AS",
+        maintains_column=True,
+        maintains_row=True,
+    ),
+    "CL": ProtectionSection(
+        name="CL",
+        operations=("xv", "apv"),
+        boundary_matrix="CL",
+        maintains_column=True,
+        maintains_row=True,
+    ),
+    "O": ProtectionSection(
+        name="O",
+        operations=("clo",),
+        boundary_matrix="O",
+        maintains_column=True,
+        maintains_row=False,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SectionCosts:
+    """ABFT work added by one section, split by phase (FLOPs and bytes moved).
+
+    ``encode``   — building fresh checksums from data (X, AP, W_V);
+    ``update``   — carrying checksums through the member GEMMs;
+    ``detect``   — recomputing sums of the boundary matrix and comparing;
+    ``correct``  — worst-case correction cost (only paid when a fault hit).
+    Byte counts assume the configured element size and are used by the
+    bandwidth-bound parts of the GPU performance model.
+    """
+
+    encode_flops: float
+    update_flops: float
+    detect_flops: float
+    correct_flops: float
+    encode_bytes: float
+    detect_bytes: float
+
+    @property
+    def detection_path_flops(self) -> float:
+        """FLOPs on the always-paid path (everything except correction)."""
+        return self.encode_flops + self.update_flops + self.detect_flops
+
+    @property
+    def total_flops(self) -> float:
+        return self.detection_path_flops + self.correct_flops
+
+
+class SectionCostModel:
+    """FLOP / byte accounting of ABFT work per protection section.
+
+    Parameters
+    ----------
+    config:
+        Model architecture (provides D, H, d_h, sequence length).
+    batch_size:
+        Training batch size.
+    seq_len:
+        Sequence length; defaults to ``config.max_seq_len``.
+    element_size:
+        Bytes per element (4 for the paper's fp32 training, 8 for the NumPy
+        reproduction).
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        batch_size: int,
+        seq_len: Optional[int] = None,
+        element_size: int = 4,
+    ) -> None:
+        self.config = config
+        self.batch_size = batch_size
+        self.seq_len = seq_len if seq_len is not None else config.max_seq_len
+        self.element_size = element_size
+
+    # -- per-section ABFT costs ---------------------------------------------------
+
+    def section_costs(self, name: str) -> SectionCosts:
+        """ABFT cost breakdown for section ``name`` for one attention layer."""
+        b = self.batch_size
+        s = self.seq_len
+        d = self.config.hidden_size
+        h = self.config.num_heads
+        dh = self.config.head_dim
+        es = self.element_size
+
+        if name == "AS":
+            # Encode col checksums of X: (2 x S) @ (S x D) per batch sample.
+            encode = 2 * 2 * s * d * b
+            # Pass through W_Q and W_K: (2 x D) @ (D x D), twice, per sample.
+            update = 2 * (2 * 2 * d * d) * b
+            # Column side of AS: (2 x dh) @ (dh x S) per head; row side:
+            # (S x dh) @ (dh x 2) per head.
+            update += (2 * 2 * dh * s + 2 * s * dh * 2) * b * h
+            # Detect: recompute weighted+unweighted column and row sums of AS.
+            detect = 2 * (2 * s * s) * b * h * 2
+            # Correct (worst case, 1D): reconstruct one element per vector.
+            correct = 4 * s * b * h
+            encode_bytes = (s * d + 2 * d) * b * es
+            detect_bytes = (s * s) * b * h * es * 2
+        elif name == "CL":
+            # Encode col checksums of AP: (2 x S) @ (S x S) per head, plus the
+            # per-head row checksums of W_V: (D x dh) @ (dh x 2) per head.
+            encode = 2 * 2 * s * s * b * h + 2 * d * dh * 2 * h
+            # Row checksums of V: X @ rowcs(W_V): (S x D) @ (D x 2H) per sample;
+            # col side of CL: (2 x S) @ (S x dh); row side: (S x S) @ (S x 2).
+            update = 2 * s * d * 2 * h * b
+            update += (2 * 2 * s * dh + 2 * s * s * 2) * b * h
+            detect = 2 * (2 * s * dh) * b * h * 2
+            correct = 4 * s * b * h
+            encode_bytes = (s * s * h + d * dh * h) * b * es
+            detect_bytes = (s * dh) * b * h * es * 2
+        elif name == "O":
+            # Carry col checksums of CL through W_O: (2 x D) @ (D x D) per sample.
+            encode = 0.0
+            update = 2 * 2 * d * d * b
+            detect = 2 * (2 * s * d) * b
+            correct = 4 * d * b
+            encode_bytes = 0.0
+            detect_bytes = (s * d) * b * es
+        else:
+            raise KeyError(f"unknown protection section {name!r}")
+
+        return SectionCosts(
+            encode_flops=float(encode),
+            update_flops=float(update),
+            detect_flops=float(detect),
+            correct_flops=float(correct),
+            encode_bytes=float(encode_bytes),
+            detect_bytes=float(detect_bytes),
+        )
+
+    def all_section_costs(self) -> Dict[str, SectionCosts]:
+        """Costs for all three sections of one attention layer."""
+        return {name: self.section_costs(name) for name in PROTECTION_SECTIONS}
+
+    # -- protected-operation FLOPs (needed by the Poisson reliability model) -------
+
+    def operation_flops(self) -> Dict[str, float]:
+        """FLOPs of each protected GEMM for one attention layer forward pass."""
+        b = self.batch_size
+        s = self.seq_len
+        d = self.config.hidden_size
+        h = self.config.num_heads
+        dh = self.config.head_dim
+        return {
+            "xq": 2.0 * b * s * d * d,
+            "xk": 2.0 * b * s * d * d,
+            "xv": 2.0 * b * s * d * d,
+            "qk": 2.0 * b * h * s * s * dh,
+            "apv": 2.0 * b * h * s * s * dh,
+            "clo": 2.0 * b * s * d * d,
+        }
+
+    def section_operation_flops(self, name: str) -> Dict[str, float]:
+        """FLOPs of the operations belonging to section ``name``."""
+        section = PROTECTION_SECTIONS[name]
+        flops = self.operation_flops()
+        return {op: flops[op] for op in section.operations}
+
+    def attention_gemm_flops(self) -> float:
+        """Total protected GEMM FLOPs of one attention layer forward pass."""
+        return float(sum(self.operation_flops().values()))
+
+    def abft_flops(self) -> float:
+        """Total ABFT detection-path FLOPs (all three sections, one layer)."""
+        return float(sum(c.detection_path_flops for c in self.all_section_costs().values()))
+
+    def abft_relative_overhead(self) -> float:
+        """ABFT detection-path FLOPs relative to the protected GEMM FLOPs."""
+        return self.abft_flops() / self.attention_gemm_flops()

@@ -1,0 +1,47 @@
+"""Fault injection and error-propagation study (Section 3 of the paper).
+
+``injector``
+    Hooks that corrupt attention GEMM outputs with INF, NaN, near-INF
+    (exponent-MSB bit flip) or plain numeric errors, at controlled or random
+    positions — the paper's fault model of transient compute faults.
+``propagation``
+    Traces how a single injected 0D fault propagates through the downstream
+    matrices of the attention mechanism and classifies the patterns
+    (reproduces Table 2).
+``vulnerability``
+    Estimates the probability that an unhandled fault leads to a
+    non-trainable state (NaN loss), per model, error type and injected matrix
+    (reproduces Table 4).
+``campaign``
+    End-to-end detection/correction campaigns with ATTNChecker enabled
+    (reproduces the Section 5.2 claim of 100% detection and correction).
+"""
+
+from repro.faults.injector import (
+    ERROR_TYPES,
+    FaultInjector,
+    FaultSpec,
+    InjectionRecord,
+    TARGET_MATRICES,
+)
+from repro.faults.precision import PRECISION_FORMATS, PrecisionFormat, PrecisionSimulationHooks
+from repro.faults.propagation import PropagationResult, PropagationStudy
+from repro.faults.vulnerability import VulnerabilityResult, VulnerabilityStudy
+from repro.faults.campaign import CampaignResult, DetectionCorrectionCampaign
+
+__all__ = [
+    "ERROR_TYPES",
+    "TARGET_MATRICES",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectionRecord",
+    "PRECISION_FORMATS",
+    "PrecisionFormat",
+    "PrecisionSimulationHooks",
+    "PropagationStudy",
+    "PropagationResult",
+    "VulnerabilityStudy",
+    "VulnerabilityResult",
+    "DetectionCorrectionCampaign",
+    "CampaignResult",
+]

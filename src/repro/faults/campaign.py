@@ -1,0 +1,180 @@
+"""Detection / correction campaigns with ATTNChecker enabled (Section 5.2).
+
+A campaign injects one extreme error per forward execution at a random
+position of a chosen matrix, with ATTNChecker attached, and verifies that
+
+1. the checker *detected* an inconsistency,
+2. the checker *corrected* it (no extreme value survives), and
+3. the protected forward output matches the fault-free reference execution to
+   within floating-point tolerance — i.e. the corrupted value was restored to
+   its original value, the paper's success criterion.
+
+The paper reports a 100% detection and correction rate across all extreme
+errors on four LLMs; the same campaign here reproduces that claim on the tiny
+model configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.attention_checker import ATTNChecker, ATTNCheckerConfig
+from repro.faults.injector import FaultInjector, FaultSpec
+from repro.models.classification import SequenceClassificationModel
+from repro.nn.attention import ComposedHooks, RecordingHooks
+from repro.utils.rng import new_rng
+
+__all__ = ["CampaignResult", "DetectionCorrectionCampaign"]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome for one (matrix, error type) pair.
+
+    ``benign_masked`` counts trials in which the checker saw nothing *and*
+    the output still matched the fault-free reference bit-for-bit: this
+    happens when the fault lands in a value that is logically masked out of
+    the computation (e.g. a padded sequence position whose attention
+    probability is exactly zero), so there is nothing to detect or correct.
+    Such trials are covered by construction and are reported separately from
+    genuine detections.
+    """
+
+    matrix: str
+    error_type: str
+    trials: int = 0
+    detected: int = 0
+    corrected: int = 0
+    output_matches_reference: int = 0
+    benign_masked: int = 0
+
+    @property
+    def effective_trials(self) -> int:
+        """Trials in which the fault actually influenced the computation."""
+        return self.trials - self.benign_masked
+
+    @property
+    def detection_rate(self) -> float:
+        """Detection rate over the faults that influenced the computation."""
+        n = self.effective_trials
+        return self.detected / n if n else 1.0
+
+    @property
+    def correction_rate(self) -> float:
+        """Correction rate over the faults that influenced the computation."""
+        n = self.effective_trials
+        return self.corrected / n if n else 1.0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of all trials whose final output equals the fault-free output."""
+        return self.output_matches_reference / self.trials if self.trials else float("nan")
+
+
+class DetectionCorrectionCampaign:
+    """Run ATTNChecker-protected fault-injection campaigns on one model.
+
+    Parameters
+    ----------
+    model:
+        Sequence-classification model from the zoo.
+    batch:
+        Encoded input batch used for every trial (evaluation mode, so runs are
+        bit-reproducible and the only difference between trials is the fault).
+    checker_config:
+        ATTNChecker configuration (full frequencies by default).
+    atol / rtol:
+        Tolerance when comparing the protected output against the fault-free
+        reference.
+    """
+
+    def __init__(
+        self,
+        model: SequenceClassificationModel,
+        batch: Dict[str, np.ndarray],
+        checker_config: Optional[ATTNCheckerConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        rtol: float = 1e-6,
+        atol: float = 1e-6,
+    ) -> None:
+        self.model = model
+        self.batch = batch
+        self.checker_config = checker_config
+        self.rng = rng if rng is not None else new_rng()
+        self.rtol = rtol
+        self.atol = atol
+        self._reference_logits: Optional[np.ndarray] = None
+
+    # -- reference ---------------------------------------------------------------------
+
+    def _forward_logits(self, hooks) -> np.ndarray:
+        self.model.eval()
+        self.model.set_attention_hooks(hooks)
+        try:
+            output = self.model(
+                self.batch["input_ids"], attention_mask=self.batch.get("attention_mask")
+            )
+        finally:
+            self.model.set_attention_hooks(None)
+            self.model.train()
+        return output.logits.data.copy()
+
+    def reference_logits(self) -> np.ndarray:
+        if self._reference_logits is None:
+            self._reference_logits = self._forward_logits(None)
+        return self._reference_logits
+
+    # -- single trial -------------------------------------------------------------------
+
+    def run_trial(self, matrix: str, error_type: str) -> Dict[str, bool]:
+        """One protected injection trial; returns detection/correction flags."""
+        reference = self.reference_logits()
+        spec = FaultSpec(matrix=matrix, error_type=error_type, layer_index=0)
+        injector = FaultInjector([spec], rng=self.rng)
+        checker = ATTNChecker(self.checker_config)
+        logits = self._forward_logits(ComposedHooks([injector, checker]))
+
+        detected = checker.stats.total_detections > 0
+        corrected = (
+            checker.stats.total_corrections > 0
+            and checker.stats.total_residual_extreme == 0
+        )
+        matches = bool(
+            np.allclose(logits, reference, rtol=self.rtol, atol=self.atol, equal_nan=False)
+        )
+        return {"detected": detected, "corrected": corrected, "matches": matches}
+
+    # -- campaign ------------------------------------------------------------------------
+
+    def run(
+        self,
+        matrices: Sequence[str] = ("Q", "K", "V", "AS", "CL", "O"),
+        error_types: Sequence[str] = ("inf", "nan", "near_inf"),
+        trials: int = 10,
+    ) -> List[CampaignResult]:
+        """Run ``trials`` protected injections per (matrix, error type) pair."""
+        results: List[CampaignResult] = []
+        for matrix in matrices:
+            for error_type in error_types:
+                result = CampaignResult(matrix=matrix, error_type=error_type)
+                for _ in range(trials):
+                    outcome = self.run_trial(matrix, error_type)
+                    result.trials += 1
+                    benign = not outcome["detected"] and outcome["matches"]
+                    result.benign_masked += int(benign)
+                    result.detected += int(outcome["detected"])
+                    result.corrected += int(outcome["corrected"])
+                    result.output_matches_reference += int(outcome["matches"])
+                results.append(result)
+        return results
+
+    @staticmethod
+    def all_corrected(results: Sequence[CampaignResult]) -> bool:
+        """Paper's headline claim: every injected extreme error detected & corrected."""
+        return all(
+            r.detection_rate == 1.0 and r.correction_rate == 1.0 and r.recovery_rate == 1.0
+            for r in results
+        )

@@ -1,0 +1,206 @@
+"""Fault injection into attention GEMM outputs.
+
+Faithful to the paper's methodology (Section 5.1, *Fault Injection*): faults
+are injected via instrumentation into the *result matrix* of a GEMM, at a
+randomly selected position, simulating a transient fault that occurred during
+the computation.
+
+* **INF** and **NaN** are injected by assignment;
+* **near-INF** is injected by flipping the most significant exponent bit of
+  the selected element;
+* **numeric** (a moderate value change) is provided additionally, to exercise
+  the classic-ABFT code path and the benign-fault behaviour the prior work
+  observed.
+
+The injector is an :class:`repro.nn.AttentionHooks`; register it *before* the
+:class:`repro.core.ATTNChecker` so the checker sees the corrupted output,
+exactly like a fault striking the kernel before ABFT detection runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.attention import AttentionHooks, AttentionOp, GemmContext
+from repro.utils.floatbits import flip_exponent_msb, make_near_inf
+from repro.utils.rng import new_rng
+
+__all__ = ["ERROR_TYPES", "TARGET_MATRICES", "FaultSpec", "InjectionRecord", "FaultInjector"]
+
+#: Error classes supported by the injector.
+ERROR_TYPES: Tuple[str, ...] = ("inf", "nan", "near_inf", "numeric")
+
+#: Injectable matrices (the paper's Table 2 / Table 4 rows) and the GEMM that
+#: produces each of them.
+TARGET_MATRICES: Dict[str, AttentionOp] = {
+    "Q": AttentionOp.XQ,
+    "K": AttentionOp.XK,
+    "V": AttentionOp.XV,
+    "AS": AttentionOp.QK,
+    "CL": AttentionOp.APV,
+    "O": AttentionOp.CLO,
+}
+
+
+@dataclass
+class FaultSpec:
+    """Description of one fault to inject.
+
+    Attributes
+    ----------
+    matrix:
+        Target matrix name (``"Q"``, ``"K"``, ``"V"``, ``"AS"``, ``"CL"``,
+        ``"O"``).
+    error_type:
+        ``"inf"``, ``"nan"``, ``"near_inf"`` or ``"numeric"``.
+    layer_index:
+        Attention layer to target (``None`` = first layer that executes).
+    position:
+        Flat index into the GEMM output to corrupt (``None`` = random).
+    sign:
+        Sign of injected INF (+1 / -1).
+    numeric_delta:
+        Magnitude added for ``"numeric"`` errors.
+    """
+
+    matrix: str
+    error_type: str
+    layer_index: Optional[int] = 0
+    position: Optional[Tuple[int, ...]] = None
+    sign: int = 1
+    numeric_delta: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.matrix not in TARGET_MATRICES:
+            raise KeyError(f"unknown target matrix {self.matrix!r}; expected one of {sorted(TARGET_MATRICES)}")
+        if self.error_type not in ERROR_TYPES:
+            raise KeyError(f"unknown error type {self.error_type!r}; expected one of {ERROR_TYPES}")
+
+    @property
+    def op(self) -> AttentionOp:
+        return TARGET_MATRICES[self.matrix]
+
+
+@dataclass
+class InjectionRecord:
+    """Book-keeping of one performed injection."""
+
+    spec: FaultSpec
+    layer_index: int
+    step: int
+    position: Tuple[int, ...]
+    original_value: float
+    injected_value: float
+
+
+class FaultInjector(AttentionHooks):
+    """Inject the faults described by one or more :class:`FaultSpec`.
+
+    Parameters
+    ----------
+    specs:
+        Faults to inject.  Each spec fires at most ``max_injections_per_spec``
+        times (default once), so a typical campaign arms a fresh injector per
+        trial.
+    rng:
+        Random generator for position selection.
+    enabled:
+        Start armed or disarmed.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        rng: Optional[np.random.Generator] = None,
+        max_injections_per_spec: int = 1,
+        enabled: bool = True,
+        value_dtype: Optional[np.dtype] = None,
+    ) -> None:
+        """``value_dtype`` overrides the floating format whose exponent layout
+        the near-INF bit flip uses; by default the output array's own dtype is
+        used.  Set it to ``numpy.float32`` when combining the injector with
+        :class:`repro.faults.PrecisionSimulationHooks` so the injected
+        magnitude matches the simulated training precision."""
+        self.specs: List[FaultSpec] = list(specs)
+        self.rng = rng if rng is not None else new_rng()
+        self.max_injections_per_spec = max_injections_per_spec
+        self.enabled = enabled
+        self.value_dtype = np.dtype(value_dtype) if value_dtype is not None else None
+        self.records: List[InjectionRecord] = []
+        self._fired_count: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+
+    # -- control ---------------------------------------------------------------------
+
+    def arm(self) -> None:
+        """(Re-)enable injection and reset the per-spec firing counters."""
+        self.enabled = True
+        self._fired_count = {i: 0 for i in range(len(self.specs))}
+
+    def disarm(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.arm()
+
+    @property
+    def num_injections(self) -> int:
+        return len(self.records)
+
+    # -- corruption --------------------------------------------------------------------
+
+    def _corrupt_value(self, spec: FaultSpec, original: float, dtype: np.dtype) -> float:
+        if spec.error_type == "inf":
+            return float(np.inf if spec.sign >= 0 else -np.inf)
+        if spec.error_type == "nan":
+            return float(np.nan)
+        if spec.error_type == "near_inf":
+            # The paper's method: flip the most significant exponent bit of the
+            # selected element, *in the arithmetic the computation uses*.  On
+            # the paper's fp32 GPU training that lands a value within a couple
+            # of orders of magnitude of the overflow threshold, which is what
+            # makes near-INF faults accumulate into INF/NaN downstream; the
+            # same relationship is preserved here by flipping in the output's
+            # own dtype (float64 for the NumPy substrate).
+            flip_dtype = dtype if np.dtype(dtype) in (np.dtype(np.float32), np.dtype(np.float64)) else np.float64
+            base = original if original != 0.0 and np.isfinite(original) else 1.0
+            value = float(np.asarray(make_near_inf(base, dtype=flip_dtype)))
+            return float(spec.sign) * abs(value) if spec.sign < 0 else value
+        if spec.error_type == "numeric":
+            return float(original + spec.sign * spec.numeric_delta)
+        raise KeyError(spec.error_type)
+
+    def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
+        if not self.enabled:
+            return out
+        for index, spec in enumerate(self.specs):
+            if self._fired_count[index] >= self.max_injections_per_spec:
+                continue
+            if spec.op is not ctx.op:
+                continue
+            if spec.layer_index is not None and spec.layer_index != ctx.layer_index:
+                continue
+            if spec.position is not None:
+                position = tuple(spec.position)
+            else:
+                flat = int(self.rng.integers(0, out.size))
+                position = tuple(int(i) for i in np.unravel_index(flat, out.shape))
+            original = float(out[position])
+            injected = self._corrupt_value(spec, original, self.value_dtype or out.dtype)
+            out[position] = injected
+            self._fired_count[index] += 1
+            self.records.append(
+                InjectionRecord(
+                    spec=spec,
+                    layer_index=ctx.layer_index,
+                    step=ctx.step,
+                    position=position,
+                    original_value=original,
+                    injected_value=injected,
+                )
+            )
+        return out

@@ -1,0 +1,47 @@
+"""LLM model zoo used by the paper's evaluation.
+
+Four model families are implemented from scratch on :mod:`repro.nn`:
+
+* **BERT** (small / base / large) — post-LN bidirectional encoder,
+* **RoBERTa** — BERT architecture with RoBERTa hyper-parameters,
+* **GPT-2** — pre-LN causal decoder,
+* **GPT-Neo** — pre-LN causal decoder with alternating global / local
+  attention layers.
+
+Each family is available in two sizes:
+
+* ``"tiny"`` — reduced hidden size / depth so fine-tuning steps run in
+  milliseconds on CPU.  Used by every experiment that actually trains
+  (Tables 2 & 4, Figure 6, detection/correction campaigns).
+* ``"paper"`` — the real published dimensions (e.g. BERT-base 768/12/12).
+  Used by the analytical workload and performance models (Table 3,
+  Figures 7–12), where only FLOP/byte counts matter.
+"""
+
+from repro.models.config import ModelConfig
+from repro.models.classification import SequenceClassifierOutput
+from repro.models.bert import BertForSequenceClassification
+from repro.models.gpt2 import GPT2ForSequenceClassification
+from repro.models.gpt_neo import GPTNeoForSequenceClassification
+from repro.models.roberta import RobertaForSequenceClassification
+from repro.models.registry import (
+    MODEL_FAMILIES,
+    PAPER_MODEL_NAMES,
+    build_model,
+    get_config,
+    list_models,
+)
+
+__all__ = [
+    "ModelConfig",
+    "SequenceClassifierOutput",
+    "BertForSequenceClassification",
+    "RobertaForSequenceClassification",
+    "GPT2ForSequenceClassification",
+    "GPTNeoForSequenceClassification",
+    "build_model",
+    "get_config",
+    "list_models",
+    "MODEL_FAMILIES",
+    "PAPER_MODEL_NAMES",
+]

@@ -1,0 +1,86 @@
+"""BERT-style bidirectional encoder for sequence classification.
+
+Post-LN encoder with learned token / position / segment embeddings and a
+``[CLS]``-token pooler, as in Devlin et al. (2018).  Used for the
+``bert-small`` / ``bert-base`` / ``bert-large`` entries of the paper's
+evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.classification import ClassificationHead, SequenceClassificationModel
+from repro.models.config import ModelConfig
+from repro.nn.layers import Dropout, Embedding, LayerNorm
+from repro.nn.module import ModuleList
+from repro.nn.transformer import TransformerLayer
+from repro.tensor import autograd as ag
+
+__all__ = ["BertForSequenceClassification"]
+
+
+class BertForSequenceClassification(SequenceClassificationModel):
+    """BERT encoder with a sequence-classification head."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        d = config.hidden_size
+
+        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng)
+        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng)
+        self.token_type_embeddings = Embedding(config.type_vocab_size, d, rng=rng)
+        self.embedding_norm = LayerNorm(d)
+        self.embedding_dropout = Dropout(config.dropout, rng=rng)
+
+        self.layers = ModuleList(
+            [
+                TransformerLayer(
+                    hidden_size=d,
+                    num_heads=config.num_heads,
+                    intermediate_size=config.intermediate_size,
+                    dropout_p=config.dropout,
+                    norm_style="post_ln",
+                    causal=False,
+                    layer_index=i,
+                    rng=rng,
+                )
+                for i in range(config.num_layers)
+            ]
+        )
+        self.head = ClassificationHead(d, config.num_labels, config.dropout, rng)
+
+    def encode(self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        batch, seq_len = input_ids.shape
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        token_types = np.zeros_like(input_ids)
+
+        embeddings = ag.add(
+            ag.add(self.token_embeddings(input_ids), self.position_embeddings(positions)),
+            self.token_type_embeddings(token_types),
+        )
+        hidden = self.embedding_dropout(self.embedding_norm(embeddings))
+        for layer in self.layers:
+            hidden = layer(hidden, attention_mask=attention_mask)
+        return hidden
+
+    def pool(self, hidden: ag.Tensor, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        # [CLS] pooling: take the first token of every sequence.
+        return _take_first_token(hidden)
+
+    def classify(self, pooled: ag.Tensor) -> ag.Tensor:
+        return self.head(pooled)
+
+
+def _take_first_token(hidden: ag.Tensor) -> ag.Tensor:
+    """Select ``hidden[:, 0, :]`` differentiably via a one-hot contraction."""
+    batch, seq_len, d = hidden.shape
+    selector = np.zeros((seq_len, 1))
+    selector[0, 0] = 1.0
+    # (B, S, D) -> (B, D, S) @ (S, 1) -> (B, D, 1) -> (B, D)
+    transposed = ag.transpose(hidden, (0, 2, 1))
+    picked = ag.matmul(transposed, selector)
+    return ag.reshape(picked, (batch, d))

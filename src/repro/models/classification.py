@@ -1,0 +1,111 @@
+"""Shared pieces of the sequence-classification models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.nn.attention import AttentionHooks, MultiHeadAttention
+from repro.nn.layers import Dropout, Linear, TanhActivation
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.tensor import autograd as ag
+
+__all__ = ["SequenceClassifierOutput", "ClassificationHead", "SequenceClassificationModel"]
+
+
+@dataclass
+class SequenceClassifierOutput:
+    """Return value of every model's forward pass.
+
+    Attributes
+    ----------
+    logits:
+        Classification logits tensor of shape ``(batch, num_labels)``.
+    loss:
+        Scalar loss tensor when labels were provided, else ``None``.
+    hidden_states:
+        Final hidden states ``(batch, seq, hidden)``.
+    """
+
+    logits: ag.Tensor
+    loss: Optional[ag.Tensor] = None
+    hidden_states: Optional[ag.Tensor] = None
+
+    @property
+    def loss_value(self) -> Optional[float]:
+        """The loss as a Python float (NaN signals a non-trainable state)."""
+        return None if self.loss is None else float(self.loss.data)
+
+
+class ClassificationHead(Module):
+    """Pooler + classifier used by the encoder models (BERT / RoBERTa)."""
+
+    def __init__(self, hidden_size: int, num_labels: int, dropout_p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.dense = Linear(hidden_size, hidden_size, rng=rng)
+        self.activation = TanhActivation()
+        self.dropout = Dropout(dropout_p, rng=rng)
+        self.out_proj = Linear(hidden_size, num_labels, rng=rng)
+
+    def forward(self, pooled: ag.Tensor) -> ag.Tensor:
+        return self.out_proj(self.dropout(self.activation(self.dense(pooled))))
+
+
+class SequenceClassificationModel(Module):
+    """Base class providing hook plumbing and the loss head.
+
+    Subclasses implement :meth:`encode` returning final hidden states; this
+    base class handles pooling, classification and loss computation, and the
+    uniform interface the trainer / fault-injection campaigns rely on:
+
+    * :meth:`attention_layers` — every :class:`MultiHeadAttention` in order;
+    * :meth:`set_attention_hooks` — attach one hook object to all of them.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.loss_fn = CrossEntropyLoss()
+
+    # -- attention instrumentation ------------------------------------------------
+
+    def attention_layers(self) -> List[MultiHeadAttention]:
+        """All attention modules of the model, in layer order."""
+        return [m for _, m in self.named_modules() if isinstance(m, MultiHeadAttention)]
+
+    def set_attention_hooks(self, hooks: Optional[AttentionHooks]) -> None:
+        """Attach ``hooks`` to every attention layer (``None`` detaches)."""
+        for layer in self.attention_layers():
+            layer.set_hooks(hooks)
+
+    # -- forward interface ---------------------------------------------------------
+
+    def encode(
+        self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray]
+    ) -> ag.Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def pool(self, hidden: ag.Tensor, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        """Reduce ``(B, S, D)`` hidden states to ``(B, D)`` (family-specific)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def classify(self, pooled: ag.Tensor) -> ag.Tensor:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def forward(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+    ) -> SequenceClassifierOutput:
+        hidden = self.encode(np.asarray(input_ids, dtype=np.int64), attention_mask)
+        pooled = self.pool(hidden, attention_mask)
+        logits = self.classify(pooled)
+        loss = None
+        if labels is not None:
+            loss = self.loss_fn(logits, labels)
+        return SequenceClassifierOutput(logits=logits, loss=loss, hidden_states=hidden)

@@ -1,0 +1,86 @@
+"""GPT-2: pre-LN causal decoder for sequence classification.
+
+Follows Radford et al. (2019): learned token and position embeddings, pre-LN
+transformer blocks with causal attention, a final layer norm, and — as in the
+HuggingFace ``GPT2ForSequenceClassification`` used by the paper — the logits
+of the *last non-padding token* feed the classification head.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.classification import SequenceClassificationModel
+from repro.models.config import ModelConfig
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.module import ModuleList
+from repro.nn.transformer import TransformerLayer
+from repro.tensor import autograd as ag
+
+__all__ = ["GPT2ForSequenceClassification", "last_token_pool"]
+
+
+def last_token_pool(hidden: ag.Tensor, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+    """Select the hidden state of the last non-padding token of each sequence.
+
+    Implemented as a differentiable one-hot contraction so the autograd graph
+    stays intact (no fancy indexing op is needed in the engine).
+    """
+    batch, seq_len, d = hidden.shape
+    if attention_mask is None:
+        last_index = np.full(batch, seq_len - 1, dtype=np.int64)
+    else:
+        lengths = np.asarray(attention_mask).sum(axis=-1).astype(np.int64)
+        last_index = np.clip(lengths - 1, 0, seq_len - 1)
+    selector = np.zeros((batch, seq_len, 1))
+    selector[np.arange(batch), last_index, 0] = 1.0
+    picked = ag.matmul(ag.transpose(hidden, (0, 2, 1)), selector)  # (B, D, 1)
+    return ag.reshape(picked, (batch, d))
+
+
+class GPT2ForSequenceClassification(SequenceClassificationModel):
+    """GPT-2 decoder with a linear classification head on the last token."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        d = config.hidden_size
+
+        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng)
+        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng)
+        self.embedding_dropout = Dropout(config.dropout, rng=rng)
+
+        self.layers = ModuleList(
+            [
+                TransformerLayer(
+                    hidden_size=d,
+                    num_heads=config.num_heads,
+                    intermediate_size=config.intermediate_size,
+                    dropout_p=config.dropout,
+                    norm_style="pre_ln",
+                    causal=True,
+                    layer_index=i,
+                    rng=rng,
+                )
+                for i in range(config.num_layers)
+            ]
+        )
+        self.final_norm = LayerNorm(d)
+        self.score = Linear(d, config.num_labels, rng=rng, bias=False)
+
+    def encode(self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        batch, seq_len = input_ids.shape
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        hidden = ag.add(self.token_embeddings(input_ids), self.position_embeddings(positions))
+        hidden = self.embedding_dropout(hidden)
+        for layer in self.layers:
+            hidden = layer(hidden, attention_mask=attention_mask)
+        return self.final_norm(hidden)
+
+    def pool(self, hidden: ag.Tensor, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        return last_token_pool(hidden, attention_mask)
+
+    def classify(self, pooled: ag.Tensor) -> ag.Tensor:
+        return self.score(pooled)

@@ -1,0 +1,75 @@
+"""GPT-Neo: pre-LN causal decoder with alternating global / local attention.
+
+GPT-Neo (Black et al. / EleutherAI) differs from GPT-2 mainly in that every
+other layer restricts attention to a local window (256 tokens in the released
+models).  The alternation matters for this reproduction because it changes the
+attention-score sparsity and therefore the fault-propagation footprint of the
+``qk`` / ``apv`` GEMMs in those layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.classification import SequenceClassificationModel
+from repro.models.config import ModelConfig
+from repro.models.gpt2 import last_token_pool
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.module import ModuleList
+from repro.nn.transformer import TransformerLayer
+from repro.tensor import autograd as ag
+
+__all__ = ["GPTNeoForSequenceClassification"]
+
+
+class GPTNeoForSequenceClassification(SequenceClassificationModel):
+    """GPT-Neo decoder with a linear classification head on the last token."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        d = config.hidden_size
+
+        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng)
+        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng)
+        self.embedding_dropout = Dropout(config.dropout, rng=rng)
+
+        self.layers = ModuleList(
+            [
+                TransformerLayer(
+                    hidden_size=d,
+                    num_heads=config.num_heads,
+                    intermediate_size=config.intermediate_size,
+                    dropout_p=config.dropout,
+                    norm_style="pre_ln",
+                    causal=True,
+                    local_window=(
+                        config.local_attention_window
+                        if config.layer_uses_local_attention(i)
+                        else None
+                    ),
+                    layer_index=i,
+                    rng=rng,
+                )
+                for i in range(config.num_layers)
+            ]
+        )
+        self.final_norm = LayerNorm(d)
+        self.score = Linear(d, config.num_labels, rng=rng, bias=False)
+
+    def encode(self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        batch, seq_len = input_ids.shape
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        hidden = ag.add(self.token_embeddings(input_ids), self.position_embeddings(positions))
+        hidden = self.embedding_dropout(hidden)
+        for layer in self.layers:
+            hidden = layer(hidden, attention_mask=attention_mask)
+        return self.final_norm(hidden)
+
+    def pool(self, hidden: ag.Tensor, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        return last_token_pool(hidden, attention_mask)
+
+    def classify(self, pooled: ag.Tensor) -> ag.Tensor:
+        return self.score(pooled)

@@ -1,0 +1,74 @@
+"""RoBERTa: a robustly-optimised BERT variant.
+
+Architecturally identical to BERT (post-LN encoder); RoBERTa drops the
+segment (token-type) embedding in practice and uses a different pooling head
+(``<s>`` token through a dense+tanh inside the classification head).  We keep
+the implementation separate from :mod:`repro.models.bert` so experiments can
+instrument the two families independently, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.classification import ClassificationHead, SequenceClassificationModel
+from repro.models.config import ModelConfig
+from repro.nn.layers import Dropout, Embedding, LayerNorm
+from repro.nn.module import ModuleList
+from repro.nn.transformer import TransformerLayer
+from repro.tensor import autograd as ag
+
+__all__ = ["RobertaForSequenceClassification"]
+
+
+class RobertaForSequenceClassification(SequenceClassificationModel):
+    """RoBERTa encoder with a sequence-classification head."""
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(config)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        d = config.hidden_size
+
+        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng)
+        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng)
+        self.embedding_norm = LayerNorm(d)
+        self.embedding_dropout = Dropout(config.dropout, rng=rng)
+
+        self.layers = ModuleList(
+            [
+                TransformerLayer(
+                    hidden_size=d,
+                    num_heads=config.num_heads,
+                    intermediate_size=config.intermediate_size,
+                    dropout_p=config.dropout,
+                    norm_style="post_ln",
+                    causal=False,
+                    layer_index=i,
+                    rng=rng,
+                )
+                for i in range(config.num_layers)
+            ]
+        )
+        self.head = ClassificationHead(d, config.num_labels, config.dropout, rng)
+
+    def encode(self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        batch, seq_len = input_ids.shape
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        embeddings = ag.add(self.token_embeddings(input_ids), self.position_embeddings(positions))
+        hidden = self.embedding_dropout(self.embedding_norm(embeddings))
+        for layer in self.layers:
+            hidden = layer(hidden, attention_mask=attention_mask)
+        return hidden
+
+    def pool(self, hidden: ag.Tensor, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
+        # RoBERTa pools the <s> (first) token; the dense+tanh lives in the head.
+        batch, seq_len, d = hidden.shape
+        selector = np.zeros((seq_len, 1))
+        selector[0, 0] = 1.0
+        picked = ag.matmul(ag.transpose(hidden, (0, 2, 1)), selector)
+        return ag.reshape(picked, (batch, d))
+
+    def classify(self, pooled: ag.Tensor) -> ag.Tensor:
+        return self.head(pooled)

@@ -1,0 +1,375 @@
+"""Instrumented multi-head attention.
+
+This module implements the exact execution flow of Figure 1 in the paper —
+six GEMMs plus one softmax::
+
+    Q  = X  x W_Q          (op "xq")
+    K  = X  x W_K          (op "xk")
+    V  = X  x W_V          (op "xv")
+    AS = Q  x K^T          (op "qk",  per head)
+    AP = softmax(AS / sqrt(d_k) + mask)
+    CL = AP x V            (op "apv", per head)
+    O  = CL x W_O          (op "clo")
+
+and exposes every GEMM through the :class:`AttentionHooks` interface.  A hook
+receives the GEMM's operands and raw output and may return a modified output.
+Two subsystems plug in here:
+
+* the fault injector (:mod:`repro.faults.injector`) corrupts outputs to
+  simulate transient hardware faults striking the computation, and
+* ATTNChecker (:mod:`repro.core.attention_checker`) maintains checksums,
+  detects and corrects the corrupted values at the protection-section
+  boundaries of Section 4.4.
+
+Hooks run in registration order, so registering ``[injector, checker]``
+reproduces the paper's evaluation setup (fault occurs during the operation,
+ABFT repairs it before the value is consumed downstream).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor import autograd as ag
+
+__all__ = [
+    "AttentionOp",
+    "GemmContext",
+    "AttentionHooks",
+    "ComposedHooks",
+    "RecordingHooks",
+    "MultiHeadAttention",
+    "ATTENTION_MATRIX_NAMES",
+]
+
+
+class AttentionOp(str, enum.Enum):
+    """Names of the six GEMMs in the attention execution flow."""
+
+    XQ = "xq"
+    XK = "xk"
+    XV = "xv"
+    QK = "qk"
+    APV = "apv"
+    CLO = "clo"
+
+    @property
+    def output_matrix(self) -> str:
+        """Name of the matrix this GEMM produces (paper's Table 1 notation)."""
+        return _OP_TO_MATRIX[self]
+
+
+_OP_TO_MATRIX = {
+    AttentionOp.XQ: "Q",
+    AttentionOp.XK: "K",
+    AttentionOp.XV: "V",
+    AttentionOp.QK: "AS",
+    AttentionOp.APV: "CL",
+    AttentionOp.CLO: "O",
+}
+
+#: All matrices observable during one attention forward pass, in dataflow order.
+ATTENTION_MATRIX_NAMES = ("Q", "K", "V", "AS", "AP", "CL", "O")
+
+
+@dataclass
+class GemmContext:
+    """Everything a hook needs to know about one GEMM invocation.
+
+    Attributes
+    ----------
+    op:
+        Which of the six GEMMs is being executed.
+    a, b:
+        The operand arrays actually fed to the GEMM (post head-split for the
+        per-head operations).  Hooks must treat them as read-only.
+    layer_index:
+        Index of the attention layer inside the model.
+    step:
+        Monotonic counter of attention forward passes for this layer
+        (increments once per call, i.e. once per training micro-step).
+    num_heads, head_dim, seq_len:
+        Geometry of the attention call, needed by the checksum machinery.
+    """
+
+    op: AttentionOp
+    a: np.ndarray
+    b: np.ndarray
+    layer_index: int
+    step: int
+    num_heads: int
+    head_dim: int
+    seq_len: int
+    bias: Optional[np.ndarray] = None
+
+
+class AttentionHooks:
+    """Base class for attention instrumentation.
+
+    Subclasses override any subset of the callbacks.  The default
+    implementation is a no-op, so a hook only pays for what it uses.
+    """
+
+    def on_attention_start(self, layer_index: int, step: int) -> None:
+        """Called before any GEMM of a forward pass runs."""
+
+    def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
+        """Called with the raw output of each GEMM; returns the output to use."""
+        return out
+
+    def on_matrix(self, name: str, data: np.ndarray, layer_index: int, step: int) -> None:
+        """Observation callback for non-GEMM intermediate matrices (e.g. AP)."""
+
+    def on_attention_end(self, layer_index: int, step: int) -> None:
+        """Called after the output projection completes."""
+
+
+class ComposedHooks(AttentionHooks):
+    """Run several hooks in sequence; GEMM outputs are threaded through them."""
+
+    def __init__(self, hooks: Sequence[AttentionHooks]) -> None:
+        self.hooks: List[AttentionHooks] = list(hooks)
+
+    def on_attention_start(self, layer_index: int, step: int) -> None:
+        for h in self.hooks:
+            h.on_attention_start(layer_index, step)
+
+    def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
+        for h in self.hooks:
+            out = h.on_gemm_output(ctx, out)
+        return out
+
+    def on_matrix(self, name: str, data: np.ndarray, layer_index: int, step: int) -> None:
+        for h in self.hooks:
+            h.on_matrix(name, data, layer_index, step)
+
+    def on_attention_end(self, layer_index: int, step: int) -> None:
+        for h in self.hooks:
+            h.on_attention_end(layer_index, step)
+
+
+class RecordingHooks(AttentionHooks):
+    """Record every intermediate matrix of the forward pass.
+
+    Used by the error-propagation study (Table 2) to compare a faulty run
+    against a clean reference run matrix-by-matrix.  Matrices are stored under
+    the paper's names (``Q``, ``K``, ``V``, ``AS``, ``AP``, ``CL``, ``O``),
+    keyed additionally by layer index.
+    """
+
+    def __init__(self, copy: bool = True) -> None:
+        self.copy = copy
+        self.records: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def on_attention_start(self, layer_index: int, step: int) -> None:
+        self.records.setdefault(layer_index, {})
+
+    def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
+        name = ctx.op.output_matrix
+        self.records.setdefault(ctx.layer_index, {})[name] = out.copy() if self.copy else out
+        return out
+
+    def on_matrix(self, name: str, data: np.ndarray, layer_index: int, step: int) -> None:
+        self.records.setdefault(layer_index, {})[name] = data.copy() if self.copy else data
+
+    def matrices(self, layer_index: int = 0) -> Dict[str, np.ndarray]:
+        """All recorded matrices of one layer."""
+        return self.records.get(layer_index, {})
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention with operation-boundary instrumentation.
+
+    Parameters
+    ----------
+    hidden_size:
+        Model width ``D``.
+    num_heads:
+        Number of attention heads ``H`` (``D`` must be divisible by ``H``).
+    dropout_p:
+        Dropout applied to the attention probabilities (``AP``) and to the
+        output projection, as in BERT/GPT-2.
+    layer_index:
+        Position of this layer in the parent model (reported to hooks).
+    causal:
+        Whether to apply a causal (autoregressive) mask, as GPT-2/GPT-Neo do.
+    local_window:
+        If set, restrict attention to the previous ``local_window`` positions
+        (GPT-Neo's local-attention layers).
+    rng:
+        Generator used for weight init and dropout masks.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        dropout_p: float = 0.0,
+        layer_index: int = 0,
+        causal: bool = False,
+        local_window: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if hidden_size % num_heads:
+            raise ValueError(f"hidden_size {hidden_size} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.head_dim = hidden_size // num_heads
+        self.layer_index = layer_index
+        self.causal = causal
+        self.local_window = local_window
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+
+        self.w_q = Linear(hidden_size, hidden_size, rng=rng, bias=bias)
+        self.w_k = Linear(hidden_size, hidden_size, rng=rng, bias=bias)
+        self.w_v = Linear(hidden_size, hidden_size, rng=rng, bias=bias)
+        self.w_o = Linear(hidden_size, hidden_size, rng=rng, bias=bias)
+        self.attn_dropout = Dropout(dropout_p, rng=rng)
+        self.out_dropout = Dropout(dropout_p, rng=rng)
+
+        self.hooks: Optional[AttentionHooks] = None
+        self._step = 0
+
+    # -- instrumentation -------------------------------------------------------
+
+    def set_hooks(self, hooks: Optional[AttentionHooks]) -> None:
+        """Attach (or detach, with ``None``) the instrumentation hooks."""
+        self.hooks = hooks
+
+    def _gemm_hook(self, op: AttentionOp, bias: Optional[np.ndarray] = None) -> Optional[Callable]:
+        """Build the ``forward_hook`` closure for one named GEMM."""
+        if self.hooks is None:
+            return None
+        hooks = self.hooks
+        layer_index = self.layer_index
+        step = self._step
+        num_heads = self.num_heads
+        head_dim = self.head_dim
+
+        def hook_with_ctx(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+            ctx = GemmContext(
+                op=op,
+                a=a,
+                b=b,
+                layer_index=layer_index,
+                step=step,
+                num_heads=num_heads,
+                head_dim=head_dim,
+                seq_len=out.shape[-2],
+                bias=bias,
+            )
+            return hooks.on_gemm_output(ctx, out)
+
+        return hook_with_ctx
+
+    def _instrumented_matmul(
+        self,
+        a: ag.Tensor,
+        b: ag.Tensor,
+        op: AttentionOp,
+        bias: Optional[np.ndarray] = None,
+    ) -> ag.Tensor:
+        """Matmul whose raw output is routed through the hooks."""
+        hook_with_ctx = self._gemm_hook(op, bias=bias)
+        if hook_with_ctx is None:
+            return ag.matmul(a, b, name=op.output_matrix)
+        a_data, b_data = a.data, b.data
+        return ag.matmul(
+            a,
+            b,
+            forward_hook=lambda out: hook_with_ctx(a_data, b_data, out),
+            name=op.output_matrix,
+        )
+
+    # -- masking ----------------------------------------------------------------
+
+    def build_mask(self, seq_len: int, attention_mask: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """Combine padding, causal and local-window masks into one additive mask.
+
+        Masked positions receive a large negative value (-1e9) rather than
+        -inf so a fully-masked row degrades gracefully instead of producing
+        spurious NaN that would contaminate the fault-propagation study.
+        """
+        mask = None
+        if self.causal:
+            causal = np.triu(np.full((seq_len, seq_len), -1e9), k=1)
+            if self.local_window is not None and self.local_window < seq_len:
+                too_far = np.tril(np.full((seq_len, seq_len), -1e9), k=-self.local_window)
+                causal = causal + too_far
+            mask = causal[None, None, :, :]
+        if attention_mask is not None:
+            pad = np.asarray(attention_mask, dtype=np.float64)
+            # attention_mask is (B, S) with 1 = attend, 0 = padding.
+            pad = (1.0 - pad)[:, None, None, :] * -1e9
+            mask = pad if mask is None else mask + pad
+        return mask
+
+    # -- forward -----------------------------------------------------------------
+
+    def forward(self, x: ag.Tensor, attention_mask: Optional[np.ndarray] = None) -> ag.Tensor:
+        """Run multi-head self-attention on ``x`` of shape ``(B, S, D)``."""
+        hooks = self.hooks
+        self._step += 1
+        step = self._step
+        if hooks is not None:
+            hooks.on_attention_start(self.layer_index, step)
+
+        batch, seq_len, _ = x.shape
+
+        bias_q = self.w_q.bias.data if self.w_q.bias is not None else None
+        bias_k = self.w_k.bias.data if self.w_k.bias is not None else None
+        bias_v = self.w_v.bias.data if self.w_v.bias is not None else None
+        bias_o = self.w_o.bias.data if self.w_o.bias is not None else None
+
+        q_proj = self._instrumented_matmul(x, self.w_q.weight, AttentionOp.XQ, bias=bias_q)
+        k_proj = self._instrumented_matmul(x, self.w_k.weight, AttentionOp.XK, bias=bias_k)
+        v_proj = self._instrumented_matmul(x, self.w_v.weight, AttentionOp.XV, bias=bias_v)
+        if self.w_q.bias is not None:
+            q_proj = ag.add(q_proj, self.w_q.bias)
+        if self.w_k.bias is not None:
+            k_proj = ag.add(k_proj, self.w_k.bias)
+        if self.w_v.bias is not None:
+            v_proj = ag.add(v_proj, self.w_v.bias)
+
+        q = ag.split_heads(q_proj, self.num_heads)  # (B, H, S, dh)
+        k = ag.split_heads(k_proj, self.num_heads)
+        v = ag.split_heads(v_proj, self.num_heads)
+
+        k_t = ag.transpose(k, (0, 1, 3, 2))
+        attention_scores = self._instrumented_matmul(q, k_t, AttentionOp.QK)
+
+        scaled = ag.mul(attention_scores, self.scale)
+        mask = self.build_mask(seq_len, attention_mask)
+        if mask is not None:
+            scaled = ag.add(scaled, mask)
+
+        attention_probs = ag.softmax(scaled, axis=-1)
+        if hooks is not None:
+            hooks.on_matrix("AP", attention_probs.data, self.layer_index, step)
+        attention_probs = self.attn_dropout(attention_probs)
+
+        context = self._instrumented_matmul(attention_probs, v, AttentionOp.APV)
+        context_merged = ag.merge_heads(context)
+        if hooks is not None:
+            hooks.on_matrix("CL_merged", context_merged.data, self.layer_index, step)
+
+        output = self._instrumented_matmul(context_merged, self.w_o.weight, AttentionOp.CLO, bias=bias_o)
+        if self.w_o.bias is not None:
+            output = ag.add(output, self.w_o.bias)
+        output = self.out_dropout(output)
+
+        if hooks is not None:
+            hooks.on_attention_end(self.layer_index, step)
+        return output

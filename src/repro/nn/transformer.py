@@ -1,0 +1,103 @@
+"""Transformer building blocks: feed-forward network and full layers.
+
+Two residual arrangements are supported, covering the four LLM families the
+paper evaluates:
+
+* ``post_ln`` (BERT / RoBERTa): ``LN(x + SubLayer(x))``
+* ``pre_ln``  (GPT-2 / GPT-Neo): ``x + SubLayer(LN(x))``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.attention import AttentionHooks, MultiHeadAttention
+from repro.nn.layers import Dropout, GELUActivation, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.tensor import autograd as ag
+
+__all__ = ["FeedForward", "TransformerLayer"]
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network (Linear -> GELU -> Linear)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        intermediate_size: int,
+        dropout_p: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.fc_in = Linear(hidden_size, intermediate_size, rng=rng)
+        self.act = GELUActivation()
+        self.fc_out = Linear(intermediate_size, hidden_size, rng=rng)
+        self.dropout = Dropout(dropout_p, rng=rng)
+
+    def forward(self, x: ag.Tensor) -> ag.Tensor:
+        return self.dropout(self.fc_out(self.act(self.fc_in(x))))
+
+
+class TransformerLayer(Module):
+    """One transformer layer: attention + feed-forward with residuals.
+
+    Parameters
+    ----------
+    norm_style:
+        ``"post_ln"`` (BERT-like) or ``"pre_ln"`` (GPT-like).
+    causal / local_window:
+        Forwarded to :class:`MultiHeadAttention`.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        intermediate_size: int,
+        dropout_p: float = 0.0,
+        norm_style: str = "post_ln",
+        causal: bool = False,
+        local_window: Optional[int] = None,
+        layer_index: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if norm_style not in ("post_ln", "pre_ln"):
+            raise ValueError(f"unknown norm_style {norm_style!r}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.norm_style = norm_style
+        self.attention = MultiHeadAttention(
+            hidden_size,
+            num_heads,
+            dropout_p=dropout_p,
+            layer_index=layer_index,
+            causal=causal,
+            local_window=local_window,
+            rng=rng,
+        )
+        self.attn_norm = LayerNorm(hidden_size)
+        self.ffn = FeedForward(hidden_size, intermediate_size, dropout_p=dropout_p, rng=rng)
+        self.ffn_norm = LayerNorm(hidden_size)
+        self.dropout = Dropout(dropout_p, rng=rng)
+
+    def set_hooks(self, hooks: Optional[AttentionHooks]) -> None:
+        """Attach attention instrumentation hooks to this layer."""
+        self.attention.set_hooks(hooks)
+
+    def forward(self, x: ag.Tensor, attention_mask: Optional[np.ndarray] = None) -> ag.Tensor:
+        if self.norm_style == "post_ln":
+            attn_out = self.attention(x, attention_mask=attention_mask)
+            x = self.attn_norm(ag.add(x, self.dropout(attn_out)))
+            ffn_out = self.ffn(x)
+            x = self.ffn_norm(ag.add(x, ffn_out))
+            return x
+        # pre-LN (GPT-2 / GPT-Neo)
+        attn_out = self.attention(self.attn_norm(x), attention_mask=attention_mask)
+        x = ag.add(x, self.dropout(attn_out))
+        ffn_out = self.ffn(self.ffn_norm(x))
+        x = ag.add(x, ffn_out)
+        return x

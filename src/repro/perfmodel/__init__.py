@@ -1,0 +1,62 @@
+"""Analytical GPU performance model (the substitute for the A100 testbed).
+
+The paper's overhead and scalability results (Figures 7–12) are wall-clock
+measurements on NVIDIA A100 GPUs with CUDA kernels.  This reproduction has no
+GPU, so those experiments are regenerated from an explicit roofline-style
+cost model:
+
+* :mod:`repro.perfmodel.gpu` — device specification (peak FLOP/s, HBM
+  bandwidth, kernel-launch overhead) and the roofline timing rule;
+* :mod:`repro.perfmodel.kernels` — cost models of the kernels involved:
+  cuBLAS-style GEMMs, the custom checksum-encoding kernel vs. the
+  cuBLAS-strided-batched alternative, fused vs. non-fused checksum updates,
+  detection/correction kernels;
+* :mod:`repro.perfmodel.attention_cost` — attention-block and ABFT times per
+  model (Figures 7 and 8);
+* :mod:`repro.perfmodel.training_cost` — whole-training-step times
+  (Figures 7, 8, 10);
+* :mod:`repro.perfmodel.encoder_throughput` — checksum-encoding throughput
+  sweep (Figure 9);
+* :mod:`repro.perfmodel.recovery` — checkpoint/restore vs. ABFT recovery
+  overhead (Figure 11, Section 5.5);
+* :mod:`repro.perfmodel.scale` — multi-billion-parameter data-parallel
+  training on 1024 GPUs (Figure 12).
+
+Absolute times are not expected to match the authors' testbed; the model is
+calibrated so the *shape* of every figure (who wins, by what factor, how the
+trend moves with batch size / error rate / model size) is preserved.  Every
+constant is documented where it is defined.
+"""
+
+from repro.perfmodel.gpu import A100_SPEC, GPUSpec, KernelLaunch, roofline_time
+from repro.perfmodel.kernels import (
+    KernelCostModel,
+    gemm_time,
+    checksum_encode_time_custom,
+    checksum_encode_time_cublas,
+)
+from repro.perfmodel.attention_cost import AttentionCostModel, ABFTOverheadBreakdown
+from repro.perfmodel.training_cost import TrainingStepCostModel
+from repro.perfmodel.encoder_throughput import EncoderThroughputModel, EncoderThroughputPoint
+from repro.perfmodel.recovery import RecoveryCostModel, RecoveryComparison
+from repro.perfmodel.scale import MultiGPUScaleModel, ScalePoint
+
+__all__ = [
+    "GPUSpec",
+    "A100_SPEC",
+    "KernelLaunch",
+    "roofline_time",
+    "KernelCostModel",
+    "gemm_time",
+    "checksum_encode_time_custom",
+    "checksum_encode_time_cublas",
+    "AttentionCostModel",
+    "ABFTOverheadBreakdown",
+    "TrainingStepCostModel",
+    "EncoderThroughputModel",
+    "EncoderThroughputPoint",
+    "RecoveryCostModel",
+    "RecoveryComparison",
+    "MultiGPUScaleModel",
+    "ScalePoint",
+]

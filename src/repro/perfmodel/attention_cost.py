@@ -1,0 +1,204 @@
+"""Attention-block and ABFT cost model (Figures 7 and 8).
+
+For one attention layer the model prices:
+
+* the six protected GEMMs (cuBLAS efficiencies by shape),
+* the softmax, masking, dropout and head-permute traffic (bandwidth bound),
+* the ABFT work of the three protection sections, in two variants:
+
+  - **optimised** (the paper's ATTNChecker): custom coalesced encoding kernel,
+    checksum updates fused into the operand GEMMs (no extra kernel launches,
+    negligible extra FLOPs), detection kernels that stream the boundary
+    matrix once;
+  - **non-optimised** ("Non-OPT" in Figure 8): encoding through cuBLAS
+    strided-batched GEMMs (<10 % of bandwidth), every checksum update and
+    detection issued as its own kernel with an extra pass over the operand.
+
+Backward-pass cost is approximated as twice the forward cost (the standard
+2x-FLOPs rule for dense layers), so a protected training step pays the ABFT
+detection path once per forward execution, as in the paper's integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.core.sections import PROTECTION_SECTIONS
+from repro.models.config import ModelConfig
+from repro.perfmodel.gpu import A100_SPEC, GPUSpec
+from repro.perfmodel.kernels import KernelCostModel
+
+__all__ = ["ABFTOverheadBreakdown", "AttentionCostModel"]
+
+#: Forward + backward cost multiplier for a training step.
+BACKWARD_MULTIPLIER = 3.0
+
+
+@dataclass
+class ABFTOverheadBreakdown:
+    """Per-section ABFT time (seconds) for one attention layer forward pass."""
+
+    encode: Dict[str, float] = field(default_factory=dict)
+    update: Dict[str, float] = field(default_factory=dict)
+    detect: Dict[str, float] = field(default_factory=dict)
+
+    def section_total(self, name: str) -> float:
+        return self.encode.get(name, 0.0) + self.update.get(name, 0.0) + self.detect.get(name, 0.0)
+
+    def total(self, frequencies: Optional[Mapping[str, float]] = None) -> float:
+        """Total ABFT time, optionally weighted by per-section frequencies."""
+        total = 0.0
+        for name in PROTECTION_SECTIONS:
+            f = 1.0 if frequencies is None else float(frequencies.get(name, 0.0))
+            total += f * self.section_total(name)
+        return total
+
+
+class AttentionCostModel:
+    """Time model of one protected attention layer.
+
+    Parameters
+    ----------
+    config:
+        Model architecture (use the ``paper``-size configs for Figures 7-12).
+    batch_size, seq_len:
+        Workload geometry.
+    gpu, element_size:
+        Device and numeric precision (fp32 = 4 bytes, as the paper trains).
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        batch_size: int,
+        seq_len: Optional[int] = None,
+        gpu: GPUSpec = A100_SPEC,
+        element_size: int = 4,
+    ) -> None:
+        self.config = config
+        self.batch_size = batch_size
+        self.seq_len = seq_len if seq_len is not None else config.max_seq_len
+        self.kernels = KernelCostModel(gpu=gpu, element_size=element_size)
+        self.element_size = element_size
+
+    # -- unprotected attention ---------------------------------------------------------
+
+    def attention_forward_time(self) -> float:
+        """Forward time of one attention layer (seconds), no ABFT."""
+        b, s = self.batch_size, self.seq_len
+        d, h, dh = self.config.hidden_size, self.config.num_heads, self.config.head_dim
+        k = self.kernels
+
+        time = 0.0
+        # Projections X W_Q / X W_K / X W_V and the output projection CL W_O.
+        time += 4 * k.gemm(b * s, d, d)
+        # Per-head score and context GEMMs.
+        time += k.gemm(s, s, dh, batch=b * h)
+        time += k.gemm(s, dh, s, batch=b * h)
+        # Softmax over AS (read + write + reduction traffic) and scaling/mask.
+        time += k.elementwise(b * h * s * s, passes=3.0, flops_per_element=7.0)
+        # Attention dropout on AP.
+        time += k.elementwise(b * h * s * s, passes=2.0, flops_per_element=1.0)
+        # Head split / merge permutes (PyTorch materialises these copies).
+        time += 2 * k.elementwise(b * s * d, passes=2.0, flops_per_element=0.0)
+        # Bias additions on the four projections.
+        time += k.elementwise(4 * b * s * d, passes=2.0, flops_per_element=1.0)
+        return time
+
+    def attention_step_time(self) -> float:
+        """Forward + backward time of one attention layer in training."""
+        return BACKWARD_MULTIPLIER * self.attention_forward_time()
+
+    # -- ABFT work -----------------------------------------------------------------------
+
+    def abft_breakdown(self, optimized: bool = True) -> ABFTOverheadBreakdown:
+        """ABFT time per section and phase for one forward execution."""
+        b, s = self.batch_size, self.seq_len
+        d, h, dh = self.config.hidden_size, self.config.num_heads, self.config.head_dim
+        k = self.kernels
+        breakdown = ABFTOverheadBreakdown()
+
+        # ---- encoding -----------------------------------------------------------------
+        x_elements = b * s * d            # column checksums of X  (section AS)
+        ap_elements = b * h * s * s       # column checksums of AP (section CL)
+        wv_elements = d * d               # per-head row checksums of W_V (section CL)
+        if optimized:
+            breakdown.encode["AS"] = k.encode_custom(x_elements)
+            breakdown.encode["CL"] = k.encode_custom(ap_elements) + k.encode_custom(wv_elements)
+        else:
+            breakdown.encode["AS"] = k.encode_cublas(x_elements, num_blocks=b)
+            breakdown.encode["CL"] = k.encode_cublas(ap_elements, num_blocks=b * h) + k.encode_cublas(
+                wv_elements, num_blocks=h
+            )
+        breakdown.encode["O"] = 0.0  # S_O reuses the checksums carried from S_CL.
+
+        # ---- checksum updates ----------------------------------------------------------
+        # Update GEMM shapes: (2 x D)(D x D) twice, (2 x dh)(dh x S) and
+        # (S x dh)(dh x 2) per head for AS; (2 x S)(S x dh) and (S x S)(S x 2)
+        # per head for CL; (2 x D)(D x D) for O.
+        def update_time(shapes, fused: bool) -> float:
+            total = 0.0
+            for (m, n, kk, batch) in shapes:
+                if fused:
+                    # Folded into the operand GEMM: only the extra FLOPs count,
+                    # at the same efficiency, with no additional launch.
+                    extra_flops = 2.0 * m * n * kk * batch
+                    total += extra_flops / (self.kernels.gpu.peak_flops * 0.5)
+                else:
+                    total += k.gemm(m, n, kk, batch=batch)
+            return total
+
+        as_updates = [(2, d, d, b), (2, d, d, b), (2, s, dh, b * h), (s, 2, dh, b * h)]
+        cl_updates = [(s, 2, d, b), (2, dh, s, b * h), (s, 2, s, b * h)]
+        o_updates = [(2, d, d, b)]
+        breakdown.update["AS"] = update_time(as_updates, fused=optimized)
+        breakdown.update["CL"] = update_time(cl_updates, fused=optimized)
+        breakdown.update["O"] = update_time(o_updates, fused=optimized)
+
+        # ---- detection -------------------------------------------------------------------
+        as_elements = b * h * s * s
+        cl_elements = b * h * s * dh
+        o_elements = b * s * d
+        if optimized:
+            # One streaming pass over the boundary matrix, fused col+row sums.
+            breakdown.detect["AS"] = k.elementwise(as_elements, passes=1.0, flops_per_element=4.0)
+            breakdown.detect["CL"] = k.elementwise(cl_elements, passes=1.0, flops_per_element=4.0)
+            breakdown.detect["O"] = k.elementwise(o_elements, passes=1.0, flops_per_element=2.0)
+        else:
+            # Separate kernels per checksum side, each re-reading the matrix.
+            breakdown.detect["AS"] = k.elementwise(as_elements, passes=2.0, flops_per_element=4.0, launches=4)
+            breakdown.detect["CL"] = k.elementwise(cl_elements, passes=2.0, flops_per_element=4.0, launches=4)
+            breakdown.detect["O"] = k.elementwise(o_elements, passes=2.0, flops_per_element=2.0, launches=2)
+        return breakdown
+
+    def abft_time(self, optimized: bool = True, frequencies: Optional[Mapping[str, float]] = None) -> float:
+        """Total ABFT time added to one forward execution of the layer."""
+        return self.abft_breakdown(optimized=optimized).total(frequencies)
+
+    # -- overheads --------------------------------------------------------------------------
+
+    def attention_overhead(
+        self, optimized: bool = True, frequencies: Optional[Mapping[str, float]] = None
+    ) -> float:
+        """ABFT overhead relative to the attention block in training (Figure 7/8 left)."""
+        return self.abft_time(optimized=optimized, frequencies=frequencies) / self.attention_step_time()
+
+    def correction_time(self, pattern: str = "0D") -> float:
+        """Worst-case correction kernel time for one fault (Section 5.5).
+
+        ``"0D"`` repairs one element per boundary vector of one section;
+        ``"1D"`` repairs a whole propagated row/column; ``"O"`` repairs the
+        merged output matrix, which is larger.
+        """
+        b, s = self.batch_size, self.seq_len
+        d, h, dh = self.config.hidden_size, self.config.num_heads, self.config.head_dim
+        if pattern == "0D":
+            elements = b * h * s
+        elif pattern == "1D":
+            elements = b * h * s * 2
+        elif pattern == "O":
+            elements = b * s * d
+        else:
+            raise KeyError(f"unknown correction pattern {pattern!r}")
+        return self.kernels.elementwise(elements, passes=2.0, flops_per_element=4.0, launches=2)

@@ -1,0 +1,91 @@
+"""GPU device specification and the roofline timing rule.
+
+The model deliberately stays simple — three device parameters plus a
+per-kernel efficiency factor — because the quantities the paper reports are
+*ratios* (protected vs. unprotected time, optimised vs. non-optimised
+kernels), which a roofline captures well:
+
+``time(kernel) = launch_overhead
+               + max(flops / (peak_flops * compute_eff),
+                     bytes / (peak_bandwidth * bandwidth_eff))``
+
+Compute-bound kernels (the attention GEMMs) sit on the first branch,
+bandwidth-bound kernels (checksum encoding, detection scans, softmax) on the
+second; tiny kernels are dominated by the launch overhead, which is exactly
+why the paper fuses checksum updates into the operand GEMMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "A100_SPEC", "KernelLaunch", "roofline_time"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Device capability description.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (informational).
+    peak_flops:
+        Peak throughput in FLOP/s for the arithmetic the workload uses.  The
+        paper trains in single precision on A100 (19.5 TFLOP/s FP32 via CUDA
+        cores; TF32 tensor cores reach 156 TFLOP/s — cuBLAS uses TF32 for the
+        large GEMMs, so that is the default here).
+    memory_bandwidth:
+        Peak HBM bandwidth in bytes/s (A100-80GB: 2.0 TB/s, the dashed line of
+        Figure 9).
+    kernel_launch_overhead:
+        Fixed per-kernel-launch latency in seconds (~5 microseconds is the
+        commonly measured figure for CUDA kernel launches).
+    memory_capacity:
+        Device memory in bytes (for feasibility checks in the scale model).
+    interconnect_bandwidth:
+        Per-GPU all-reduce bandwidth in bytes/s (NVLink/NVSwitch class).
+    """
+
+    name: str = "A100-80GB"
+    peak_flops: float = 156e12
+    memory_bandwidth: float = 2.0e12
+    kernel_launch_overhead: float = 5e-6
+    memory_capacity: float = 80e9
+    interconnect_bandwidth: float = 300e9
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise ValueError("peak_flops and memory_bandwidth must be positive")
+        if self.kernel_launch_overhead < 0:
+            raise ValueError("kernel_launch_overhead cannot be negative")
+
+
+#: Default device: NVIDIA A100 80 GB (the paper's evaluation platform).
+A100_SPEC = GPUSpec()
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel invocation described by its work and achievable efficiency."""
+
+    flops: float = 0.0
+    bytes: float = 0.0
+    compute_efficiency: float = 0.8
+    bandwidth_efficiency: float = 0.8
+    launches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes < 0:
+            raise ValueError("work cannot be negative")
+        if not 0 < self.compute_efficiency <= 1 or not 0 < self.bandwidth_efficiency <= 1:
+            raise ValueError("efficiencies must lie in (0, 1]")
+        if self.launches < 0:
+            raise ValueError("launches cannot be negative")
+
+
+def roofline_time(launch: KernelLaunch, gpu: GPUSpec = A100_SPEC) -> float:
+    """Execution time of one kernel under the roofline model (seconds)."""
+    compute_time = launch.flops / (gpu.peak_flops * launch.compute_efficiency) if launch.flops else 0.0
+    memory_time = launch.bytes / (gpu.memory_bandwidth * launch.bandwidth_efficiency) if launch.bytes else 0.0
+    return launch.launches * gpu.kernel_launch_overhead + max(compute_time, memory_time)

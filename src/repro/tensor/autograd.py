@@ -1,0 +1,598 @@
+"""A small reverse-mode automatic differentiation engine on NumPy.
+
+The engine provides everything the transformer models in :mod:`repro.models`
+need — and nothing more:
+
+* :class:`Tensor` wraps an ``ndarray`` and records the operation that produced
+  it (its parents plus a backward closure).
+* :func:`Tensor.backward` runs a topological sort of the recorded DAG and
+  accumulates gradients into every tensor with ``requires_grad=True``.
+* A library of differentiable operations (GEMM, softmax, GELU, layer norm,
+  embedding lookup, dropout, reshaping) built on the pure kernels in
+  :mod:`repro.tensor.ops`.
+
+ABFT / fault-injection integration
+----------------------------------
+:func:`matmul` accepts a ``forward_hook``: a callable receiving the raw GEMM
+output array and returning the (possibly modified) array to use as the
+operation result.  The backward pass of a matrix multiplication does not
+depend on its output, so hooks may freely corrupt (fault injection) and repair
+(ABFT correction) the forward value without invalidating gradients — this
+mirrors how the paper instruments the CUDA GEMMs at the operation boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor import ops
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "matmul",
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "relu",
+    "tanh",
+    "layer_norm",
+    "dropout",
+    "embedding",
+    "reshape",
+    "transpose",
+    "concat",
+    "split_heads",
+    "merge_heads",
+    "sum",
+    "mean",
+    "cross_entropy_loss",
+]
+
+ArrayLike = Union[float, int, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+class Tensor:
+    """An ``ndarray`` with an autograd tape.
+
+    Parameters
+    ----------
+    data:
+        Array data (copied to ``float64`` unless already floating).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    parents:
+        The tensors this one was computed from (internal).
+    backward_fn:
+        Closure mapping the output gradient to a tuple of parent gradients
+        (internal).
+    name:
+        Optional human-readable tag used in error messages and by the fault
+        tracer to identify matrices (e.g. ``"Q"``, ``"AS"``).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Optional[Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: Tuple[Tensor, ...] = tuple(parents)
+        self._backward_fn = backward_fn
+        self.name = name
+
+    # -- basic protocol -----------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{tag})"
+
+    # -- graph construction helpers ------------------------------------------
+
+    @staticmethod
+    def _wrap(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(np.asarray(value, dtype=np.float64))
+
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]],
+        name: Optional[str] = None,
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data, requires_grad=False, name=name)
+        return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn, name=name)
+
+    # -- operators -----------------------------------------------------------
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return sub(Tensor._wrap(other), self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return div(Tensor._wrap(other), self)
+
+    def __neg__(self) -> "Tensor":
+        return mul(self, -1.0)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return matmul(self, other)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        return reshape(self, shape)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        return transpose(self, axes if axes else None)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return mean(self, axis=axis, keepdims=keepdims)
+
+    # -- backward ------------------------------------------------------------
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones (appropriate for scalar losses).  Gradients
+        accumulate (+=) into every reachable tensor with
+        ``requires_grad=True``, matching the PyTorch convention so gradient
+        accumulation across micro-batches works naturally.
+        """
+        if grad is None:
+            grad = np.ones_like(self.data, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype if np.issubdtype(self.data.dtype, np.floating) else np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+            )
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def build(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                build(parent)
+            topo.append(node)
+
+        build(self)
+
+        grads = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward_fn is None:
+                # Leaf tensor: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+
+def tensor(
+    data: ArrayLike, requires_grad: bool = False, name: Optional[str] = None
+) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise binary operations
+# ---------------------------------------------------------------------------
+
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise addition with broadcasting."""
+    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    out = a.data + b.data
+
+    def backward(grad: np.ndarray):
+        return ops.unbroadcast(grad, a.shape), ops.unbroadcast(grad, b.shape)
+
+    return a._make_child(out, (a, b), backward)
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise subtraction with broadcasting."""
+    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    out = a.data - b.data
+
+    def backward(grad: np.ndarray):
+        return ops.unbroadcast(grad, a.shape), ops.unbroadcast(-grad, b.shape)
+
+    return a._make_child(out, (a, b), backward)
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise multiplication with broadcasting."""
+    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    out = a.data * b.data
+
+    def backward(grad: np.ndarray):
+        return (
+            ops.unbroadcast(grad * b.data, a.shape),
+            ops.unbroadcast(grad * a.data, b.shape),
+        )
+
+    return a._make_child(out, (a, b), backward)
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise division with broadcasting."""
+    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    out = a.data / b.data
+
+    def backward(grad: np.ndarray):
+        return (
+            ops.unbroadcast(grad / b.data, a.shape),
+            ops.unbroadcast(-grad * a.data / (b.data**2), b.shape),
+        )
+
+    return a._make_child(out, (a, b), backward)
+
+
+# ---------------------------------------------------------------------------
+# GEMM
+# ---------------------------------------------------------------------------
+
+def matmul(
+    a: ArrayLike,
+    b: ArrayLike,
+    forward_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    name: Optional[str] = None,
+) -> Tensor:
+    """Batched matrix multiplication ``a @ b`` with an optional forward hook.
+
+    The hook receives the raw output array and must return the array to use
+    as the operation's forward value.  Fault injectors corrupt the output
+    here, and the ABFT executor detects/corrects it here — both without
+    touching gradient computation, because the matmul backward only needs the
+    *inputs*.
+    """
+    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    out = ops.batched_matmul(a.data, b.data)
+    if forward_hook is not None:
+        out = forward_hook(out)
+
+    def backward(grad: np.ndarray):
+        return ops.matmul_backward(grad, a.data, b.data)
+
+    return a._make_child(out, (a, b), backward, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Softmax family
+# ---------------------------------------------------------------------------
+
+def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    """Differentiable softmax along ``axis``."""
+    x = Tensor._wrap(x)
+    out = ops.softmax(x.data, axis=axis)
+
+    def backward(grad: np.ndarray):
+        return (ops.softmax_backward(grad, out, axis=axis),)
+
+    return x._make_child(out, (x,), backward)
+
+
+def log_softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    """Differentiable log-softmax along ``axis``."""
+    x = Tensor._wrap(x)
+    out = ops.log_softmax(x.data, axis=axis)
+
+    def backward(grad: np.ndarray):
+        return (ops.log_softmax_backward(grad, out, axis=axis),)
+
+    return x._make_child(out, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+def gelu(x: ArrayLike) -> Tensor:
+    """Differentiable GELU (tanh approximation)."""
+    x = Tensor._wrap(x)
+    out = ops.gelu(x.data)
+
+    def backward(grad: np.ndarray):
+        return (ops.gelu_backward(grad, x.data),)
+
+    return x._make_child(out, (x,), backward)
+
+
+def relu(x: ArrayLike) -> Tensor:
+    """Differentiable ReLU."""
+    x = Tensor._wrap(x)
+    out = ops.relu(x.data)
+
+    def backward(grad: np.ndarray):
+        return (ops.relu_backward(grad, x.data),)
+
+    return x._make_child(out, (x,), backward)
+
+
+def tanh(x: ArrayLike) -> Tensor:
+    """Differentiable tanh."""
+    x = Tensor._wrap(x)
+    out = ops.tanh(x.data)
+
+    def backward(grad: np.ndarray):
+        return (ops.tanh_backward(grad, out),)
+
+    return x._make_child(out, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Normalisation / regularisation
+# ---------------------------------------------------------------------------
+
+def layer_norm(x: ArrayLike, gamma: ArrayLike, beta: ArrayLike, eps: float = 1e-5) -> Tensor:
+    """Differentiable layer normalisation over the last axis."""
+    x, gamma, beta = Tensor._wrap(x), Tensor._wrap(gamma), Tensor._wrap(beta)
+    out, x_hat, inv_std = ops.layer_norm(x.data, gamma.data, beta.data, eps=eps)
+
+    def backward(grad: np.ndarray):
+        dx, dgamma, dbeta = ops.layer_norm_backward(grad, x_hat, inv_std, gamma.data)
+        return dx, dgamma, dbeta
+
+    return x._make_child(out, (x, gamma, beta), backward)
+
+
+def dropout(x: ArrayLike, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Differentiable inverted dropout.
+
+    In eval mode (``training=False``) or with ``p == 0`` this is the identity.
+    """
+    x = Tensor._wrap(x)
+    if not training or p == 0.0:
+        return x
+    mask = ops.dropout_mask(x.shape, p, rng)
+    out = x.data * mask
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return x._make_child(out, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Embedding lookup
+# ---------------------------------------------------------------------------
+
+def embedding(weight: ArrayLike, indices: np.ndarray) -> Tensor:
+    """Differentiable embedding lookup ``weight[indices]``.
+
+    ``indices`` is a plain integer array (no gradient flows into it); the
+    gradient w.r.t. ``weight`` scatters the output gradient back to the
+    looked-up rows.
+    """
+    weight = Tensor._wrap(weight)
+    idx = np.asarray(indices)
+    out = weight.data[idx]
+
+    def backward(grad: np.ndarray):
+        dw = np.zeros_like(weight.data)
+        np.add.at(dw, idx.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
+        return (dw,)
+
+    return weight._make_child(out, (weight,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+
+def reshape(x: ArrayLike, shape: Sequence[int]) -> Tensor:
+    """Differentiable reshape."""
+    x = Tensor._wrap(x)
+    original = x.shape
+    out = x.data.reshape(shape)
+
+    def backward(grad: np.ndarray):
+        return (grad.reshape(original),)
+
+    return x._make_child(out, (x,), backward)
+
+
+def transpose(x: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Differentiable transpose / axis permutation."""
+    x = Tensor._wrap(x)
+    out = np.transpose(x.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad: np.ndarray):
+        return (np.transpose(grad, inverse),)
+
+    return x._make_child(out, (x,), backward)
+
+
+def concat(tensors: Iterable[ArrayLike], axis: int = -1) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    wrapped = [Tensor._wrap(t) for t in tensors]
+    datas = [t.data for t in wrapped]
+    out = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray):
+        pieces = []
+        for i in range(len(datas)):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            pieces.append(grad[tuple(slicer)])
+        return tuple(pieces)
+
+    return wrapped[0]._make_child(out, tuple(wrapped), backward)
+
+
+def split_heads(x: ArrayLike, num_heads: int) -> Tensor:
+    """Reshape ``(B, S, D)`` into ``(B, H, S, D/H)`` for multi-head attention."""
+    x = Tensor._wrap(x)
+    b, s, d = x.shape
+    if d % num_heads:
+        raise ValueError(f"hidden size {d} not divisible by num_heads {num_heads}")
+    return transpose(reshape(x, (b, s, num_heads, d // num_heads)), (0, 2, 1, 3))
+
+
+def merge_heads(x: ArrayLike) -> Tensor:
+    """Inverse of :func:`split_heads`: ``(B, H, S, Dh)`` back to ``(B, S, H*Dh)``."""
+    x = Tensor._wrap(x)
+    b, h, s, dh = x.shape
+    return reshape(transpose(x, (0, 2, 1, 3)), (b, s, h * dh))
+
+
+# ---------------------------------------------------------------------------
+# Reductions / losses
+# ---------------------------------------------------------------------------
+
+def sum(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    """Differentiable sum reduction."""
+    x = Tensor._wrap(x)
+    out = x.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, x.shape).copy(),)
+
+    return x._make_child(np.asarray(out), (x,), backward)
+
+
+def mean(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    """Differentiable mean reduction."""
+    x = Tensor._wrap(x)
+    out = x.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = x.data.size
+    else:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        count = int(np.prod([x.shape[a] for a in axes]))
+
+    def backward(grad: np.ndarray):
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, x.shape).copy() / count,)
+
+    return x._make_child(np.asarray(out), (x,), backward)
+
+
+def cross_entropy_loss(logits: ArrayLike, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy loss of ``logits`` (N, C) against int ``labels`` (N,).
+
+    Implemented as a fused op (softmax + NLL) with the classic analytic
+    gradient ``(softmax - onehot)/N`` for numerical stability.
+    """
+    logits = Tensor._wrap(logits)
+    labels = np.asarray(labels)
+    loss_value = ops.cross_entropy(logits.data, labels)
+
+    def backward(grad: np.ndarray):
+        g = float(np.asarray(grad))
+        return (g * ops.cross_entropy_backward(logits.data, labels),)
+
+    return logits._make_child(np.asarray(loss_value), (logits,), backward, name="loss")

@@ -1,0 +1,58 @@
+"""Parameter initialisers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so the model
+zoo produces identical weights for identical seeds — a requirement for the
+fault-injection campaigns, which compare faulty and fault-free runs of the
+*same* model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "normal_init", "zeros_init", "fan_in_out"]
+
+
+def fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight of the given shape.
+
+    For 2-D weights this is simply ``(rows, cols)``; higher-rank weights
+    treat the leading axes as receptive field.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) < 1:
+        raise ValueError("weight must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+    fan_in = shape[-2] * receptive
+    fan_out = shape[-1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = fan_in_out(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=tuple(shape))
+
+
+def kaiming_uniform(shape: Sequence[int], rng: np.random.Generator, a: float = np.sqrt(5)) -> np.ndarray:
+    """Kaiming/He uniform initialisation (PyTorch ``Linear`` default)."""
+    fan_in, _ = fan_in_out(shape)
+    gain = np.sqrt(2.0 / (1.0 + a**2))
+    std = gain / np.sqrt(fan_in)
+    bound = np.sqrt(3.0) * std
+    return rng.uniform(-bound, bound, size=tuple(shape))
+
+
+def normal_init(shape: Sequence[int], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal initialisation (BERT/GPT-2 style, std=0.02)."""
+    return rng.normal(0.0, std, size=tuple(shape))
+
+
+def zeros_init(shape: Sequence[int]) -> np.ndarray:
+    """All-zeros initialisation (biases, layer-norm beta)."""
+    return np.zeros(tuple(shape), dtype=np.float64)

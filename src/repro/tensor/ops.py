@@ -1,0 +1,255 @@
+"""Stateless vectorised array kernels and their analytical gradients.
+
+Every function here is a *pure* NumPy function: no global state, no autograd
+bookkeeping.  The autograd engine (:mod:`repro.tensor.autograd`) composes
+these kernels into differentiable operations; the fault-injection and ABFT
+machinery calls them directly on raw arrays.
+
+Following the HPC-Python guides, every kernel is expressed with broadcasting
+and whole-array operations — there are no Python-level loops over matrix
+elements anywhere in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "batched_matmul",
+    "matmul_backward",
+    "softmax",
+    "softmax_backward",
+    "log_softmax",
+    "log_softmax_backward",
+    "gelu",
+    "gelu_backward",
+    "relu",
+    "relu_backward",
+    "tanh",
+    "tanh_backward",
+    "layer_norm",
+    "layer_norm_backward",
+    "dropout_mask",
+    "cross_entropy",
+    "cross_entropy_backward",
+    "one_hot",
+    "unbroadcast",
+]
+
+
+# ---------------------------------------------------------------------------
+# GEMM
+# ---------------------------------------------------------------------------
+
+def batched_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Batched matrix multiplication ``a @ b`` with NumPy broadcasting.
+
+    Shapes follow the ``numpy.matmul`` convention: the last two axes are the
+    matrix dimensions and all leading axes broadcast.  This is the single
+    kernel underlying all six GEMMs of the attention mechanism (Figure 1 of
+    the paper).
+    """
+    return np.matmul(a, b)
+
+
+def matmul_backward(
+    grad_out: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradients of ``c = a @ b`` w.r.t. ``a`` and ``b``.
+
+    ``grad_a = grad_out @ b^T`` and ``grad_b = a^T @ grad_out``; broadcasting
+    over leading batch axes is undone by summing (:func:`unbroadcast`).
+    """
+    grad_a = np.matmul(grad_out, np.swapaxes(b, -1, -2))
+    grad_b = np.matmul(np.swapaxes(a, -1, -2), grad_out)
+    return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches ``shape`` after broadcasting.
+
+    Sums over axes that were added or expanded by broadcasting.  Needed by
+    every binary operation's backward pass.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that broadcasting added.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Softmax family
+# ---------------------------------------------------------------------------
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``.
+
+    NaN inputs propagate to NaN outputs (IEEE semantics); INF inputs produce
+    the usual one-hot-at-infinity behaviour.  This matters for the error
+    propagation study: the paper's Table 2 shows INF in the attention score
+    becoming NaN after softmax (because ``inf - inf`` appears in the shifted
+    exponent), and this kernel reproduces exactly that behaviour.
+    """
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def softmax_backward(grad_out: np.ndarray, out: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward pass of softmax given its output ``out``."""
+    dot = np.sum(grad_out * out, axis=axis, keepdims=True)
+    return out * (grad_out - dot)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable ``log(softmax(x))``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def log_softmax_backward(grad_out: np.ndarray, out: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward pass of log-softmax given its output ``out`` (= log p)."""
+    softmax_out = np.exp(out)
+    return grad_out - softmax_out * np.sum(grad_out, axis=axis, keepdims=True)
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation (tanh approximation, as used by BERT/GPT-2)."""
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+
+
+def gelu_backward(grad_out: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Analytical gradient of the tanh-approximated GELU."""
+    u = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(u)
+    du_dx = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return grad_out * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * du_dx)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(grad_out: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU."""
+    return grad_out * (x > 0)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def tanh_backward(grad_out: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gradient of tanh given its output."""
+    return grad_out * (1.0 - out**2)
+
+
+# ---------------------------------------------------------------------------
+# Layer normalisation
+# ---------------------------------------------------------------------------
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Layer normalisation over the last axis.
+
+    Returns ``(out, x_hat, inv_std)`` where the last two are cached for the
+    backward pass.
+    """
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    out = gamma * x_hat + beta
+    return out, x_hat, inv_std
+
+
+def layer_norm_backward(
+    grad_out: np.ndarray,
+    x_hat: np.ndarray,
+    inv_std: np.ndarray,
+    gamma: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of layer norm w.r.t. input, gamma and beta."""
+    d = x_hat.shape[-1]
+    dgamma_axes = tuple(range(x_hat.ndim - 1))
+    dgamma = np.sum(grad_out * x_hat, axis=dgamma_axes)
+    dbeta = np.sum(grad_out, axis=dgamma_axes)
+    dxhat = grad_out * gamma
+    dx = (
+        inv_std
+        / d
+        * (
+            d * dxhat
+            - np.sum(dxhat, axis=-1, keepdims=True)
+            - x_hat * np.sum(dxhat * x_hat, axis=-1, keepdims=True)
+        )
+    )
+    return dx, dgamma, dbeta
+
+
+# ---------------------------------------------------------------------------
+# Dropout / losses / misc
+# ---------------------------------------------------------------------------
+
+def dropout_mask(
+    shape: Tuple[int, ...], p: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Inverted-dropout mask: zeros with probability ``p``, else ``1/(1-p)``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if p == 0.0:
+        return np.ones(shape, dtype=np.float64)
+    keep = rng.random(shape) >= p
+    return keep.astype(np.float64) / (1.0 - p)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer ``indices`` into ``num_classes`` columns."""
+    indices = np.asarray(indices)
+    if np.any(indices < 0) or np.any(indices >= num_classes):
+        raise ValueError("index out of range for one_hot")
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of ``logits`` (N, C) against integer ``labels`` (N,).
+
+    Returns NaN if the logits contain NaN — this is precisely the
+    "non-trainable state" signal the paper's vulnerability study keys on.
+    """
+    logp = log_softmax(logits, axis=-1)
+    n = logits.shape[0]
+    picked = logp[np.arange(n), labels]
+    return float(-np.mean(picked))
+
+
+def cross_entropy_backward(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. the logits."""
+    n = logits.shape[0]
+    p = softmax(logits, axis=-1)
+    grad = p.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return grad / n

@@ -1,0 +1,31 @@
+"""Training substrate: optimisers, LR schedules, trainer and checkpointing.
+
+The trainer exposes exactly the signals the paper's evaluation needs:
+
+* per-step loss (whose NaN-ness defines a *non-trainable state*),
+* per-step attention-block and whole-step wall-clock time (overhead studies),
+* hooks for fault-injection campaigns, and
+* a checkpoint/restore manager implementing the baseline recovery strategy
+  that Figure 11 compares ATTNChecker against.
+"""
+
+from repro.training.optimizer import SGD, AdamW, Optimizer
+from repro.training.scheduler import ConstantSchedule, LinearWarmupSchedule, LRSchedule
+from repro.training.checkpoint import CheckpointManager, CheckpointRecord
+from repro.training.metrics import TrainingMetrics, StepResult
+from repro.training.trainer import Trainer, TrainerConfig
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "AdamW",
+    "LRSchedule",
+    "ConstantSchedule",
+    "LinearWarmupSchedule",
+    "CheckpointManager",
+    "CheckpointRecord",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingMetrics",
+    "StepResult",
+]

@@ -1,0 +1,149 @@
+"""Optimisers: SGD (with momentum) and AdamW.
+
+AdamW is the optimiser used for the GLUE fine-tuning runs the paper evaluates;
+SGD is provided for the unit tests and as a cheaper baseline.  Both operate on
+the :class:`repro.nn.Parameter` leaves of a model and keep their state in plain
+NumPy arrays so it can be checkpointed alongside the weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "AdamW"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the common step/zero_grad API."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Serialisable optimiser state (step count + per-parameter slots)."""
+        return {"step_count": np.asarray(self.step_count)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.step_count = int(state.get("step_count", 0))
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        self.step_count += 1
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                self._velocity[i] = self.momentum * self._velocity[i] + grad
+                grad = self._velocity[i]
+            p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        for i, v in enumerate(self._velocity):
+            if v is not None:
+                state[f"velocity.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        for i in range(len(self.parameters)):
+            key = f"velocity.{i}"
+            self._velocity[i] = state[key].copy() if key in state else None
+
+
+class AdamW(Optimizer):
+    """AdamW (decoupled weight decay), the standard fine-tuning optimiser."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 2e-5,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        bias_c1 = 1.0 - self.beta1**t
+        bias_c2 = 1.0 - self.beta2**t
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self._m[i] is None:
+                self._m[i] = np.zeros_like(p.data)
+                self._v[i] = np.zeros_like(p.data)
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
+            m_hat = self._m[i] / bias_c1
+            v_hat = self._v[i] / bias_c2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        for i in range(len(self.parameters)):
+            if self._m[i] is not None:
+                state[f"m.{i}"] = self._m[i].copy()
+                state[f"v.{i}"] = self._v[i].copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        for i in range(len(self.parameters)):
+            self._m[i] = state[f"m.{i}"].copy() if f"m.{i}" in state else None
+            self._v[i] = state[f"v.{i}"].copy() if f"v.{i}" in state else None

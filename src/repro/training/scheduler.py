@@ -1,0 +1,61 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.training.optimizer import Optimizer
+
+__all__ = ["LRSchedule", "ConstantSchedule", "LinearWarmupSchedule"]
+
+
+class LRSchedule:
+    """Base class: maps a step index to a learning rate and applies it."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: Optional[float] = None) -> None:
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self.current_step = 0
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and install the new learning rate."""
+        self.current_step += 1
+        lr = self.lr_at(self.current_step)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(LRSchedule):
+    """Always the base learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class LinearWarmupSchedule(LRSchedule):
+    """Linear warm-up followed by linear decay to zero (BERT fine-tuning default)."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        base_lr: Optional[float] = None,
+    ) -> None:
+        super().__init__(optimizer, base_lr=base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("warmup_steps must lie in [0, total_steps]")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = max(0, self.total_steps - step)
+        denom = max(1, self.total_steps - self.warmup_steps)
+        return self.base_lr * remaining / denom

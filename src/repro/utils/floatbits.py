@@ -1,0 +1,176 @@
+"""IEEE-754 bit manipulation helpers.
+
+The ATTNChecker paper injects near-INF errors "by flipping the most
+significant bit of the [exponent of the] selected element" and injects INF and
+NaN "via assignments" (Section 5.1, *Fault Injection*).  This module provides
+the exact bit-level machinery to do both, for ``float32`` and ``float64``
+arrays, without ever leaving NumPy.
+
+The functions operate on scalars and on arrays alike; array inputs are handled
+with vectorised bit views so fault-injection campaigns over millions of
+elements remain fast.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "EXPONENT_BITS",
+    "MANTISSA_BITS",
+    "float_to_bits",
+    "bits_to_float",
+    "flip_bit",
+    "flip_exponent_msb",
+    "make_inf",
+    "make_nan",
+    "make_near_inf",
+    "is_extreme",
+    "classify_value",
+]
+
+#: Number of exponent bits per IEEE-754 format.
+EXPONENT_BITS = {np.dtype(np.float32): 8, np.dtype(np.float64): 11}
+#: Number of mantissa (fraction) bits per IEEE-754 format.
+MANTISSA_BITS = {np.dtype(np.float32): 23, np.dtype(np.float64): 52}
+
+_UINT_FOR = {np.dtype(np.float32): np.uint32, np.dtype(np.float64): np.uint64}
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _uint_dtype(dtype: np.dtype) -> np.dtype:
+    """Return the unsigned integer dtype with the same width as ``dtype``."""
+    dtype = np.dtype(dtype)
+    if dtype not in _UINT_FOR:
+        raise TypeError(f"unsupported floating dtype: {dtype!r}")
+    return np.dtype(_UINT_FOR[dtype])
+
+
+def float_to_bits(x: ArrayLike, dtype: np.dtype = np.float32) -> np.ndarray:
+    """View floating-point data as its raw unsigned-integer bit pattern.
+
+    Parameters
+    ----------
+    x:
+        Scalar or array of floating point values.
+    dtype:
+        The floating dtype whose bit layout should be used when ``x`` is a
+        Python scalar.  Ignored when ``x`` is already a NumPy array.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of ``uint32`` / ``uint64`` bit patterns with the same shape.
+    """
+    arr = np.asarray(x, dtype=dtype) if not isinstance(x, np.ndarray) else x
+    if arr.dtype not in _UINT_FOR:
+        arr = arr.astype(np.float32)
+    return arr.view(_uint_dtype(arr.dtype)).copy()
+
+
+def bits_to_float(bits: np.ndarray, dtype: np.dtype = np.float32) -> np.ndarray:
+    """Inverse of :func:`float_to_bits`."""
+    bits = np.asarray(bits)
+    dtype = np.dtype(dtype)
+    expected = _uint_dtype(dtype)
+    if bits.dtype != expected:
+        bits = bits.astype(expected)
+    return bits.view(dtype).copy()
+
+
+def flip_bit(x: ArrayLike, bit: int, dtype: np.dtype = np.float32) -> np.ndarray:
+    """Flip bit ``bit`` (0 = least-significant) of every element of ``x``.
+
+    This models a single transient bit-flip in a register or ALU output.
+    """
+    arr = np.asarray(x, dtype=dtype) if not isinstance(x, np.ndarray) else np.asarray(x)
+    if arr.dtype not in _UINT_FOR:
+        arr = arr.astype(dtype)
+    nbits = arr.dtype.itemsize * 8
+    if not 0 <= bit < nbits:
+        raise ValueError(f"bit index {bit} out of range for {arr.dtype} ({nbits} bits)")
+    bits = arr.view(_uint_dtype(arr.dtype)).copy()
+    mask = np.array(1, dtype=bits.dtype) << np.array(bit, dtype=bits.dtype)
+    bits ^= mask
+    return bits.view(arr.dtype).copy()
+
+
+def flip_exponent_msb(x: ArrayLike, dtype: np.dtype = np.float32) -> np.ndarray:
+    """Flip the most-significant *exponent* bit of every element.
+
+    For values of "normal" magnitude (|x| roughly in ``[1e-4, 1e4]``) this
+    produces an extremely large number (near-INF) because the biased exponent
+    jumps by half of its range.  This mirrors exactly how the paper generates
+    near-INF faults.
+    """
+    arr = np.asarray(x, dtype=dtype) if not isinstance(x, np.ndarray) else np.asarray(x)
+    if arr.dtype not in _UINT_FOR:
+        arr = arr.astype(dtype)
+    exp_bits = EXPONENT_BITS[arr.dtype]
+    man_bits = MANTISSA_BITS[arr.dtype]
+    # Exponent occupies bits [man_bits, man_bits + exp_bits); its MSB is the
+    # highest of those, i.e. bit index man_bits + exp_bits - 1.
+    return flip_bit(arr, man_bits + exp_bits - 1, dtype=arr.dtype)
+
+
+def make_inf(sign: int = 1, dtype: np.dtype = np.float32) -> float:
+    """Return +inf or -inf in the requested dtype."""
+    value = np.inf if sign >= 0 else -np.inf
+    return np.dtype(dtype).type(value)
+
+
+def make_nan(dtype: np.dtype = np.float32) -> float:
+    """Return a quiet NaN in the requested dtype."""
+    return np.dtype(dtype).type(np.nan)
+
+
+def make_near_inf(
+    base: ArrayLike = 1.0,
+    dtype: np.dtype = np.float32,
+    minimum_magnitude: float = 1e10,
+) -> np.ndarray:
+    """Produce a finite but extremely large value from ``base``.
+
+    The value is obtained with an exponent-MSB flip (the paper's method).  If
+    the flip happens to *shrink* the value (possible when the original
+    exponent MSB was already set) or does not exceed ``minimum_magnitude``,
+    we fall back to scaling the magnitude up to a representative near-INF
+    value so that campaigns always inject a genuinely extreme-but-finite
+    number.
+    """
+    flipped = flip_exponent_msb(base, dtype=dtype)
+    flipped = np.asarray(flipped, dtype=dtype)
+    finfo = np.finfo(np.dtype(dtype))
+    fallback = np.dtype(dtype).type(finfo.max / 16.0)
+    bad = ~np.isfinite(flipped) | (np.abs(flipped) < minimum_magnitude)
+    out = np.where(bad, np.sign(np.asarray(base, dtype=dtype)) * fallback, flipped)
+    out = np.where(out == 0, fallback, out)
+    if np.ndim(base) == 0:
+        return np.dtype(dtype).type(out)
+    return out.astype(dtype)
+
+
+def is_extreme(x: ArrayLike, near_inf_threshold: float = 1e10) -> np.ndarray:
+    """Boolean mask of elements that are INF, NaN, or near-INF.
+
+    ``near_inf_threshold`` matches the paper's default T_near-INF = 1e10.
+    """
+    arr = np.asarray(x)
+    return ~np.isfinite(arr) | (np.abs(arr) > near_inf_threshold)
+
+
+def classify_value(x: float, near_inf_threshold: float = 1e10) -> str:
+    """Classify a scalar as ``'inf'``, ``'nan'``, ``'near_inf'`` or ``'normal'``.
+
+    Used by the propagation tracer when building Table-2 style reports.
+    """
+    if np.isnan(x):
+        return "nan"
+    if np.isinf(x):
+        return "inf"
+    if abs(x) > near_inf_threshold:
+        return "near_inf"
+    return "normal"

@@ -1,0 +1,41 @@
+"""Library logger helpers.
+
+The library never configures the root logger; it only creates namespaced
+children under ``"repro"`` so applications embedding it keep full control of
+log routing.  :func:`enable_console_logging` is a convenience for scripts and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return the library logger or a child of it.
+
+    ``get_logger("core.abft")`` returns the logger ``repro.core.abft``.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the library logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,111 @@
+"""Wall-clock timing utilities.
+
+The paper reports ABFT overhead as a ratio between a protected and an
+unprotected execution of the same computation.  On the CPU-side reproduction
+we measure both with :class:`Timer` / :class:`TimingRegistry`; the modelled
+A100 numbers come from :mod:`repro.perfmodel` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Timer", "TimingRegistry", "timed"]
+
+
+@dataclass
+class Timer:
+    """A simple start/stop wall-clock timer accumulating elapsed seconds."""
+
+    elapsed: float = 0.0
+    count: int = 0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        delta = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += delta
+        self.count += 1
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed time per start/stop pair (0.0 if never stopped)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class TimingRegistry:
+    """A named collection of timers with hierarchical keys.
+
+    Keys are free-form strings; by convention the library uses
+    ``"attention/forward"``, ``"abft/encode"``, ``"abft/detect"`` and so on,
+    which lets overhead reports aggregate by prefix.
+    """
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = defaultdict(Timer)
+
+    def timer(self, key: str) -> Timer:
+        return self._timers[key]
+
+    @contextmanager
+    def measure(self, key: str) -> Iterator[Timer]:
+        with self.timer(key).measure() as t:
+            yield t
+
+    def elapsed(self, key: str) -> float:
+        return self._timers[key].elapsed if key in self._timers else 0.0
+
+    def total(self, prefix: str = "") -> float:
+        """Sum of elapsed time over all keys starting with ``prefix``."""
+        return sum(t.elapsed for k, t in self._timers.items() if k.startswith(prefix))
+
+    def keys(self) -> List[str]:
+        return sorted(self._timers)
+
+    def reset(self) -> None:
+        self._timers.clear()
+
+    def as_dict(self) -> Dict[str, float]:
+        return {k: t.elapsed for k, t in sorted(self._timers.items())}
+
+    def report(self) -> str:
+        """Human-readable multi-line report, longest timers first."""
+        rows = sorted(self._timers.items(), key=lambda kv: -kv[1].elapsed)
+        lines = [f"{'key':<40} {'calls':>8} {'total (s)':>12} {'mean (ms)':>12}"]
+        for key, t in rows:
+            lines.append(f"{key:<40} {t.count:>8d} {t.elapsed:>12.6f} {t.mean * 1e3:>12.4f}")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a one-shot :class:`Timer`."""
+    t = Timer()
+    with t.measure():
+        yield t

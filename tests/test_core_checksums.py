@@ -1,0 +1,166 @@
+"""Unit tests for checksum encoding and propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core.checksums import (
+    ChecksumState,
+    adjust_column_checksums_for_bias,
+    adjust_row_checksums_for_bias,
+    checksum_weights,
+    encode_column_checksums,
+    encode_per_head_row_checksums_of_weight,
+    encode_row_checksums,
+    merge_head_column_checksums,
+    recompute_column_sums,
+    recompute_row_sums,
+    split_head_column_checksums,
+    update_column_checksums_through_gemm,
+    update_row_checksums_through_gemm,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestWeights:
+    def test_values(self):
+        v1, v2 = checksum_weights(4)
+        assert np.array_equal(v1, [1, 1, 1, 1])
+        assert np.array_equal(v2, [1, 2, 3, 4])
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            checksum_weights(0)
+
+
+class TestEncoding:
+    def test_column_checksums_shape_and_values(self, rng):
+        m = rng.normal(size=(3, 5, 4))
+        cs = encode_column_checksums(m)
+        assert cs.shape == (3, 2, 4)
+        assert np.allclose(cs[..., 0, :], m.sum(axis=-2))
+        weights = np.arange(1, 6)
+        assert np.allclose(cs[..., 1, :], np.einsum("i,bij->bj", weights, m))
+
+    def test_row_checksums_shape_and_values(self, rng):
+        m = rng.normal(size=(2, 4, 6))
+        cs = encode_row_checksums(m)
+        assert cs.shape == (2, 4, 2)
+        assert np.allclose(cs[..., 0], m.sum(axis=-1))
+        weights = np.arange(1, 7)
+        assert np.allclose(cs[..., 1], np.einsum("j,bij->bi", weights, m))
+
+    def test_recompute_matches_encode(self, rng):
+        m = rng.normal(size=(2, 3, 7, 5))
+        cs = encode_column_checksums(m)
+        u, w = recompute_column_sums(m)
+        assert np.allclose(cs[..., 0, :], u) and np.allclose(cs[..., 1, :], w)
+        rcs = encode_row_checksums(m)
+        ru, rw = recompute_row_sums(m)
+        assert np.allclose(rcs[..., 0], ru) and np.allclose(rcs[..., 1], rw)
+
+
+class TestPropagation:
+    def test_column_checksums_propagate_through_gemm(self, rng):
+        a = rng.normal(size=(2, 6, 4))
+        b = rng.normal(size=(4, 3))
+        c = a @ b
+        carried = update_column_checksums_through_gemm(encode_column_checksums(a), b)
+        assert np.allclose(carried, encode_column_checksums(c))
+
+    def test_row_checksums_propagate_through_gemm(self, rng):
+        a = rng.normal(size=(2, 6, 4))
+        b = rng.normal(size=(4, 3))
+        c = a @ b
+        carried = update_row_checksums_through_gemm(a, encode_row_checksums(b))
+        assert np.allclose(carried, encode_row_checksums(c))
+
+    def test_column_bias_adjustment(self, rng):
+        a = rng.normal(size=(5, 4))
+        bias = rng.normal(size=4)
+        cs = adjust_column_checksums_for_bias(encode_column_checksums(a), bias, num_rows=5)
+        assert np.allclose(cs, encode_column_checksums(a + bias))
+
+    def test_row_bias_adjustment(self, rng):
+        a = rng.normal(size=(5, 4))
+        bias = rng.normal(size=4)
+        cs = adjust_row_checksums_for_bias(encode_row_checksums(a), bias)
+        assert np.allclose(cs, encode_row_checksums(a + bias))
+
+    def test_chained_propagation_two_gemms(self, rng):
+        # col(X) -> col(Q) -> col(AS) through two GEMMs, as section S_AS does.
+        x = rng.normal(size=(7, 6))
+        w_q = rng.normal(size=(6, 6))
+        k_t = rng.normal(size=(6, 7))
+        q = x @ w_q
+        attention_scores = q @ k_t
+        carried = update_column_checksums_through_gemm(
+            update_column_checksums_through_gemm(encode_column_checksums(x), w_q), k_t
+        )
+        assert np.allclose(carried, encode_column_checksums(attention_scores))
+
+
+class TestHeadSplitting:
+    def test_split_matches_per_head_encoding(self, rng):
+        batch, seq, heads, dh = 2, 6, 4, 3
+        proj = rng.normal(size=(batch, seq, heads * dh))
+        cs_full = encode_column_checksums(proj)
+        per_head_cs = split_head_column_checksums(cs_full, heads)
+        # Reference: split the data itself, then encode per head.
+        split_data = proj.reshape(batch, seq, heads, dh).transpose(0, 2, 1, 3)
+        assert per_head_cs.shape == (batch, heads, 2, dh)
+        assert np.allclose(per_head_cs, encode_column_checksums(split_data))
+
+    def test_merge_is_inverse_of_split(self, rng):
+        cs = rng.normal(size=(3, 2, 12))
+        assert np.allclose(merge_head_column_checksums(split_head_column_checksums(cs, 4)), cs)
+
+    def test_split_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            split_head_column_checksums(rng.normal(size=(3, 2, 10)), 4)
+        with pytest.raises(ValueError):
+            split_head_column_checksums(rng.normal(size=(3, 3, 12)), 4)
+        with pytest.raises(ValueError):
+            merge_head_column_checksums(rng.normal(size=(3, 4, 3, 5)))
+
+    def test_per_head_weight_row_checksums(self, rng):
+        d_in, heads, dh = 8, 2, 3
+        w = rng.normal(size=(d_in, heads * dh))
+        x = rng.normal(size=(4, 5, d_in))
+        rowcs_w = encode_per_head_row_checksums_of_weight(w, heads)
+        assert rowcs_w.shape == (d_in, heads, 2)
+        carried = np.einsum("bsd,dhw->bhsw", x, rowcs_w)
+        v = x @ w
+        v_heads = v.reshape(4, 5, heads, dh).transpose(0, 2, 1, 3)
+        assert np.allclose(carried, encode_row_checksums(v_heads))
+
+    def test_per_head_weight_invalid_divisor(self, rng):
+        with pytest.raises(ValueError):
+            encode_per_head_row_checksums_of_weight(rng.normal(size=(4, 10)), 4)
+
+
+class TestChecksumState:
+    def test_encode_both_sides(self, rng):
+        m = rng.normal(size=(4, 5))
+        state = ChecksumState.encode(m, col=True, row=True)
+        assert state.has_col() and state.has_row()
+        assert state.verify(m)
+
+    def test_verify_detects_corruption(self, rng):
+        m = rng.normal(size=(4, 5))
+        state = ChecksumState.encode(m)
+        m[2, 3] += 5.0
+        assert not state.verify(m)
+
+    def test_copy_is_deep(self, rng):
+        m = rng.normal(size=(4, 5))
+        state = ChecksumState.encode(m, col=True, row=True)
+        clone = state.copy()
+        clone.col[...] = 0.0
+        assert not np.allclose(state.col, clone.col)
+
+    def test_empty_state_verifies_anything(self, rng):
+        assert ChecksumState().verify(rng.normal(size=(3, 3)))

@@ -1,0 +1,207 @@
+"""Unit tests for the EEC-ABFT detection / correction kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.checksums import encode_column_checksums, encode_row_checksums
+from repro.core.eec_abft import check_columns, check_rows
+from repro.core.thresholds import ABFTThresholds
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+@pytest.fixture
+def thresholds():
+    return ABFTThresholds()
+
+
+def protected_matrix(rng, shape=(4, 8, 6)):
+    m = rng.normal(size=shape)
+    return m, encode_column_checksums(m), m.copy()
+
+
+class TestCleanData:
+    def test_no_false_positives(self, rng, thresholds):
+        m, cs, ref = protected_matrix(rng)
+        report = check_columns(m, cs, thresholds)
+        assert report.clean
+        assert report.num_corrected == 0 and report.num_aborted == 0
+        assert np.array_equal(m, ref)
+
+    def test_no_false_positives_large_values(self, rng, thresholds):
+        m = rng.normal(size=(2, 16, 8)) * 1e4
+        report = check_columns(m, encode_column_checksums(m), thresholds)
+        assert report.clean
+
+    def test_no_false_positives_after_realistic_gemm(self, rng, thresholds):
+        # Checksums carried through a GEMM differ from recomputed ones only by
+        # round-off; detection must not fire.
+        a = rng.normal(size=(8, 64, 32))
+        b = rng.normal(size=(32, 48))
+        c = a @ b
+        carried = np.matmul(encode_column_checksums(a), b)
+        report = check_columns(c, carried, thresholds)
+        assert report.clean
+
+
+class TestSingleErrors:
+    @pytest.mark.parametrize(
+        "inject",
+        [np.inf, -np.inf, np.nan, 4.2e12, -7.7e13],
+        ids=["+inf", "-inf", "nan", "+near_inf", "-near_inf"],
+    )
+    def test_extreme_single_error_restored(self, rng, thresholds, inject):
+        m, cs, ref = protected_matrix(rng)
+        m[1, 3, 2] = inject
+        report = check_columns(m, cs, thresholds)
+        assert report.num_detected == 1
+        assert report.num_corrected == 1
+        assert np.allclose(m, ref, rtol=1e-6, atol=1e-8)
+
+    def test_numeric_single_error_restored(self, rng, thresholds):
+        m, cs, ref = protected_matrix(rng)
+        m[2, 5, 1] += 37.5
+        report = check_columns(m, cs, thresholds)
+        assert report.num_corrected == 1
+        assert np.allclose(m, ref, rtol=1e-7, atol=1e-9)
+
+    def test_corrected_index_reported(self, rng, thresholds):
+        m, cs, ref = protected_matrix(rng, shape=(1, 8, 6))
+        m[0, 5, 2] = np.inf
+        report = check_columns(m, cs, thresholds)
+        assert report.corrected_indices[0, 2] == 5
+
+    def test_case_classification(self, rng, thresholds):
+        m, cs, _ = protected_matrix(rng, shape=(1, 8, 6))
+        m[0, 2, 0] = np.inf     # delta1 becomes inf  -> case 2
+        m[0, 3, 1] = np.nan     # delta1 becomes nan  -> case 3
+        m[0, 4, 2] += 11.0      # finite delta        -> case 1
+        report = check_columns(m, cs, thresholds)
+        assert report.case2[0, 0] and report.case3[0, 1] and report.case1[0, 2]
+
+    def test_tiny_numeric_error_below_tolerance_ignored(self, rng, thresholds):
+        m, cs, ref = protected_matrix(rng)
+        m[0, 0, 0] += 1e-12
+        report = check_columns(m, cs, thresholds)
+        assert report.num_corrected == 0
+
+
+class TestPropagatedPatterns:
+    def test_1r_pattern_corrected_by_column_checksums(self, rng, thresholds):
+        m, cs, ref = protected_matrix(rng, shape=(2, 3, 8, 6))
+        m[0, 1, 4, :] = np.inf  # a whole row: one error per column
+        report = check_columns(m, cs, thresholds)
+        assert report.num_corrected == 6
+        assert np.allclose(m, ref, rtol=1e-6, atol=1e-8)
+
+    def test_1c_pattern_corrected_by_row_checksums(self, rng, thresholds):
+        m = rng.normal(size=(2, 5, 7))
+        rcs = encode_row_checksums(m)
+        ref = m.copy()
+        m[1, :, 3] = 9.9e11     # a whole column: one error per row
+        report = check_rows(m, rcs, thresholds)
+        assert report.num_corrected == 5
+        assert np.allclose(m, ref, rtol=1e-6, atol=1e-8)
+
+    def test_mixed_types_across_columns(self, rng, thresholds):
+        m, cs, ref = protected_matrix(rng, shape=(1, 10, 8))
+        m[0, 1, 0] = np.inf
+        m[0, 2, 1] = np.nan
+        m[0, 3, 2] = -2.2e13
+        m[0, 4, 3] += 55.0
+        report = check_columns(m, cs, thresholds)
+        assert report.num_corrected == 4
+        assert np.allclose(m, ref, rtol=1e-6, atol=1e-8)
+
+    def test_two_errors_in_one_vector_abort(self, rng, thresholds):
+        m, cs, ref = protected_matrix(rng, shape=(1, 10, 4))
+        m[0, 1, 2] = np.inf
+        m[0, 7, 2] = np.nan
+        report = check_columns(m, cs, thresholds)
+        assert report.num_aborted == 1
+        assert report.num_corrected == 0
+
+    def test_consistent_corruption_reported_as_abort(self, rng, thresholds):
+        # Checksums computed FROM the corrupted data are consistent with it;
+        # extreme values must still be flagged (case 4) rather than silently
+        # accepted.
+        m = rng.normal(size=(1, 6, 5))
+        m[0, 2, 3] = 5e12
+        cs = encode_column_checksums(m)  # consistent with the corruption
+        report = check_columns(m, cs, thresholds)
+        assert report.num_detected >= 1
+        assert report.num_aborted >= 1
+        assert report.num_corrected == 0
+
+
+class TestRowColumnEquivalence:
+    def test_row_check_is_transposed_column_check(self, rng, thresholds):
+        m = rng.normal(size=(3, 6, 9))
+        rcs = encode_row_checksums(m)
+        ref = m.copy()
+        m[2, 4, 7] = np.nan
+        report = check_rows(m, rcs, thresholds)
+        assert report.num_corrected == 1
+        assert np.allclose(m, ref, rtol=1e-6, atol=1e-8)
+
+    def test_row_check_corrects_in_place_through_view(self, rng, thresholds):
+        # check_rows internally transposes; corrections must land in the
+        # original array even though reshape of the transposed view copies.
+        m = rng.normal(size=(2, 4, 5))
+        rcs = encode_row_checksums(m)
+        ref = m.copy()
+        m[0, 2, 2] = np.inf
+        check_rows(m, rcs, thresholds)
+        assert np.isfinite(m).all()
+        assert np.allclose(m, ref, rtol=1e-6, atol=1e-8)
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self, rng, thresholds):
+        m = rng.normal(size=(4, 5))
+        with pytest.raises(ValueError):
+            check_columns(m, np.zeros((2, 4)), thresholds)
+
+    def test_checksum_axis_must_be_two(self, rng, thresholds):
+        m = rng.normal(size=(4, 5))
+        with pytest.raises(ValueError):
+            check_columns(m, np.zeros((3, 5)), thresholds)
+
+    def test_detect_only_mode_leaves_data_untouched(self, rng, thresholds):
+        m, cs, _ = protected_matrix(rng)
+        m[0, 0, 0] = np.inf
+        snapshot = m.copy()
+        report = check_columns(m, cs, thresholds, correct=False)
+        assert report.num_detected == 1
+        assert np.array_equal(
+            np.nan_to_num(m, nan=0.0, posinf=1.0, neginf=-1.0),
+            np.nan_to_num(snapshot, nan=0.0, posinf=1.0, neginf=-1.0),
+        )
+
+
+class TestThresholds:
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ABFTThresholds(near_inf=1e4, correct=1e5)
+        with pytest.raises(ValueError):
+            ABFTThresholds(detect_rtol=0.0)
+        with pytest.raises(ValueError):
+            ABFTThresholds(index_rtol=0.9)
+
+    def test_is_extreme_mask(self):
+        th = ABFTThresholds()
+        data = np.array([1.0, np.inf, np.nan, 2e10, 2e9])
+        assert th.is_extreme(data).tolist() == [False, True, True, True, False]
+
+    def test_detection_tolerance_scales_with_magnitude(self):
+        th = ABFTThresholds()
+        small = th.detection_tolerance(np.array(1.0))
+        large = th.detection_tolerance(np.array(1e6))
+        assert large > small
+
+    def test_paper_default_values(self):
+        th = ABFTThresholds()
+        assert th.near_inf == 1e10 and th.correct == 1e5

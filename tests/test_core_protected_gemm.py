@@ -1,0 +1,127 @@
+"""Unit and property tests for the standalone protected GEMM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ABFTThresholds, ProtectedMatmul, protected_matmul
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(71)
+
+
+class TestCleanPath:
+    def test_matches_plain_matmul(self, rng):
+        a = rng.normal(size=(6, 4))
+        b = rng.normal(size=(4, 5))
+        result = protected_matmul(a, b)
+        assert np.allclose(result.output, a @ b)
+        assert result.clean and result.fully_corrected
+
+    def test_batched_operands(self, rng):
+        a = rng.normal(size=(3, 6, 4))
+        b = rng.normal(size=(3, 4, 5))
+        result = protected_matmul(a, b)
+        assert result.output.shape == (3, 6, 5)
+        assert result.clean
+
+    def test_checksums_attached(self, rng):
+        result = protected_matmul(rng.normal(size=(4, 4)), rng.normal(size=(4, 4)))
+        assert result.checksums.has_col() and result.checksums.has_row()
+
+    def test_single_side_configuration(self, rng):
+        gemm = ProtectedMatmul(maintain_column=True, maintain_row=False)
+        result = gemm(rng.normal(size=(4, 4)), rng.normal(size=(4, 4)))
+        assert result.checksums.has_col() and not result.checksums.has_row()
+
+    def test_no_sides_rejected(self):
+        with pytest.raises(ValueError):
+            ProtectedMatmul(maintain_column=False, maintain_row=False)
+
+
+class TestFaultyPath:
+    @pytest.mark.parametrize("value", [np.inf, -np.inf, np.nan, 7.5e12])
+    def test_single_extreme_fault_corrected(self, rng, value):
+        a = rng.normal(size=(8, 6))
+        b = rng.normal(size=(6, 7))
+
+        def corrupt(out):
+            out[3, 2] = value
+            return out
+
+        result = protected_matmul(a, b, fault_hook=corrupt)
+        assert result.report.corrected >= 1
+        assert result.fully_corrected
+        assert np.allclose(result.output, a @ b, rtol=1e-6, atol=1e-8)
+
+    def test_row_fault_corrected(self, rng):
+        a = rng.normal(size=(8, 6))
+        b = rng.normal(size=(6, 7))
+
+        def corrupt(out):
+            out[5, :] = np.inf
+            return out
+
+        result = protected_matmul(a, b, fault_hook=corrupt)
+        assert np.allclose(result.output, a @ b, rtol=1e-6, atol=1e-8)
+
+    def test_column_fault_needs_row_side(self, rng):
+        a = rng.normal(size=(8, 6))
+        b = rng.normal(size=(6, 7))
+
+        def corrupt(out):
+            out[:, 4] = np.nan
+            return out
+
+        with_both = protected_matmul(a, b, fault_hook=corrupt)
+        assert np.allclose(with_both.output, a @ b, rtol=1e-6, atol=1e-8)
+
+        column_only = protected_matmul(
+            a, b, fault_hook=corrupt, maintain_row=False, maintain_column=True
+        )
+        assert not column_only.fully_corrected
+
+    def test_custom_thresholds_respected(self, rng):
+        a = rng.normal(size=(6, 5))
+        b = rng.normal(size=(5, 4))
+        loose = ABFTThresholds(detect_rtol=0.5, detect_atol=10.0)
+
+        def corrupt(out):
+            out[1, 1] += 0.5  # below the loose tolerance
+            return out
+
+        result = protected_matmul(a, b, fault_hook=corrupt, thresholds=loose)
+        assert result.report.corrected == 0
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        m=st.integers(2, 10),
+        k=st.integers(2, 10),
+        n=st.integers(1, 10),
+        fault=st.sampled_from(["inf", "nan", "near_inf", "none"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_always_equals_true_product(self, seed, m, k, n, fault):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-5, 5, size=(m, k))
+        b = rng.uniform(-5, 5, size=(k, n))
+        expected = a @ b
+        row = int(rng.integers(0, m))
+        col = int(rng.integers(0, n))
+
+        def corrupt(out):
+            if fault == "inf":
+                out[row, col] = np.inf
+            elif fault == "nan":
+                out[row, col] = np.nan
+            elif fault == "near_inf":
+                out[row, col] = 4.2e13
+            return out
+
+        result = protected_matmul(a, b, fault_hook=corrupt)
+        assert result.fully_corrected
+        assert np.allclose(result.output, expected, rtol=1e-5, atol=1e-6)

@@ -1,0 +1,252 @@
+"""Unit tests for the fault injector, propagation study, vulnerability study
+and detection/correction campaign."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import ErrorPattern
+from repro.faults import (
+    DetectionCorrectionCampaign,
+    FaultInjector,
+    FaultSpec,
+    PropagationStudy,
+    VulnerabilityStudy,
+)
+from repro.faults.injector import TARGET_MATRICES
+from repro.models import build_model
+from repro.nn import MultiHeadAttention, RecordingHooks, ComposedHooks
+from repro.tensor.autograd import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(53)
+
+
+@pytest.fixture
+def attention(rng):
+    return MultiHeadAttention(hidden_size=16, num_heads=4, dropout_p=0.0, rng=rng)
+
+
+class TestFaultSpec:
+    def test_valid_spec(self):
+        spec = FaultSpec(matrix="AS", error_type="inf")
+        assert spec.op.value == "qk"
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(KeyError):
+            FaultSpec(matrix="W", error_type="inf")
+
+    def test_unknown_error_type_rejected(self):
+        with pytest.raises(KeyError):
+            FaultSpec(matrix="Q", error_type="flip")
+
+    def test_all_target_matrices_map_to_distinct_ops(self):
+        assert len(set(TARGET_MATRICES.values())) == len(TARGET_MATRICES)
+
+
+class TestFaultInjector:
+    @pytest.mark.parametrize("error_type,predicate", [
+        ("inf", lambda v: np.isinf(v)),
+        ("nan", lambda v: np.isnan(v)),
+        ("near_inf", lambda v: np.isfinite(v) and abs(v) > 1e10),
+        ("numeric", lambda v: np.isfinite(v)),
+    ])
+    def test_injected_value_class(self, attention, rng, error_type, predicate):
+        injector = FaultInjector([FaultSpec(matrix="Q", error_type=error_type)], rng=rng)
+        attention.set_hooks(injector)
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.num_injections == 1
+        record = injector.records[0]
+        assert predicate(record.injected_value)
+
+    def test_fixed_position_respected(self, attention, rng):
+        spec = FaultSpec(matrix="AS", error_type="inf", position=(0, 1, 2, 3))
+        injector = FaultInjector([spec], rng=rng)
+        recorder = RecordingHooks()
+        attention.set_hooks(ComposedHooks([injector, recorder]))
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.records[0].position == (0, 1, 2, 3)
+        assert np.isinf(recorder.matrices(0)["AS"][0, 1, 2, 3])
+
+    def test_fires_at_most_once_by_default(self, attention, rng):
+        injector = FaultInjector([FaultSpec(matrix="Q", error_type="inf")], rng=rng)
+        attention.set_hooks(injector)
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.num_injections == 1
+
+    def test_arm_resets_counters(self, attention, rng):
+        injector = FaultInjector([FaultSpec(matrix="Q", error_type="inf")], rng=rng)
+        attention.set_hooks(injector)
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        injector.arm()
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.num_injections == 2
+
+    def test_disarm_prevents_injection(self, attention, rng):
+        injector = FaultInjector([FaultSpec(matrix="Q", error_type="inf")], rng=rng, enabled=False)
+        attention.set_hooks(injector)
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.num_injections == 0
+
+    def test_layer_filter(self, rng):
+        model = build_model("bert-base", size="tiny", rng=np.random.default_rng(0))
+        spec = FaultSpec(matrix="Q", error_type="inf", layer_index=1)
+        injector = FaultInjector([spec], rng=rng)
+        model.set_attention_hooks(injector)
+        ids = rng.integers(0, model.config.vocab_size, size=(2, model.config.max_seq_len))
+        model(ids, attention_mask=np.ones((2, model.config.max_seq_len)))
+        model.set_attention_hooks(None)
+        assert injector.num_injections == 1
+        assert injector.records[0].layer_index == 1
+
+    def test_multiple_specs_fire_independently(self, attention, rng):
+        specs = [FaultSpec(matrix="Q", error_type="inf"), FaultSpec(matrix="V", error_type="nan")]
+        injector = FaultInjector(specs, rng=rng)
+        attention.set_hooks(injector)
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.num_injections == 2
+
+    def test_records_original_value(self, attention, rng):
+        injector = FaultInjector([FaultSpec(matrix="CL", error_type="inf")], rng=rng)
+        attention.set_hooks(injector)
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert np.isfinite(injector.records[0].original_value)
+
+
+class TestPropagationStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        model = build_model("bert-base", size="tiny", rng=np.random.default_rng(0))
+        from repro.data import SyntheticMRPC
+
+        data = SyntheticMRPC(
+            num_examples=8, max_seq_len=model.config.max_seq_len,
+            vocab_size=model.config.vocab_size,
+        )
+        return PropagationStudy(model, data.encode(range(4)), rng=np.random.default_rng(1))
+
+    def test_reference_is_cached(self, study):
+        assert study.reference_matrices() is study.reference_matrices()
+
+    def test_inf_in_q_propagates_one_row(self, study):
+        result = study.trace("Q", "inf")
+        assert result.cell("Q").startswith("0D")
+        assert result.cell("AS").startswith("1R")
+        assert result.cell("O").startswith("1R")
+        # Softmax turns the INF row into NaN downstream (Table 2).
+        assert "NaN" in result.cell("AP") or "M" in result.cell("AP")
+
+    def test_inf_in_k_propagates_one_column_then_2d(self, study):
+        result = study.trace("K", "inf")
+        assert result.cell("AS").startswith("1C")
+        assert result.cell("CL").startswith("2D")
+
+    def test_v_fault_skips_attention_scores(self, study):
+        result = study.trace("V", "nan")
+        assert result.cell("AS") == "-"
+        assert result.cell("CL").startswith(("1C", "-"))
+
+    def test_cl_fault_reaches_output_as_one_row(self, study):
+        result = study.trace("CL", "inf")
+        assert result.cell("O").startswith("1R")
+
+    def test_run_table_covers_all_combinations(self, study):
+        results = study.run_table(matrices=("Q", "AS"), error_types=("inf", "nan"), trials=1)
+        assert len(results) == 4
+        assert {(r.matrix, r.error_type) for r in results} == {
+            ("Q", "inf"), ("Q", "nan"), ("AS", "inf"), ("AS", "nan"),
+        }
+
+
+class TestVulnerabilityStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.data import SyntheticMRPC
+
+        def factory():
+            return build_model("bert-small", size="tiny", rng=np.random.default_rng(0))
+
+        model = factory()
+        data = SyntheticMRPC(
+            num_examples=16, max_seq_len=model.config.max_seq_len,
+            vocab_size=model.config.vocab_size,
+        )
+        batches = [data.encode(range(0, 4)), data.encode(range(4, 8))]
+        return VulnerabilityStudy(factory, batches, rng=np.random.default_rng(2))
+
+    def test_requires_two_batches(self):
+        with pytest.raises(ValueError):
+            VulnerabilityStudy(lambda: None, [{}])
+
+    def test_inf_fault_in_q_is_usually_fatal(self, study):
+        results = study.run(matrices=("Q",), error_types=("inf",), trials=3)
+        assert results[0].probability >= 2 / 3
+
+    def test_results_have_probabilities_in_unit_interval(self, study):
+        results = study.run(matrices=("Q", "V"), error_types=("nan",), trials=2)
+        for r in results:
+            assert 0.0 <= r.probability <= 1.0
+            assert r.trials == 2
+
+    def test_phi_table_layout(self, study):
+        results = study.run(matrices=("Q", "AS"), error_types=("inf",), trials=1)
+        phi = VulnerabilityStudy.as_phi_table(results)
+        assert "xq" in phi and "qk" in phi
+        assert "inf" in phi["xq"]
+
+
+class TestDetectionCorrectionCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        model = build_model("bert-base", size="tiny", rng=np.random.default_rng(0))
+        from repro.data import SyntheticMRPC
+
+        data = SyntheticMRPC(
+            num_examples=8, max_seq_len=model.config.max_seq_len,
+            vocab_size=model.config.vocab_size,
+        )
+        batch = data.encode(range(4))
+        batch = dict(batch)
+        batch["attention_mask"] = np.ones_like(batch["attention_mask"])
+        return DetectionCorrectionCampaign(model, batch, rng=np.random.default_rng(3))
+
+    def test_single_trial_flags(self, campaign):
+        outcome = campaign.run_trial("AS", "inf")
+        assert outcome["detected"] and outcome["corrected"] and outcome["matches"]
+
+    def test_all_extreme_errors_corrected(self, campaign):
+        results = campaign.run(
+            matrices=("Q", "K", "V", "AS", "CL", "O"),
+            error_types=("inf", "nan", "near_inf"),
+            trials=2,
+        )
+        assert DetectionCorrectionCampaign.all_corrected(results)
+        for r in results:
+            assert r.recovery_rate == 1.0
+
+    def test_benign_masked_faults_counted_separately(self):
+        model = build_model("bert-base", size="tiny", rng=np.random.default_rng(0))
+        from repro.data import SyntheticMRPC
+
+        data = SyntheticMRPC(
+            num_examples=8, max_seq_len=model.config.max_seq_len,
+            vocab_size=model.config.vocab_size,
+        )
+        batch = dict(data.encode(range(4)))
+        # Heavy padding so some faults land in masked-out positions.
+        batch["attention_mask"][:, 4:] = 0.0
+        campaign = DetectionCorrectionCampaign(model, batch, rng=np.random.default_rng(9))
+        results = campaign.run(matrices=("V",), error_types=("near_inf",), trials=8)
+        result = results[0]
+        assert result.trials == 8
+        assert result.benign_masked + result.detected >= result.trials - result.benign_masked
+        assert result.recovery_rate == 1.0

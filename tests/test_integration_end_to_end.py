@@ -1,0 +1,196 @@
+"""End-to-end integration tests across subsystems.
+
+These tests reproduce, at reduced scale, the headline experiments of the
+paper: protected fine-tuning matches fault-free fine-tuning (Figure 6),
+ATTNChecker corrects injected extreme errors during real training steps
+(Section 5.2), unprotected training collapses into non-trainable states
+(Table 4), and the checkpoint/restore baseline recovers but at much higher
+cost (Figure 11).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ATTNChecker, ATTNCheckerConfig
+from repro.data import DataLoader, SyntheticMRPC
+from repro.faults import FaultInjector, FaultSpec
+from repro.models import build_model
+from repro.training import CheckpointManager, Trainer, TrainerConfig
+
+
+def make_setup(model_name="bert-small", batch_size=8, num_examples=32, seed=0):
+    model = build_model(model_name, size="tiny", rng=np.random.default_rng(seed))
+    data = SyntheticMRPC(
+        num_examples=num_examples,
+        max_seq_len=model.config.max_seq_len,
+        vocab_size=model.config.vocab_size,
+        seed=17,
+    )
+    loader = DataLoader(data, batch_size=batch_size, shuffle=False, seed=3)
+    return model, loader.batches()
+
+
+class TestProtectedTrainingMatchesFaultFree:
+    def test_figure6_loss_curves_close(self):
+        # Fault-free run.
+        model_a, batches = make_setup(seed=0)
+        trainer_a = Trainer(model_a, config=TrainerConfig(learning_rate=1e-3))
+        clean = trainer_a.train(batches, epochs=2).epoch_losses()
+
+        # Faulty run protected by ATTNChecker: one INF fault per epoch.
+        model_b, batches_b = make_setup(seed=0)
+        injector = FaultInjector(
+            [FaultSpec(matrix="Q", error_type="inf")], rng=np.random.default_rng(5)
+        )
+        checker = ATTNChecker()
+        trainer_b = Trainer(
+            model_b,
+            config=TrainerConfig(learning_rate=1e-3),
+            checker=checker,
+            fault_hooks=[injector],
+        )
+        protected = []
+        for _ in range(2):
+            injector.arm()
+            for batch in batches_b:
+                trainer_b.train_step(batch)
+            trainer_b.metrics.end_epoch()
+        protected = trainer_b.metrics.epoch_losses()
+
+        assert checker.stats.total_corrections > 0
+        assert trainer_b.metrics.num_non_trainable() == 0
+        # Both runs converge; the recovered run stays close to the clean one.
+        assert clean[-1] < clean[0]
+        assert protected[-1] < protected[0]
+        for c, p in zip(clean, protected):
+            assert abs(c - p) < 0.25
+
+    def test_checker_overhead_recorded_per_step(self):
+        model, batches = make_setup()
+        checker = ATTNChecker()
+        trainer = Trainer(model, config=TrainerConfig(learning_rate=1e-3), checker=checker)
+        result = trainer.train_step(batches[0])
+        assert result.abft_seconds > 0
+        assert result.abft_seconds < result.step_seconds
+
+
+class TestUnprotectedTrainingCollapses:
+    @pytest.mark.parametrize("error_type", ["inf", "nan"])
+    def test_inf_nan_in_q_cause_non_trainable_state(self, error_type):
+        model, batches = make_setup(seed=1)
+        injector = FaultInjector(
+            [FaultSpec(matrix="Q", error_type=error_type)], rng=np.random.default_rng(11)
+        )
+        trainer = Trainer(model, config=TrainerConfig(learning_rate=1e-3), fault_hooks=[injector])
+        first = trainer.train_step(batches[0])
+        second = trainer.train_step(batches[1])
+        assert first.non_trainable or second.non_trainable
+
+    def test_near_inf_often_benign(self):
+        # near-INF faults frequently leave training alive (low phi in Table 4
+        # for V/AS/CL); check that at least the mechanism does not always
+        # collapse.
+        outcomes = []
+        for trial in range(3):
+            model, batches = make_setup(seed=trial)
+            injector = FaultInjector(
+                [FaultSpec(matrix="CL", error_type="near_inf")],
+                rng=np.random.default_rng(trial),
+            )
+            trainer = Trainer(model, config=TrainerConfig(learning_rate=1e-3), fault_hooks=[injector])
+            first = trainer.train_step(batches[0])
+            second = trainer.train_step(batches[1])
+            outcomes.append(first.non_trainable or second.non_trainable)
+        assert not all(outcomes)
+
+
+class TestCheckpointRestoreBaseline:
+    def test_recovery_via_restore_is_possible_but_costly(self):
+        model, batches = make_setup(seed=2)
+        manager = CheckpointManager()
+        injector = FaultInjector(
+            [FaultSpec(matrix="Q", error_type="nan")], rng=np.random.default_rng(5)
+        )
+        trainer = Trainer(
+            model,
+            config=TrainerConfig(
+                learning_rate=1e-3, checkpoint_every=1, restore_on_non_trainable=True
+            ),
+            fault_hooks=[injector],
+            checkpoints=manager,
+        )
+        # Clean step creates the checkpoint to fall back to.
+        injector.disarm()
+        trainer.train_step(batches[0])
+        injector.arm()
+        result = trainer.train_step(batches[1])
+        follow_up = trainer.train_step(batches[2])
+        assert manager.num_saves >= 2
+        assert not follow_up.non_trainable
+        # Either the faulty step itself recovered via restore, or the injected
+        # fault was benign; in the recovered case a restore must have happened.
+        if result.restored_from_checkpoint:
+            assert manager.num_restores >= 1
+
+    def test_attnchecker_avoids_restores_entirely(self):
+        model, batches = make_setup(seed=3)
+        manager = CheckpointManager()
+        injector = FaultInjector(
+            [FaultSpec(matrix="Q", error_type="nan")], rng=np.random.default_rng(5)
+        )
+        checker = ATTNChecker()
+        trainer = Trainer(
+            model,
+            config=TrainerConfig(
+                learning_rate=1e-3, checkpoint_every=1, restore_on_non_trainable=True
+            ),
+            fault_hooks=[injector],
+            checker=checker,
+            checkpoints=manager,
+        )
+        for batch in batches[:3]:
+            injector.arm()
+            result = trainer.train_step(batch)
+            assert not result.non_trainable
+        assert manager.num_restores == 0
+        assert checker.stats.total_corrections >= 1
+
+
+class TestMultiModelProtection:
+    @pytest.mark.parametrize("name", ["bert-base", "gpt2", "gpt-neo", "roberta"])
+    def test_protected_training_step_stays_finite_for_all_families(self, name):
+        model, batches = make_setup(model_name=name, seed=4)
+        injector = FaultInjector(
+            [FaultSpec(matrix="AS", error_type="inf")], rng=np.random.default_rng(7)
+        )
+        checker = ATTNChecker()
+        trainer = Trainer(
+            model, config=TrainerConfig(learning_rate=1e-3),
+            checker=checker, fault_hooks=[injector],
+        )
+        result = trainer.train_step(batches[0])
+        assert math.isfinite(result.loss)
+        assert checker.stats.total_corrections >= 1
+        assert checker.stats.total_residual_extreme == 0
+
+
+class TestAdaptiveFrequenciesInTraining:
+    def test_reduced_frequencies_reduce_measured_abft_time(self):
+        model_full, batches = make_setup(seed=6)
+        checker_full = ATTNChecker()
+        trainer_full = Trainer(model_full, config=TrainerConfig(learning_rate=1e-3), checker=checker_full)
+        for batch in batches[:2]:
+            trainer_full.train_step(batch)
+
+        model_half, batches_b = make_setup(seed=6)
+        checker_half = ATTNChecker(
+            ATTNCheckerConfig(frequencies={"AS": 0.5, "CL": 0.5, "O": 0.0})
+        )
+        trainer_half = Trainer(model_half, config=TrainerConfig(learning_rate=1e-3), checker=checker_half)
+        for batch in batches_b[:2]:
+            trainer_half.train_step(batch)
+
+        assert checker_half.overhead_seconds() < checker_full.overhead_seconds()
+        assert checker_half.stats.sections["O"].checks_run == 0

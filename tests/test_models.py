@@ -1,0 +1,172 @@
+"""Unit tests for the model configuration system and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BertForSequenceClassification,
+    GPT2ForSequenceClassification,
+    GPTNeoForSequenceClassification,
+    RobertaForSequenceClassification,
+    build_model,
+    get_config,
+    list_models,
+)
+from repro.models.config import ModelConfig
+from repro.models.registry import OVERHEAD_MODEL_NAMES, PAPER_CONFIGS, PAPER_MODEL_NAMES, TINY_CONFIGS
+from repro.nn.attention import RecordingHooks
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModelConfig:
+    def test_head_dim(self):
+        config = get_config("bert-base", size="paper")
+        assert config.head_dim == 64
+
+    def test_invalid_heads_raises(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="x", family="bert", vocab_size=10, hidden_size=10, num_layers=1,
+                num_heads=3, intermediate_size=10, max_seq_len=8,
+            )
+
+    def test_invalid_family_raises(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="x", family="mamba", vocab_size=10, hidden_size=8, num_layers=1,
+                num_heads=2, intermediate_size=10, max_seq_len=8,
+            )
+
+    def test_scaled_returns_new_config(self):
+        config = get_config("bert-base", size="paper")
+        smaller = config.scaled(hidden_size=96, num_heads=4)
+        assert smaller.hidden_size == 96 and config.hidden_size == 768
+
+    def test_parameter_count_bert_base_order_of_magnitude(self):
+        config = get_config("bert-base", size="paper")
+        # BERT-base has ~110M parameters; embeddings at seq 128 shrink it a bit.
+        assert 80e6 < config.parameter_count() < 130e6
+
+    def test_gemm_ratio_above_99_percent(self):
+        for name in PAPER_MODEL_NAMES:
+            config = get_config(name, size="paper")
+            assert config.attention_gemm_ratio(batch_size=8) > 0.99
+
+    def test_local_attention_alternation(self):
+        config = get_config("gpt-neo", size="paper")
+        assert not config.layer_uses_local_attention(0)
+        assert config.layer_uses_local_attention(1)
+        assert not config.layer_uses_local_attention(2)
+
+    def test_attention_flops_scale_with_batch(self):
+        config = get_config("bert-base", size="paper")
+        assert config.attention_gemm_flops(16) == 2 * config.attention_gemm_flops(8)
+
+
+class TestRegistry:
+    def test_list_models_sizes(self):
+        assert set(list_models("paper")) == set(PAPER_CONFIGS)
+        assert set(list_models("tiny")) == set(TINY_CONFIGS)
+
+    def test_paper_model_names_subset(self):
+        assert set(PAPER_MODEL_NAMES) <= set(PAPER_CONFIGS)
+        assert set(OVERHEAD_MODEL_NAMES) <= set(PAPER_CONFIGS)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_config("llama-7b")
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(ValueError):
+            get_config("bert-base", size="huge")
+
+    def test_build_model_families(self, rng):
+        assert isinstance(build_model("bert-base", rng=rng), BertForSequenceClassification)
+        assert isinstance(build_model("roberta", rng=rng), RobertaForSequenceClassification)
+        assert isinstance(build_model("gpt2", rng=rng), GPT2ForSequenceClassification)
+        assert isinstance(build_model("gpt-neo", rng=rng), GPTNeoForSequenceClassification)
+
+    def test_build_model_num_labels_override(self, rng):
+        model = build_model("bert-base", rng=rng, num_labels=5)
+        assert model.config.num_labels == 5
+
+    def test_bert_sizes_ordered_by_parameters(self, rng):
+        sizes = [build_model(n, rng=np.random.default_rng(0)).num_parameters()
+                 for n in ("bert-small", "bert-base", "bert-large")]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestForwardPasses:
+    @pytest.mark.parametrize("name", ["bert-base", "roberta", "gpt2", "gpt-neo"])
+    def test_forward_and_loss(self, name, rng):
+        model = build_model(name, rng=np.random.default_rng(1))
+        config = model.config
+        ids = rng.integers(0, config.vocab_size, size=(3, config.max_seq_len))
+        mask = np.ones((3, config.max_seq_len))
+        labels = np.array([0, 1, 0])
+        out = model(ids, attention_mask=mask, labels=labels)
+        assert out.logits.shape == (3, config.num_labels)
+        assert np.isfinite(out.loss_value)
+        assert out.hidden_states.shape == (3, config.max_seq_len, config.hidden_size)
+
+    @pytest.mark.parametrize("name", ["bert-base", "gpt2"])
+    def test_backward_populates_all_gradients(self, name, rng):
+        model = build_model(name, rng=np.random.default_rng(1))
+        config = model.config
+        ids = rng.integers(0, config.vocab_size, size=(2, config.max_seq_len))
+        out = model(ids, attention_mask=np.ones((2, config.max_seq_len)), labels=np.array([0, 1]))
+        out.loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_forward_without_labels_has_no_loss(self, tiny_bert, small_batch):
+        out = tiny_bert(small_batch["input_ids"], attention_mask=small_batch["attention_mask"])
+        assert out.loss is None and out.loss_value is None
+
+    def test_attention_layers_enumeration(self, tiny_bert):
+        layers = tiny_bert.attention_layers()
+        assert len(layers) == tiny_bert.config.num_layers
+
+    def test_set_attention_hooks_attaches_everywhere(self, rng):
+        model = build_model("gpt2", rng=np.random.default_rng(2))
+        recorder = RecordingHooks()
+        model.set_attention_hooks(recorder)
+        config = model.config
+        ids = rng.integers(0, config.vocab_size, size=(2, config.max_seq_len))
+        model(ids, attention_mask=np.ones((2, config.max_seq_len)))
+        assert set(recorder.records) == set(range(config.num_layers))
+        model.set_attention_hooks(None)
+
+    def test_gpt2_last_token_pooling_uses_mask(self, rng):
+        model = build_model("gpt2", rng=np.random.default_rng(3))
+        config = model.config
+        ids = rng.integers(4, config.vocab_size, size=(1, config.max_seq_len))
+        full_mask = np.ones((1, config.max_seq_len))
+        short_mask = np.ones((1, config.max_seq_len))
+        short_mask[0, 4:] = 0.0
+        model.eval()
+        logits_full = model(ids, attention_mask=full_mask).logits.data
+        logits_short = model(ids, attention_mask=short_mask).logits.data
+        model.train()
+        assert not np.allclose(logits_full, logits_short)
+
+    def test_deterministic_given_seed(self, rng):
+        a = build_model("bert-base", rng=np.random.default_rng(5))
+        b = build_model("bert-base", rng=np.random.default_rng(5))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_eval_mode_is_deterministic(self, rng):
+        model = build_model("roberta", rng=np.random.default_rng(6))
+        config = model.config
+        ids = rng.integers(0, config.vocab_size, size=(2, config.max_seq_len))
+        mask = np.ones((2, config.max_seq_len))
+        model.eval()
+        first = model(ids, attention_mask=mask).logits.data
+        second = model(ids, attention_mask=mask).logits.data
+        model.train()
+        assert np.array_equal(first, second)

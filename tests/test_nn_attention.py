@@ -1,0 +1,192 @@
+"""Unit tests for the instrumented multi-head attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import (
+    ATTENTION_MATRIX_NAMES,
+    AttentionHooks,
+    AttentionOp,
+    ComposedHooks,
+    GemmContext,
+    MultiHeadAttention,
+    RecordingHooks,
+)
+from repro.tensor.autograd import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.fixture
+def attention(rng):
+    return MultiHeadAttention(hidden_size=16, num_heads=4, dropout_p=0.0, rng=rng)
+
+
+class TestAttentionOp:
+    def test_output_matrix_names(self):
+        assert AttentionOp.XQ.output_matrix == "Q"
+        assert AttentionOp.QK.output_matrix == "AS"
+        assert AttentionOp.APV.output_matrix == "CL"
+        assert AttentionOp.CLO.output_matrix == "O"
+
+    def test_all_matrices_listed(self):
+        assert set(ATTENTION_MATRIX_NAMES) == {"Q", "K", "V", "AS", "AP", "CL", "O"}
+
+
+class TestForwardShapes:
+    def test_output_shape_matches_input(self, attention, rng):
+        x = Tensor(rng.normal(size=(2, 6, 16)))
+        assert attention(x).shape == (2, 6, 16)
+
+    def test_invalid_head_divisor_raises(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(hidden_size=10, num_heads=3, rng=rng)
+
+    def test_gradients_reach_all_projections(self, attention, rng):
+        x = Tensor(rng.normal(size=(2, 6, 16)), requires_grad=True)
+        attention(x).sum().backward()
+        for proj in (attention.w_q, attention.w_k, attention.w_v, attention.w_o):
+            assert proj.weight.grad is not None
+        assert x.grad is not None
+
+    def test_attention_output_is_weighted_average_of_values(self, rng):
+        # With a single head and uniform scores the context is the mean of V.
+        attn = MultiHeadAttention(hidden_size=4, num_heads=1, dropout_p=0.0, rng=rng, bias=False)
+        # Force Q and K to zero so all scores are equal -> AP uniform.
+        attn.w_q.weight.data[:] = 0.0
+        attn.w_k.weight.data[:] = 0.0
+        x = rng.normal(size=(1, 5, 4))
+        recorder = RecordingHooks()
+        attn.set_hooks(recorder)
+        attn(Tensor(x))
+        matrices = recorder.matrices(0)
+        ap = matrices["AP"]
+        assert np.allclose(ap, 1.0 / 5)
+
+
+class TestMasking:
+    def test_causal_mask_blocks_future(self, rng):
+        attn = MultiHeadAttention(hidden_size=8, num_heads=2, dropout_p=0.0, causal=True, rng=rng)
+        recorder = RecordingHooks()
+        attn.set_hooks(recorder)
+        attn(Tensor(rng.normal(size=(1, 5, 8))))
+        ap = recorder.matrices(0)["AP"]
+        upper = np.triu(np.ones((5, 5)), k=1).astype(bool)
+        assert np.all(ap[0, 0][upper] < 1e-6)
+
+    def test_padding_mask_zeroes_padded_keys(self, rng):
+        attn = MultiHeadAttention(hidden_size=8, num_heads=2, dropout_p=0.0, rng=rng)
+        recorder = RecordingHooks()
+        attn.set_hooks(recorder)
+        mask = np.ones((1, 6))
+        mask[0, -2:] = 0.0
+        attn(Tensor(rng.normal(size=(1, 6, 8))), attention_mask=mask)
+        ap = recorder.matrices(0)["AP"]
+        assert np.all(ap[..., -2:] < 1e-6)
+
+    def test_local_window_restricts_attention(self, rng):
+        attn = MultiHeadAttention(
+            hidden_size=8, num_heads=2, dropout_p=0.0, causal=True, local_window=2, rng=rng
+        )
+        recorder = RecordingHooks()
+        attn.set_hooks(recorder)
+        attn(Tensor(rng.normal(size=(1, 6, 8))))
+        ap = recorder.matrices(0)["AP"]
+        # Position 5 may only attend to positions 4 and 5 (window of 2).
+        assert np.all(ap[0, 0, 5, :3] < 1e-6)
+
+    def test_build_mask_none_when_not_needed(self, attention):
+        assert attention.build_mask(4, None) is None
+
+
+class TestHooks:
+    def test_recording_hooks_capture_all_matrices(self, attention, rng):
+        recorder = RecordingHooks()
+        attention.set_hooks(recorder)
+        attention(Tensor(rng.normal(size=(2, 5, 16))))
+        captured = recorder.matrices(0)
+        for name in ("Q", "K", "V", "AS", "AP", "CL", "O"):
+            assert name in captured
+
+    def test_gemm_context_fields(self, attention, rng):
+        seen = []
+
+        class Probe(AttentionHooks):
+            def on_gemm_output(self, ctx: GemmContext, out):
+                seen.append((ctx.op, ctx.a.shape, ctx.b.shape, out.shape, ctx.num_heads))
+                return out
+
+        attention.set_hooks(Probe())
+        attention(Tensor(rng.normal(size=(2, 5, 16))))
+        ops = [s[0] for s in seen]
+        assert ops == [
+            AttentionOp.XQ, AttentionOp.XK, AttentionOp.XV,
+            AttentionOp.QK, AttentionOp.APV, AttentionOp.CLO,
+        ]
+        qk = seen[3]
+        assert qk[1] == (2, 4, 5, 4) and qk[2] == (2, 4, 4, 5) and qk[3] == (2, 4, 5, 5)
+
+    def test_hook_can_modify_output(self, attention, rng):
+        class Corrupt(AttentionHooks):
+            def on_gemm_output(self, ctx, out):
+                if ctx.op is AttentionOp.CLO:
+                    out[...] = 0.0
+                return out
+
+        attention.set_hooks(Corrupt())
+        out = attention(Tensor(rng.normal(size=(1, 4, 16))))
+        # Output equals just the bias of W_O (plus output dropout disabled).
+        assert np.allclose(out.data, attention.w_o.bias.data)
+
+    def test_composed_hooks_run_in_order(self, attention, rng):
+        order = []
+
+        class A(AttentionHooks):
+            def on_gemm_output(self, ctx, out):
+                order.append("A")
+                return out
+
+        class B(AttentionHooks):
+            def on_gemm_output(self, ctx, out):
+                order.append("B")
+                return out
+
+        attention.set_hooks(ComposedHooks([A(), B()]))
+        attention(Tensor(rng.normal(size=(1, 3, 16))))
+        assert order[:2] == ["A", "B"]
+
+    def test_start_end_called_once_per_forward(self, attention, rng):
+        counts = {"start": 0, "end": 0}
+
+        class Counter(AttentionHooks):
+            def on_attention_start(self, layer_index, step):
+                counts["start"] += 1
+
+            def on_attention_end(self, layer_index, step):
+                counts["end"] += 1
+
+        attention.set_hooks(Counter())
+        attention(Tensor(rng.normal(size=(1, 3, 16))))
+        attention(Tensor(rng.normal(size=(1, 3, 16))))
+        assert counts == {"start": 2, "end": 2}
+
+    def test_detaching_hooks_restores_plain_forward(self, attention, rng):
+        attention.set_hooks(RecordingHooks())
+        attention.set_hooks(None)
+        x = Tensor(rng.normal(size=(1, 3, 16)))
+        out = attention(x)
+        assert out.shape == (1, 3, 16)
+
+    def test_hook_outputs_are_deterministic_given_same_input(self, attention, rng):
+        x = rng.normal(size=(1, 4, 16))
+        attention.eval()
+        rec1, rec2 = RecordingHooks(), RecordingHooks()
+        attention.set_hooks(rec1)
+        attention(Tensor(x))
+        attention.set_hooks(rec2)
+        attention(Tensor(x))
+        for name in ("Q", "AS", "O"):
+            assert np.allclose(rec1.matrices(0)[name], rec2.matrices(0)[name])

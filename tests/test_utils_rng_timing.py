@@ -1,0 +1,140 @@
+"""Unit tests for the RNG stream registry and the timing utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomState, new_rng, spawn_rngs
+from repro.utils.timing import Timer, TimingRegistry, timed
+
+
+class TestNewRng:
+    def test_default_seed_is_deterministic(self):
+        assert new_rng().integers(0, 1000) == new_rng().integers(0, 1000)
+
+    def test_explicit_seed_reproducible(self):
+        a = new_rng(7).normal(size=5)
+        b = new_rng(7).normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(new_rng(1).normal(size=8), new_rng(2).normal(size=8))
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn_rngs(new_rng(0), 5)
+        assert len(children) == 5
+
+    def test_spawned_streams_are_independent(self):
+        children = spawn_rngs(new_rng(0), 2)
+        a = children[0].normal(size=16)
+        b = children[1].normal(size=16)
+        assert not np.allclose(a, b)
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(new_rng(0), -1)
+
+    def test_spawn_zero_is_empty(self):
+        assert spawn_rngs(new_rng(0), 0) == []
+
+
+class TestRandomState:
+    def test_same_name_same_stream_object(self):
+        state = RandomState(seed=5)
+        assert state.stream("init") is state.stream("init")
+
+    def test_streams_isolated_by_name(self):
+        state = RandomState(seed=5)
+        a = state.stream("a").normal(size=4)
+        b = state.stream("b").normal(size=4)
+        assert not np.allclose(a, b)
+
+    def test_stream_deterministic_across_instances(self):
+        a = RandomState(seed=5).stream("faults").normal(size=4)
+        b = RandomState(seed=5).stream("faults").normal(size=4)
+        assert np.array_equal(a, b)
+
+    def test_reset_recreates_streams(self):
+        state = RandomState(seed=5)
+        first = state.stream("x").normal(size=3)
+        state.reset()
+        second = state.stream("x").normal(size=3)
+        assert np.array_equal(first, second)
+
+
+class TestTimer:
+    def test_measures_positive_time(self):
+        timer = Timer()
+        with timer.measure():
+            time.sleep(0.001)
+        assert timer.elapsed > 0
+        assert timer.count == 1
+
+    def test_mean_over_multiple_measurements(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.measure():
+                pass
+        assert timer.count == 3
+        assert timer.mean == pytest.approx(timer.elapsed / 3)
+
+    def test_double_start_raises(self):
+        timer = Timer().start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0 and timer.count == 0
+
+    def test_timed_contextmanager(self):
+        with timed() as t:
+            time.sleep(0.001)
+        assert t.elapsed > 0
+
+
+class TestTimingRegistry:
+    def test_accumulates_by_key(self):
+        registry = TimingRegistry()
+        with registry.measure("a/x"):
+            pass
+        with registry.measure("a/y"):
+            pass
+        with registry.measure("b/z"):
+            pass
+        assert registry.total("a/") == pytest.approx(
+            registry.elapsed("a/x") + registry.elapsed("a/y")
+        )
+        assert registry.total() >= registry.total("a/")
+
+    def test_unknown_key_elapsed_is_zero(self):
+        assert TimingRegistry().elapsed("missing") == 0.0
+
+    def test_keys_sorted(self):
+        registry = TimingRegistry()
+        registry.timer("b")
+        registry.timer("a")
+        assert registry.keys() == ["a", "b"]
+
+    def test_report_contains_keys(self):
+        registry = TimingRegistry()
+        with registry.measure("encode"):
+            pass
+        assert "encode" in registry.report()
+
+    def test_reset_clears(self):
+        registry = TimingRegistry()
+        with registry.measure("x"):
+            pass
+        registry.reset()
+        assert registry.as_dict() == {}
