@@ -17,8 +17,10 @@ import pytest
 
 from benchmarks.conftest import OVERHEAD_MODELS, make_batch, make_model
 from repro.analysis import format_percent, format_table
-from repro.core import ATTNChecker
+from repro.core import ATTNChecker, ATTNCheckerConfig
+from repro.faults import FaultInjector, FaultSpec
 from repro.models import get_config
+from repro.nn import ComposedHooks
 from repro.perfmodel import TrainingStepCostModel
 from repro.training import Trainer, TrainerConfig
 
@@ -47,7 +49,7 @@ def model_overheads(batch_size: int = 8):
     return table
 
 
-def measured_cpu_overhead(model_name: str = "bert-base", steps: int = 3):
+def measured_cpu_overhead(model_name: str = "bert-base", steps: int = 3, backend: str = "fused"):
     """Measured per-step overhead of the NumPy ATTNChecker on this host."""
     def run(checker):
         model = make_model(model_name)
@@ -58,8 +60,49 @@ def measured_cpu_overhead(model_name: str = "bert-base", steps: int = 3):
         return float(np.median(times))
 
     baseline = run(None)
-    protected = run(ATTNChecker())
+    protected = run(ATTNChecker(ATTNCheckerConfig(backend=backend)))
     return (protected - baseline) / baseline
+
+
+def measured_abft_seconds(backend: str, model_name: str = "bert-base", steps: int = 8):
+    """Best-case per-step ABFT wall-clock of one checker backend on this host.
+
+    The min over several steps estimates the noise-free floor — the right
+    statistic for comparing two implementations of the *same* checksum
+    algebra, where the difference is fixed host-side dispatch work.
+    """
+    model = make_model(model_name)
+    batch = make_batch(model, n=8)
+    checker = ATTNChecker(ATTNCheckerConfig(backend=backend))
+    trainer = Trainer(model, config=TrainerConfig(learning_rate=1e-3), checker=checker)
+    trainer.train_step(batch)  # warm-up
+    return min(trainer.train_step(batch).abft_seconds for _ in range(steps))
+
+
+def backend_fault_decisions(backend: str, model_name: str = "bert-base"):
+    """Detection/correction decisions of one backend over a fault campaign."""
+    decisions = {}
+    outputs = []
+    for trial, (matrix, error_type) in enumerate(
+        (m, e) for m in ("Q", "K", "V", "AS", "CL", "O") for e in ("inf", "nan", "near_inf")
+    ):
+        model = make_model(model_name)
+        model.eval()
+        batch = make_batch(model, n=4, full_mask=True)
+        injector = FaultInjector(
+            [FaultSpec(matrix=matrix, error_type=error_type)],
+            rng=np.random.default_rng(1000 + trial),
+        )
+        checker = ATTNChecker(ATTNCheckerConfig(backend=backend))
+        model.set_attention_hooks(ComposedHooks([injector, checker]))
+        logits = model(batch["input_ids"], attention_mask=batch["attention_mask"]).logits.data
+        model.set_attention_hooks(None)
+        outputs.append(logits.copy())
+        decisions[(matrix, error_type)] = {
+            name: (s.detections, s.corrections, s.aborted_vectors, s.residual_extreme)
+            for name, s in checker.stats.sections.items()
+        }
+    return decisions, outputs
 
 
 def test_fig7_overhead_modelled(benchmark, report):
@@ -98,3 +141,45 @@ def test_fig7_overhead_measured_cpu(benchmark, report):
     benchmark.extra_info["measured_step_overhead"] = overhead
     # The NumPy implementation's overhead stays moderate (well under 2x).
     assert overhead < 1.0
+
+
+def test_fig7_fused_engine_vs_per_gemm_backend(benchmark, report):
+    """The Section-4.4 fusion claim, measured: the fused ProtectionEngine's
+    ABFT overhead does not exceed the per-GEMM reference backend's, while a
+    fault-injection campaign confirms the two backends make byte-identical
+    detection/correction decisions."""
+    def compare():
+        # Interleave the backends and keep the floor of three trials each, so
+        # slow drift on a shared CI host hits both measurements alike.
+        fused_trials, per_gemm_trials = [], []
+        for _ in range(3):
+            fused_trials.append(measured_abft_seconds("fused"))
+            per_gemm_trials.append(measured_abft_seconds("per_gemm"))
+        return min(fused_trials), min(per_gemm_trials)
+
+    fused, per_gemm = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    fused_decisions, fused_outputs = backend_fault_decisions("fused")
+    ref_decisions, ref_outputs = backend_fault_decisions("per_gemm")
+
+    report(
+        "Figure 7 (backend comparison, CPU/NumPy, bert-base tiny): per-step ABFT time "
+        f"fused = {fused * 1e3:.2f} ms, per-GEMM = {per_gemm * 1e3:.2f} ms "
+        f"({(per_gemm - fused) / per_gemm * 100.0:+.1f}% saved by fusion); "
+        f"fault campaign decisions identical: {fused_decisions == ref_decisions}"
+    )
+    benchmark.extra_info["fused_abft_seconds"] = fused
+    benchmark.extra_info["per_gemm_abft_seconds"] = per_gemm
+
+    # Byte-identical detection/correction outcomes between the two backends —
+    # the hard, deterministic gate.
+    assert fused_decisions == ref_decisions
+    for fused_logits, ref_logits in zip(fused_outputs, ref_outputs):
+        assert np.array_equal(fused_logits, ref_logits, equal_nan=True)
+    # Fused-engine overhead at or below the per-GEMM baseline.  The two
+    # backends run the identical checksum algebra, so the true gap is the
+    # removed host-side dispatch work — small relative to wall-clock jitter
+    # on shared CI runners, hence the 10% noise allowance on top of the
+    # interleaved min-floor estimator.  A real regression (extra checksum
+    # work on the fused path) is well above this band.
+    assert fused <= per_gemm * 1.10

@@ -54,3 +54,28 @@ def test_fig9_encoding_throughput(benchmark, report):
     tbps = [p.throughput_tbps for p in custom]
     assert tbps == sorted(tbps)
     assert list(DEFAULT_BATCH_SIZES) == [p.batch_size for p in custom]
+
+
+def test_fig9_low_precision_encoding(benchmark, report):
+    """The encoder on fp32 training data (the paper's precision): accumulation
+    happens in float64 whatever the storage dtype — the dtype-safety rule that
+    keeps low-precision fault-free data below the detection tolerances — and
+    the promotion does not change the encoded values beyond fp32 round-off of
+    the inputs themselves."""
+    sweep = EncoderThroughputModel()
+    rng = np.random.default_rng(1)
+    data32 = rng.normal(size=(192, sweep.seq_len, sweep.block_width)).astype(np.float32)
+
+    encoded = benchmark(encode_column_checksums, data32)
+    measured_tbps = data32.nbytes / benchmark.stats["mean"] / 1e12 if benchmark.stats else 0.0
+    report(
+        "Figure 9 (dtype safety): NumPy encoder on fp32 input = "
+        f"{measured_tbps:.3f} TB/s at batch 192; checksums accumulate in {encoded.dtype}"
+    )
+    benchmark.extra_info["fp32_input_tbps"] = measured_tbps
+
+    # Checksums of low-precision data are float64 (the dtype-safety rule)...
+    assert encoded.dtype == np.float64
+    # ...and bit-exact against encoding the float64-promoted input.
+    reference = encode_column_checksums(data32.astype(np.float64))
+    assert np.array_equal(encoded, reference)

@@ -24,7 +24,9 @@ import numpy as np
 
 from repro.analysis import format_percent, format_table, gemm_ratio_table
 from repro.core import (
+    CHECKER_BACKENDS,
     ATTNChecker,
+    ATTNCheckerConfig,
     ErrorRates,
     OperationVulnerability,
     optimize_abft_frequencies,
@@ -68,7 +70,7 @@ def run_quickstart(args: argparse.Namespace) -> str:
         [FaultSpec(matrix=args.matrix, error_type=args.error_type)],
         rng=np.random.default_rng(args.seed),
     )
-    checker = ATTNChecker()
+    checker = ATTNChecker(ATTNCheckerConfig(backend=args.backend))
     model.eval()
     reference = model(batch["input_ids"], attention_mask=batch["attention_mask"],
                       labels=batch["labels"]).loss_value
@@ -77,6 +79,7 @@ def run_quickstart(args: argparse.Namespace) -> str:
                       labels=batch["labels"]).loss_value
     model.set_attention_hooks(None)
     lines = [
+        f"backend              : {checker.backend}",
         f"fault-free loss      : {reference:.6f}",
         f"protected faulty loss: {protected:.6f}",
         f"detections           : {checker.stats.total_detections}",
@@ -84,6 +87,65 @@ def run_quickstart(args: argparse.Namespace) -> str:
         f"residual extremes    : {checker.stats.total_residual_extreme}",
     ]
     return "\n".join(lines)
+
+
+def run_backends(args: argparse.Namespace) -> str:
+    """Compare the fused ProtectionEngine against the per-GEMM reference.
+
+    Runs the same single-fault forward pass under both backends (same seeds)
+    for every (matrix, error type) combination and reports whether detection /
+    correction decisions and the protected output are byte-identical, plus the
+    ABFT wall-clock each backend spent.
+    """
+    combos = [(m, e) for m in ("Q", "K", "V", "AS", "CL", "O")
+              for e in ("inf", "nan", "near_inf")]
+    rows = []
+    abft_seconds = {name: 0.0 for name in CHECKER_BACKENDS}
+    all_identical = True
+    for matrix, error_type in combos:
+        outputs, decisions = {}, {}
+        for backend in CHECKER_BACKENDS:
+            model, batch = _tiny_model_and_batch(args.model, seed=args.seed)
+            model.eval()
+            injector = FaultInjector(
+                [FaultSpec(matrix=matrix, error_type=error_type)],
+                rng=np.random.default_rng(args.seed),
+            )
+            checker = ATTNChecker(ATTNCheckerConfig(backend=backend))
+            model.set_attention_hooks(ComposedHooks([injector, checker]))
+            outputs[backend] = model(
+                batch["input_ids"], attention_mask=batch["attention_mask"],
+                labels=batch["labels"],
+            ).logits.data.copy()
+            model.set_attention_hooks(None)
+            decisions[backend] = {
+                name: (s.detections, s.corrections, s.aborted_vectors, s.operand_repairs)
+                for name, s in checker.stats.sections.items()
+            }
+            abft_seconds[backend] += checker.overhead_seconds()
+        identical = (
+            np.array_equal(outputs["fused"], outputs["per_gemm"], equal_nan=True)
+            and decisions["fused"] == decisions["per_gemm"]
+        )
+        all_identical &= identical
+        fused = decisions["fused"]
+        rows.append([
+            matrix, error_type,
+            sum(d for d, *_ in fused.values()),
+            sum(c for _, c, *_ in fused.values()),
+            "yes" if identical else "NO",
+        ])
+    footer = (
+        f"backends byte-identical on all {len(combos)} scenarios; "
+        if all_identical else "BACKENDS DIVERGED; "
+    ) + (
+        f"ABFT time fused {abft_seconds['fused'] * 1e3:.1f} ms vs "
+        f"per-GEMM {abft_seconds['per_gemm'] * 1e3:.1f} ms"
+    )
+    return format_table(
+        ["matrix", "error", "detections", "corrections", "identical"], rows,
+        title=f"Backend equivalence — fused engine vs per-GEMM reference ({args.model}); {footer}",
+    )
 
 
 def run_table2(args: argparse.Namespace) -> str:
@@ -212,6 +274,7 @@ def run_fig12(args: argparse.Namespace) -> str:
 #: Registry of experiments exposed by the CLI.
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "quickstart": run_quickstart,
+    "backends": run_backends,
     "table2": run_table2,
     "table3": run_table3,
     "sec52": run_sec52,
@@ -238,6 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--model", default="bert-base", help="model name for the measured experiments")
     parser.add_argument("--matrix", default="AS", help="fault-injection matrix for quickstart")
     parser.add_argument("--error-type", default="inf", choices=["inf", "nan", "near_inf", "numeric"])
+    parser.add_argument("--backend", default="fused", choices=list(CHECKER_BACKENDS),
+                        help="ATTNChecker mechanics backend: fused ProtectionEngine "
+                             "(default) or the per-GEMM reference implementation")
     parser.add_argument("--trials", type=int, default=2, help="trials per cell for campaign experiments")
     parser.add_argument("--batch-size", type=int, default=8)
     parser.add_argument("--gpus", type=int, default=1024, help="GPU count for fig12")

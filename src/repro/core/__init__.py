@@ -20,9 +20,17 @@ This package is the reproduction of the paper's primary contribution:
 ``sections``
     The three protection sections S_AS, S_CL, S_O with checksum passing
     (Section 4.4) and their cost accounting.
+``engine``
+    :class:`ProtectionEngine` — the fused section-level checksum-passing
+    mechanics: encode once per section, carry through every member GEMM, and
+    verify in one batched pass per section (optionally batching all layers of
+    a step in deferred mode).
 ``attention_checker``
     :class:`ATTNChecker` — the attention hook that ties everything together
-    and plugs into :class:`repro.nn.MultiHeadAttention`.
+    and plugs into :class:`repro.nn.MultiHeadAttention`.  A thin policy layer
+    (adaptive frequencies, thresholds, statistics) over a selectable backend:
+    the fused ``engine`` (default) or the reference per-GEMM implementation
+    (``ATTNCheckerConfig(backend="per_gemm")``).
 ``adaptive``
     Adaptive ABFT detection frequencies (Section 4.5): Poisson error model,
     fault coverage (FC), fault-coverage efficiency (FCE) and the greedy
@@ -43,9 +51,20 @@ from repro.core.checksums import (
 from repro.core.eec_abft import ColumnCheckReport, check_columns, check_rows
 from repro.core.patterns import ErrorPattern, classify_error_pattern, classify_error_types
 from repro.core.correction import MatrixCorrectionReport, correct_matrix
-from repro.core.protected_gemm import ProtectedGemmResult, ProtectedMatmul, protected_matmul
+from repro.core.protected_gemm import (
+    ProtectedGemmChain,
+    ProtectedGemmResult,
+    ProtectedMatmul,
+    protected_matmul,
+)
 from repro.core.sections import PROTECTION_SECTIONS, ProtectionSection, SectionCostModel
-from repro.core.attention_checker import ATTNChecker, ATTNCheckerConfig, CheckerStats
+from repro.core.engine import ProtectionEngine, SectionOutcome
+from repro.core.attention_checker import (
+    CHECKER_BACKENDS,
+    ATTNChecker,
+    ATTNCheckerConfig,
+    CheckerStats,
+)
 from repro.core.adaptive import (
     AdaptiveFrequencyOptimizer,
     ErrorRates,
@@ -74,13 +93,17 @@ __all__ = [
     "MatrixCorrectionReport",
     "protected_matmul",
     "ProtectedMatmul",
+    "ProtectedGemmChain",
     "ProtectedGemmResult",
     "ProtectionSection",
     "PROTECTION_SECTIONS",
     "SectionCostModel",
+    "ProtectionEngine",
+    "SectionOutcome",
     "ATTNChecker",
     "ATTNCheckerConfig",
     "CheckerStats",
+    "CHECKER_BACKENDS",
     "ErrorRates",
     "OperationVulnerability",
     "SectionReliabilityModel",

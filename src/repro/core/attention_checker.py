@@ -2,18 +2,25 @@
 
 :class:`ATTNChecker` is an :class:`repro.nn.AttentionHooks` implementation
 that plugs into :class:`repro.nn.MultiHeadAttention` (and therefore into every
-model of the zoo) and realises the protection scheme of Sections 4.2–4.6:
+model of the zoo) and realises the protection scheme of Sections 4.2–4.6.
+Since the ProtectionEngine refactor it is a thin *policy* layer — adaptive
+per-section detection frequencies (``f_AS``, ``f_CL``, ``f_O``), thresholds,
+statistics and timing — on top of one of two interchangeable *mechanics*
+backends:
 
-* it encodes checksums for the *inputs* of each protection section,
-* passes them through the member GEMMs (including bias-add adjustment),
-* detects and corrects INF / NaN / near-INF and numeric errors at the section
-  boundaries (``AS``, ``CL``, ``O``) using EEC-ABFT,
-* handles nondeterministic and mixed-type propagation patterns via
-  :func:`repro.core.correction.correct_matrix`,
-* applies per-section detection frequencies (``f_AS``, ``f_CL``, ``f_O``)
-  produced by the adaptive optimiser of Section 4.5, and
-* records statistics and fine-grained timing so the overhead experiments
-  (Figures 7, 8, 10) can be regenerated.
+``"fused"`` (default)
+    :class:`repro.core.engine.ProtectionEngine` — checksums are encoded once
+    per protection section and passed through all member GEMMs in a single
+    dispatch at the section-boundary GEMM (the paper's Section 4.4 design),
+    three Python dispatches per layer instead of six.  Supports the optional
+    ``deferred`` mode that batches verification of all layers of a step into
+    one vectorised pass (detection only).
+
+``"per_gemm"``
+    The original hook-per-GEMM implementation, kept as a reference backend:
+    it computes the identical checksum algebra spread over all six GEMM
+    hooks.  Both backends make byte-identical detection/correction decisions;
+    the equivalence is enforced by tests and by the Figure-7 benchmark.
 
 The checker is completely transparent to the model: attaching it changes no
 shapes and no semantics of the forward/backward pass (one of the paper's
@@ -22,9 +29,10 @@ stated design goals).
 Usage
 -----
 >>> from repro.models import build_model
->>> from repro.core import ATTNChecker
+>>> from repro.core import ATTNChecker, ATTNCheckerConfig
 >>> model = build_model("bert-base", size="tiny")
->>> checker = ATTNChecker()
+>>> checker = ATTNChecker()                                   # fused engine
+>>> reference = ATTNChecker(ATTNCheckerConfig(backend="per_gemm"))
 >>> model.set_attention_hooks(checker)
 >>> # ... train as usual; checker.stats reports detections/corrections.
 """
@@ -48,12 +56,27 @@ from repro.core.checksums import (
 )
 from repro.core.correction import MatrixCorrectionReport, correct_matrix
 from repro.core.eec_abft import check_columns, check_rows
+from repro.core.engine import ProtectionEngine, SectionOutcome
 from repro.core.sections import PROTECTION_SECTIONS
 from repro.core.thresholds import ABFTThresholds
-from repro.nn.attention import AttentionHooks, AttentionOp, GemmContext
+from repro.nn.attention import (
+    AttentionHooks,
+    AttentionOp,
+    GemmContext,
+    SectionContext,
+)
 from repro.utils.timing import TimingRegistry
 
-__all__ = ["ATTNCheckerConfig", "SectionStats", "CheckerStats", "ATTNChecker"]
+__all__ = [
+    "CHECKER_BACKENDS",
+    "ATTNCheckerConfig",
+    "SectionStats",
+    "CheckerStats",
+    "ATTNChecker",
+]
+
+#: Selectable mechanics backends.
+CHECKER_BACKENDS = ("fused", "per_gemm")
 
 
 @dataclass
@@ -67,6 +90,14 @@ class ATTNCheckerConfig:
     frequencies:
         Per-section detection frequency in [0, 1] (Section 4.5); 1.0 checks
         every execution, 0.5 every other execution, 0 disables the section.
+    backend:
+        ``"fused"`` — the section-level checksum-passing
+        :class:`~repro.core.engine.ProtectionEngine` (default);
+        ``"per_gemm"`` — the reference hook-per-GEMM implementation.
+    defer_verification:
+        Fused backend only: queue boundary verifications and run them in one
+        batched pass per step at :meth:`ATTNChecker.end_step` (detection only;
+        see :mod:`repro.core.engine`).
     repair_operands:
         After a boundary-matrix correction, additionally repair the upstream
         operand (Q, K or V) whose 0D fault caused the propagation.  The
@@ -84,6 +115,8 @@ class ATTNCheckerConfig:
 
     thresholds: ABFTThresholds = field(default_factory=ABFTThresholds)
     frequencies: Dict[str, float] = field(default_factory=lambda: {"AS": 1.0, "CL": 1.0, "O": 1.0})
+    backend: str = "fused"
+    defer_verification: bool = False
     repair_operands: bool = True
     refresh_checksums: bool = True
     collect_timing: bool = True
@@ -96,6 +129,12 @@ class ATTNCheckerConfig:
                 raise ValueError(f"frequency for section {name} must be in [0, 1], got {value}")
         for name in PROTECTION_SECTIONS:
             self.frequencies.setdefault(name, 1.0)
+        if self.backend not in CHECKER_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {CHECKER_BACKENDS}"
+            )
+        if self.defer_verification and self.backend != "fused":
+            raise ValueError("defer_verification requires the 'fused' backend")
 
 
 @dataclass
@@ -147,8 +186,8 @@ class CheckerStats:
             self.sections[name] = SectionStats()
 
 
-class _PassState:
-    """Per-(layer, forward-pass) checksum state passed between GEMMs."""
+class _PerGemmState:
+    """Per-(layer, forward-pass) checksum state of the reference backend."""
 
     __slots__ = (
         "enabled",
@@ -168,64 +207,32 @@ class _PassState:
         self.cs_cl_col: Optional[np.ndarray] = None
 
 
-class ATTNChecker(AttentionHooks):
-    """The ABFT attention hook implementing the full ATTNChecker scheme."""
+class _PerGemmReferenceBackend:
+    """The original per-GEMM checker mechanics, kept as a reference backend.
 
-    def __init__(self, config: Optional[ATTNCheckerConfig] = None) -> None:
-        self.config = config or ATTNCheckerConfig()
-        self.stats = CheckerStats()
-        self.timers = TimingRegistry()
-        self.last_reports: Dict[str, MatrixCorrectionReport] = {}
-        self._states: Dict[int, _PassState] = {}
-        self._freq_accumulators: Dict[str, float] = {name: 0.0 for name in PROTECTION_SECTIONS}
+    Dispatches Python work at every one of the six attention GEMM hooks.  The
+    checksum algebra is operation-for-operation identical to the fused
+    :class:`~repro.core.engine.ProtectionEngine`, which makes the two backends
+    byte-comparable — this class is the oracle the engine is validated
+    against.
+    """
 
-    # -- configuration shortcuts -------------------------------------------------
+    def __init__(self, checker: "ATTNChecker") -> None:
+        self.checker = checker
+        self._states: Dict[int, _PerGemmState] = {}
 
-    @property
-    def thresholds(self) -> ABFTThresholds:
-        return self.config.thresholds
+    # -- pass lifecycle ---------------------------------------------------------
 
-    def set_frequencies(self, frequencies: Dict[str, float]) -> None:
-        """Install new per-section detection frequencies (from the optimiser)."""
-        for name, value in frequencies.items():
-            if name not in PROTECTION_SECTIONS:
-                raise KeyError(f"unknown protection section {name!r}")
-            if not 0.0 <= value <= 1.0:
-                raise ValueError(f"frequency for {name} must be in [0, 1], got {value}")
-            self.config.frequencies[name] = float(value)
+    def begin_layer(self, layer_index: int, enabled: Dict[str, bool]) -> None:
+        self._states[layer_index] = _PerGemmState(dict(enabled))
 
-    def reset_stats(self) -> None:
-        self.stats.reset()
-        self.timers.reset()
-        self.last_reports.clear()
-
-    # -- frequency gating -----------------------------------------------------------
-
-    def _section_enabled_this_pass(self) -> Dict[str, bool]:
-        """Decide which sections check on this forward pass (accumulator gating).
-
-        With frequency ``f`` the section runs on a deterministic ``f`` fraction
-        of passes, spread as evenly as possible (e.g. ``f = 0.5`` -> every
-        other pass), which is how the paper's ``f_S`` is defined.
-        """
-        enabled = {}
-        for name, freq in self.config.frequencies.items():
-            acc = self._freq_accumulators[name] + freq
-            if acc >= 1.0 - 1e-12:
-                enabled[name] = True
-                acc -= 1.0
-            else:
-                enabled[name] = False
-            self._freq_accumulators[name] = acc
-        return enabled
-
-    # -- AttentionHooks interface ------------------------------------------------------
-
-    def on_attention_start(self, layer_index: int, step: int) -> None:
-        self._states[layer_index] = _PassState(self._section_enabled_this_pass())
-
-    def on_attention_end(self, layer_index: int, step: int) -> None:
+    def end_layer(self, layer_index: int) -> None:
         self._states.pop(layer_index, None)
+
+    def reset(self) -> None:
+        self._states.clear()
+
+    # -- GEMM dispatch ----------------------------------------------------------
 
     def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
         state = self._states.get(ctx.layer_index)
@@ -246,17 +253,18 @@ class ATTNChecker(AttentionHooks):
             self._handle_output(ctx, state, out)
         return out
 
-    # -- section S_AS -------------------------------------------------------------------
+    # -- section S_AS -----------------------------------------------------------
 
-    def _handle_projection(self, ctx: GemmContext, state: _PassState, which: str) -> None:
+    def _handle_projection(self, ctx: GemmContext, state: _PerGemmState, which: str) -> None:
         """X x W_Q / X x W_K: derive column checksums of Q / K from those of X."""
+        checker = self.checker
         if not state.enabled.get("AS", False):
             return
         num_rows = ctx.a.shape[-2]
         if state.cs_x_col is None:
-            with self.timers.measure("AS/encode"):
+            with checker.timers.measure("AS/encode"):
                 state.cs_x_col = encode_column_checksums(ctx.a)
-        with self.timers.measure("AS/update"):
+        with checker.timers.measure("AS/update"):
             cs = update_column_checksums_through_gemm(state.cs_x_col, ctx.b)
             if ctx.bias is not None:
                 cs = adjust_column_checksums_for_bias(cs, ctx.bias, num_rows)
@@ -265,46 +273,50 @@ class ATTNChecker(AttentionHooks):
         else:
             state.cs_k_col = cs
 
-    def _handle_attention_scores(self, ctx: GemmContext, state: _PassState, out: np.ndarray) -> None:
+    def _handle_attention_scores(self, ctx: GemmContext, state: _PerGemmState, out: np.ndarray) -> None:
         """Q x K^T: pass checksums to AS, then detect & correct at the boundary."""
+        checker = self.checker
         if not state.enabled.get("AS", False):
-            self.stats.sections["AS"].checks_skipped += 1
+            checker.stats.sections["AS"].checks_skipped += 1
             return
         if state.cs_q_col is None or state.cs_k_col is None:
             return
         num_heads = ctx.num_heads
-        with self.timers.measure("AS/update"):
+        with checker.timers.measure("AS/update"):
             cs_q_ph = split_head_column_checksums(state.cs_q_col, num_heads)   # (B, H, 2, dh)
             cs_k_ph = split_head_column_checksums(state.cs_k_col, num_heads)
             # Column side of AS: col(AS) = col(Q) K^T.
             cs_as_col = np.matmul(cs_q_ph, ctx.b)                              # (B, H, 2, S)
             # Row side of AS: row(AS) = Q row(K^T) = Q col(K)^T.
             cs_as_row = np.matmul(ctx.a, np.swapaxes(cs_k_ph, -1, -2))          # (B, H, S, 2)
-        with self.timers.measure("AS/detect"):
+        with checker.timers.measure("AS/detect"):
             checksums = ChecksumState(col=cs_as_col, row=cs_as_row)
             report = correct_matrix(
-                out, checksums, thresholds=self.thresholds,
-                refresh_checksums=self.config.refresh_checksums,
+                out, checksums, thresholds=checker.thresholds,
+                refresh_checksums=checker.config.refresh_checksums,
             )
-        self.stats.sections["AS"].record(report)
-        self.last_reports["AS"] = report
-        if self.config.repair_operands and report.corrected > 0:
-            with self.timers.measure("AS/correct"):
-                q_report = check_columns(ctx.a, cs_q_ph, thresholds=self.thresholds)
-                kt_report = check_rows(ctx.b, np.swapaxes(cs_k_ph, -1, -2), thresholds=self.thresholds)
-            self.stats.sections["AS"].operand_repairs += q_report.num_corrected + kt_report.num_corrected
+        checker.stats.sections["AS"].record(report)
+        checker.last_reports["AS"] = report
+        if checker.config.repair_operands and report.corrected > 0:
+            with checker.timers.measure("AS/correct"):
+                q_report = check_columns(ctx.a, cs_q_ph, thresholds=checker.thresholds)
+                kt_report = check_rows(ctx.b, np.swapaxes(cs_k_ph, -1, -2), thresholds=checker.thresholds)
+            checker.stats.sections["AS"].operand_repairs += (
+                q_report.num_corrected + kt_report.num_corrected
+            )
 
-    # -- section S_CL -------------------------------------------------------------------
+    # -- section S_CL -----------------------------------------------------------
 
-    def _handle_value_projection(self, ctx: GemmContext, state: _PassState) -> None:
+    def _handle_value_projection(self, ctx: GemmContext, state: _PerGemmState) -> None:
         """X x W_V: derive per-head row checksums of V from those of W_V."""
+        checker = self.checker
         if not (state.enabled.get("CL", False) or state.enabled.get("O", False)):
             return
         num_heads = ctx.num_heads
         head_dim = ctx.head_dim
-        with self.timers.measure("CL/encode"):
+        with checker.timers.measure("CL/encode"):
             rowcs_wv = encode_per_head_row_checksums_of_weight(ctx.b, num_heads)  # (D, H, 2)
-        with self.timers.measure("CL/update"):
+        with checker.timers.measure("CL/update"):
             cs_v_row = np.einsum("...sd,dhw->...hsw", ctx.a, rowcs_wv)            # (B, H, S, 2)
             if ctx.bias is not None:
                 bias_heads = np.asarray(ctx.bias, dtype=np.float64).reshape(num_heads, head_dim)
@@ -314,16 +326,17 @@ class ATTNChecker(AttentionHooks):
                 cs_v_row[..., 1] += (bias_heads * v2).sum(axis=-1)[None, :, None]
         state.cs_v_row = cs_v_row
 
-    def _handle_context_layer(self, ctx: GemmContext, state: _PassState, out: np.ndarray) -> None:
+    def _handle_context_layer(self, ctx: GemmContext, state: _PerGemmState, out: np.ndarray) -> None:
         """AP x V: encode AP, pass checksums to CL, detect & correct at the boundary."""
+        checker = self.checker
         cl_enabled = state.enabled.get("CL", False)
         o_enabled = state.enabled.get("O", False)
         if not (cl_enabled or o_enabled):
-            self.stats.sections["CL"].checks_skipped += 1
+            checker.stats.sections["CL"].checks_skipped += 1
             return
-        with self.timers.measure("CL/encode"):
+        with checker.timers.measure("CL/encode"):
             cs_ap_col = encode_column_checksums(ctx.a)                            # (B, H, 2, S)
-        with self.timers.measure("CL/update"):
+        with checker.timers.measure("CL/update"):
             cs_cl_col = np.matmul(cs_ap_col, ctx.b)                               # (B, H, 2, dh)
             cs_cl_row = None
             if cl_enabled and state.cs_v_row is not None:
@@ -332,43 +345,186 @@ class ATTNChecker(AttentionHooks):
                 cs_cl_row = np.matmul(ctx.a, state.cs_v_row)                      # (B, H, S, 2)
         checksums = ChecksumState(col=cs_cl_col, row=cs_cl_row)
         if cl_enabled:
-            with self.timers.measure("CL/detect"):
+            with checker.timers.measure("CL/detect"):
                 report = correct_matrix(
-                    out, checksums, thresholds=self.thresholds,
-                    refresh_checksums=self.config.refresh_checksums,
+                    out, checksums, thresholds=checker.thresholds,
+                    refresh_checksums=checker.config.refresh_checksums,
                 )
-            self.stats.sections["CL"].record(report)
-            self.last_reports["CL"] = report
-            if self.config.repair_operands and report.corrected > 0 and state.cs_v_row is not None:
-                with self.timers.measure("CL/correct"):
-                    v_report = check_rows(ctx.b, state.cs_v_row, thresholds=self.thresholds)
-                self.stats.sections["CL"].operand_repairs += v_report.num_corrected
+            checker.stats.sections["CL"].record(report)
+            checker.last_reports["CL"] = report
+            if checker.config.repair_operands and report.corrected > 0 and state.cs_v_row is not None:
+                with checker.timers.measure("CL/correct"):
+                    v_report = check_rows(ctx.b, state.cs_v_row, thresholds=checker.thresholds)
+                checker.stats.sections["CL"].operand_repairs += v_report.num_corrected
         else:
-            self.stats.sections["CL"].checks_skipped += 1
+            checker.stats.sections["CL"].checks_skipped += 1
         # Pass the (possibly refreshed) column checksums of CL to section S_O.
         state.cs_cl_col = checksums.col
 
-    # -- section S_O --------------------------------------------------------------------
+    # -- section S_O ------------------------------------------------------------
 
-    def _handle_output(self, ctx: GemmContext, state: _PassState, out: np.ndarray) -> None:
+    def _handle_output(self, ctx: GemmContext, state: _PerGemmState, out: np.ndarray) -> None:
         """CL x W_O: carry column checksums through and correct the output O."""
+        checker = self.checker
         if not state.enabled.get("O", False):
-            self.stats.sections["O"].checks_skipped += 1
+            checker.stats.sections["O"].checks_skipped += 1
             return
         if state.cs_cl_col is None:
             return
-        with self.timers.measure("O/update"):
+        with checker.timers.measure("O/update"):
             cs_cl_merged = merge_head_column_checksums(state.cs_cl_col)          # (B, 2, D)
             cs_o_col = update_column_checksums_through_gemm(cs_cl_merged, ctx.b)  # (B, 2, D)
-        with self.timers.measure("O/detect"):
+        with checker.timers.measure("O/detect"):
             report = correct_matrix(
-                out, ChecksumState(col=cs_o_col), thresholds=self.thresholds,
-                refresh_checksums=self.config.refresh_checksums,
+                out, ChecksumState(col=cs_o_col), thresholds=checker.thresholds,
+                refresh_checksums=checker.config.refresh_checksums,
             )
-        self.stats.sections["O"].record(report)
-        self.last_reports["O"] = report
+        checker.stats.sections["O"].record(report)
+        checker.last_reports["O"] = report
 
-    # -- reporting -----------------------------------------------------------------------
+
+class ATTNChecker(AttentionHooks):
+    """The ABFT attention hook: policy layer over a mechanics backend."""
+
+    def __init__(self, config: Optional[ATTNCheckerConfig] = None) -> None:
+        self.config = config or ATTNCheckerConfig()
+        self.stats = CheckerStats()
+        self.timers = TimingRegistry()
+        self.last_reports: Dict[str, MatrixCorrectionReport] = {}
+        self._freq_accumulators: Dict[str, float] = {name: 0.0 for name in PROTECTION_SECTIONS}
+        if self.config.backend == "fused":
+            self.engine: Optional[ProtectionEngine] = ProtectionEngine(
+                thresholds=self.config.thresholds,
+                refresh_checksums=self.config.refresh_checksums,
+                repair_operands=self.config.repair_operands,
+                timers=self.timers,
+                deferred=self.config.defer_verification,
+            )
+            self._reference: Optional[_PerGemmReferenceBackend] = None
+        else:
+            self.engine = None
+            self._reference = _PerGemmReferenceBackend(self)
+
+    # -- configuration shortcuts ------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def thresholds(self) -> ABFTThresholds:
+        return self.config.thresholds
+
+    def set_frequencies(self, frequencies: Dict[str, float]) -> None:
+        """Install new per-section detection frequencies (from the optimiser)."""
+        for name, value in frequencies.items():
+            if name not in PROTECTION_SECTIONS:
+                raise KeyError(f"unknown protection section {name!r}")
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"frequency for {name} must be in [0, 1], got {value}")
+            self.config.frequencies[name] = float(value)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.timers.reset()
+        self.last_reports.clear()
+        if self.engine is not None:
+            self.engine.reset()
+        if self._reference is not None:
+            self._reference.reset()
+
+    # -- frequency gating (policy) ----------------------------------------------
+
+    def _section_enabled_this_pass(self) -> Dict[str, bool]:
+        """Decide which sections check on this forward pass (accumulator gating).
+
+        With frequency ``f`` the section runs on a deterministic ``f`` fraction
+        of passes, spread as evenly as possible (e.g. ``f = 0.5`` -> every
+        other pass), which is how the paper's ``f_S`` is defined.
+        """
+        enabled = {}
+        for name, freq in self.config.frequencies.items():
+            acc = self._freq_accumulators[name] + freq
+            if acc >= 1.0 - 1e-12:
+                enabled[name] = True
+                acc -= 1.0
+            else:
+                enabled[name] = False
+            self._freq_accumulators[name] = acc
+        return enabled
+
+    # -- AttentionHooks interface -------------------------------------------------
+
+    def on_attention_start(self, layer_index: int, step: int) -> None:
+        enabled = self._section_enabled_this_pass()
+        if self.engine is not None:
+            self.engine.begin_layer(layer_index, enabled)
+        else:
+            self._reference.begin_layer(layer_index, enabled)
+
+    def on_attention_end(self, layer_index: int, step: int) -> None:
+        if self.engine is not None:
+            self.engine.end_layer(layer_index)
+        else:
+            self._reference.end_layer(layer_index)
+
+    def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
+        if self._reference is not None:
+            return self._reference.on_gemm_output(ctx, out)
+        return out  # fused backend works at section boundaries only
+
+    def consumes_gemm_outputs(self) -> bool:
+        """The fused backend needs no per-GEMM dispatch; the reference does.
+
+        This is what lets :class:`repro.nn.MultiHeadAttention` skip the
+        non-boundary GEMM hooks entirely for a fused checker (three dispatch
+        points per layer instead of six) — unless another composed hook (an
+        injector, a recorder) still consumes them.
+        """
+        return self.config.backend == "per_gemm"
+
+    def on_section_output(self, ctx: SectionContext, out: np.ndarray) -> np.ndarray:
+        if self.engine is None:
+            return out  # per-GEMM backend already handled the boundary GEMM
+        outcome = self.engine.protect_section(ctx, out)
+        self._record_outcome(ctx.section, outcome)
+        return out
+
+    def end_step(self) -> List[SectionOutcome]:
+        """Flush deferred verifications (fused backend's batched mode).
+
+        Call once per training step; a no-op in immediate mode.  Returns the
+        flushed outcomes (detection statistics are folded into
+        :attr:`stats`).
+        """
+        if self.engine is None or not self.config.defer_verification:
+            return []
+        outcomes = self.engine.flush()
+        for outcome in outcomes:
+            if outcome.report is not None:
+                self.stats.sections[outcome.section].record(outcome.report)
+                self.last_reports[outcome.section] = outcome.report
+        return outcomes
+
+    # -- stats plumbing -----------------------------------------------------------
+
+    def _record_outcome(self, section: str, outcome: Optional[SectionOutcome]) -> None:
+        stats = self.stats.sections[section]
+        if outcome is None:
+            # Section disabled this pass (frequency gating) or no pass state.
+            stats.checks_skipped += 1
+            return
+        if outcome.deferred:
+            return  # counted when end_step() flushes
+        if outcome.report is None:
+            # Carried checksums forward without verifying (CL visited for O).
+            stats.checks_skipped += 1
+            return
+        stats.record(outcome.report)
+        self.last_reports[section] = outcome.report
+        stats.operand_repairs += outcome.operand_repairs
+
+    # -- reporting ----------------------------------------------------------------
 
     def overhead_seconds(self) -> float:
         """Total wall-clock time spent in ABFT work (all sections, all phases)."""
@@ -380,7 +536,7 @@ class ATTNChecker(AttentionHooks):
 
     def summary(self) -> str:
         """Human-readable multi-line statistics summary."""
-        lines = ["ATTNChecker statistics:"]
+        lines = [f"ATTNChecker statistics (backend={self.config.backend}):"]
         for name, stats in self.stats.sections.items():
             lines.append(
                 f"  [{name}] checks={stats.checks_run} skipped={stats.checks_skipped} "

@@ -74,28 +74,40 @@ def checksum_weights(length: int, dtype=np.float64) -> Tuple[np.ndarray, np.ndar
 # Encoding
 # ---------------------------------------------------------------------------
 
-def encode_column_checksums(matrix: np.ndarray) -> np.ndarray:
+def encode_column_checksums(matrix: np.ndarray, out_dtype=None) -> np.ndarray:
     """Encode column checksums of ``matrix`` (..., m, n) -> (..., 2, n).
 
     Row 0 holds the unweighted column sums, row 1 the weighted sums.  This is
     the operation the paper's custom "encoding kernel" implements on GPU
     (Section 4.6, Figure 9); here it is a dense matmul with the 2 x m weight
     block, which NumPy dispatches to BLAS.
+
+    The weighted sums are always *accumulated in float64*, whatever the input
+    dtype: encoding an fp16/fp32 matrix in its own precision loses enough of
+    the Huang–Abraham weighted sum to round-off that fault-free data fails the
+    default detection tolerances.  Pass ``out_dtype`` to cast the finished
+    checksums back down when a caller needs the storage format.
     """
     matrix = np.asarray(matrix)
     m = matrix.shape[-2]
-    v1, v2 = checksum_weights(m, dtype=matrix.dtype)
-    weights = np.stack([v1, v2], axis=0)  # (2, m)
-    return np.matmul(weights, matrix)
+    v1, v2 = checksum_weights(m)
+    weights = np.stack([v1, v2], axis=0)  # (2, m), float64
+    encoded = np.matmul(weights, matrix.astype(np.float64, copy=False))
+    return encoded if out_dtype is None else encoded.astype(out_dtype)
 
 
-def encode_row_checksums(matrix: np.ndarray) -> np.ndarray:
-    """Encode row checksums of ``matrix`` (..., m, n) -> (..., m, 2)."""
+def encode_row_checksums(matrix: np.ndarray, out_dtype=None) -> np.ndarray:
+    """Encode row checksums of ``matrix`` (..., m, n) -> (..., m, 2).
+
+    Accumulates in float64 regardless of input dtype (see
+    :func:`encode_column_checksums`); ``out_dtype`` casts the result back.
+    """
     matrix = np.asarray(matrix)
     n = matrix.shape[-1]
-    v1, v2 = checksum_weights(n, dtype=matrix.dtype)
-    weights = np.stack([v1, v2], axis=1)  # (n, 2)
-    return np.matmul(matrix, weights)
+    v1, v2 = checksum_weights(n)
+    weights = np.stack([v1, v2], axis=1)  # (n, 2), float64
+    encoded = np.matmul(matrix.astype(np.float64, copy=False), weights)
+    return encoded if out_dtype is None else encoded.astype(out_dtype)
 
 
 def recompute_column_sums(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -108,18 +120,24 @@ def recompute_column_sums(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     matrix = np.asarray(matrix)
     m = matrix.shape[-2]
     _, v2 = checksum_weights(m, dtype=np.float64)
-    unweighted = matrix.sum(axis=-2)
-    weighted = np.einsum("i,...ij->...j", v2, matrix)
+    matrix64 = matrix.astype(np.float64, copy=False)
+    unweighted = matrix.sum(axis=-2, dtype=np.float64)
+    weighted = np.einsum("i,...ij->...j", v2, matrix64)
     return unweighted, weighted
 
 
 def recompute_row_sums(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """Recompute (unweighted, weighted) row sums of the *current* data."""
+    """Recompute (unweighted, weighted) row sums of the *current* data.
+
+    Like the encoders, accumulation is always in float64 so low-precision data
+    does not produce round-off false positives against float64 checksums.
+    """
     matrix = np.asarray(matrix)
     n = matrix.shape[-1]
     _, v2 = checksum_weights(n, dtype=np.float64)
-    unweighted = matrix.sum(axis=-1)
-    weighted = np.einsum("j,...ij->...i", v2, matrix)
+    matrix64 = matrix.astype(np.float64, copy=False)
+    unweighted = matrix.sum(axis=-1, dtype=np.float64)
+    weighted = np.einsum("j,...ij->...i", v2, matrix64)
     return unweighted, weighted
 
 
@@ -147,7 +165,7 @@ def adjust_column_checksums_for_bias(
     ``(1 + 2 + ... + num_rows) * bias``.
     """
     bias = np.asarray(bias, dtype=np.float64)
-    adjusted = np.array(col_checksums, copy=True)
+    adjusted = np.array(col_checksums, dtype=np.float64)  # copy, float64 accumulation
     adjusted[..., 0, :] = adjusted[..., 0, :] + num_rows * bias
     adjusted[..., 1, :] = adjusted[..., 1, :] + (num_rows * (num_rows + 1) / 2.0) * bias
     return adjusted
@@ -162,7 +180,7 @@ def adjust_row_checksums_for_bias(row_checksums: np.ndarray, bias: np.ndarray) -
     bias = np.asarray(bias, dtype=np.float64)
     n = bias.shape[-1]
     _, v2 = checksum_weights(n)
-    adjusted = np.array(row_checksums, copy=True)
+    adjusted = np.array(row_checksums, dtype=np.float64)  # copy, float64 accumulation
     adjusted[..., 0] = adjusted[..., 0] + bias.sum()
     adjusted[..., 1] = adjusted[..., 1] + float(np.dot(bias, v2))
     return adjusted
@@ -218,9 +236,9 @@ def encode_per_head_row_checksums_of_weight(weight: np.ndarray, num_heads: int) 
     if d_out % num_heads:
         raise ValueError(f"output dim {d_out} not divisible by num_heads {num_heads}")
     dh = d_out // num_heads
-    v1, v2 = checksum_weights(dh, dtype=weight.dtype)
+    v1, v2 = checksum_weights(dh)  # float64: same dtype-safety rule as the encoders
     weights = np.stack([v1, v2], axis=1)  # (dh, 2)
-    per_head = weight.reshape(d_in, num_heads, dh)
+    per_head = weight.astype(np.float64, copy=False).reshape(d_in, num_heads, dh)
     return np.einsum("dhk,kw->dhw", per_head, weights)  # (D_in, H, 2)
 
 

@@ -93,21 +93,48 @@ class ColumnCheckReport:
         return self.num_detected == 0
 
     def merge(self, other: "ColumnCheckReport") -> "ColumnCheckReport":
-        """Combine two reports over the same vectors (e.g. col pass + row pass)."""
+        """Combine two reports.
+
+        Two cases:
+
+        * **Same shape** — the reports describe the *same* vectors (e.g. the
+          column pass and a retry pass over them).  ``detected`` and
+          ``corrected`` combine with OR; ``aborted`` combines with OR and is
+          then cleared for every vector either pass managed to correct — an
+          abort resolved by the orthogonal pass must not survive as aborted.
+          The case masks combine with OR and ``corrected_indices`` keeps the
+          first report's located index where it has one, falling back to the
+          other's.
+        * **Different shapes** — the reports describe *disjoint* vector sets
+          (e.g. the per-column report merged with the per-row report of the
+          same matrix, whose vector counts differ).  Every field, including
+          the case masks and ``corrected_indices``, is concatenated flat.
+        """
+        if self.detected.shape != other.detected.shape:
+            def cat(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+                return np.concatenate([a.ravel(), b.ravel()])
+
+            return ColumnCheckReport(
+                detected=cat(self.detected, other.detected),
+                corrected=cat(self.corrected, other.corrected),
+                aborted=cat(self.aborted, other.aborted),
+                case1=cat(self.case1, other.case1),
+                case2=cat(self.case2, other.case2),
+                case3=cat(self.case3, other.case3),
+                corrected_indices=cat(self.corrected_indices, other.corrected_indices),
+            )
+
+        corrected = self.corrected | other.corrected
         return ColumnCheckReport(
-            detected=self.detected | other.detected
-            if self.detected.shape == other.detected.shape
-            else np.concatenate([self.detected.ravel(), other.detected.ravel()]),
-            corrected=self.corrected | other.corrected
-            if self.corrected.shape == other.corrected.shape
-            else np.concatenate([self.corrected.ravel(), other.corrected.ravel()]),
-            aborted=self.aborted & other.aborted
-            if self.aborted.shape == other.aborted.shape
-            else np.concatenate([self.aborted.ravel(), other.aborted.ravel()]),
-            case1=self.case1,
-            case2=self.case2,
-            case3=self.case3,
-            corrected_indices=self.corrected_indices,
+            detected=self.detected | other.detected,
+            corrected=corrected,
+            aborted=(self.aborted | other.aborted) & ~corrected,
+            case1=self.case1 | other.case1,
+            case2=self.case2 | other.case2,
+            case3=self.case3 | other.case3,
+            corrected_indices=np.where(
+                self.corrected_indices >= 0, self.corrected_indices, other.corrected_indices
+            ),
         )
 
 
@@ -175,9 +202,13 @@ def check_columns(
     _, v2 = checksum_weights(m)
 
     # --- recompute checksums of the (possibly corrupted) data ----------------
+    # Accumulate in float64 regardless of the data dtype: summing a low
+    # precision (fp16/fp32) matrix in its own dtype loses enough weighted-sum
+    # precision to trigger false positives at the default thresholds.
+    flat64 = flat.astype(np.float64, copy=False)
     with np.errstate(invalid="ignore", over="ignore"):
-        recomputed0 = flat.sum(axis=1)                       # (B, n)
-        recomputed1 = np.einsum("i,bij->bj", v2, flat)        # (B, n)
+        recomputed0 = flat.sum(axis=1, dtype=np.float64)      # (B, n)
+        recomputed1 = np.einsum("i,bij->bj", v2, flat64)       # (B, n)
         delta1 = cs[:, 0, :] - recomputed0
         delta2 = cs[:, 1, :] - recomputed1
 

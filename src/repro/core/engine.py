@@ -1,0 +1,372 @@
+"""ProtectionEngine: fused section-level checksum passing (Section 4.4).
+
+The paper's headline optimisation is that checksums are encoded **once per
+protection section** and *passed* through every GEMM of the section, with a
+single verification at the section boundary.  The original hook-based
+implementation in this repository realised the same algebra but dispatched
+Python work at every one of the six attention GEMMs; this module fuses each
+section's entire checksum chain into one dispatch at the section-boundary
+GEMM:
+
+* :math:`S_{AS}` — at the ``Q K^T`` boundary: encode ``col(X)`` once, carry it
+  through ``W_Q`` and ``W_K`` (with bias adjustment), split heads, derive both
+  checksum sides of ``AS`` and verify/correct in one batched EEC-ABFT pass
+  over all heads.
+* :math:`S_{CL}` — at the ``AP V`` boundary: encode the per-head row checksums
+  of ``W_V`` and the column checksums of ``AP``, carry both through to ``CL``
+  and verify.
+* :math:`S_O` — at the ``CL W_O`` boundary: carry the column checksums of
+  ``CL`` (stored by the :math:`S_{CL}` step) through the output projection and
+  verify ``O``.
+
+The engine owns one :class:`repro.core.checksums.ChecksumState` per section
+and the per-layer pass state that links them (``cs_cl_col`` flows from
+:math:`S_{CL}` into :math:`S_O`).  Policy — adaptive detection frequencies,
+thresholds, statistics — lives in :class:`repro.core.attention_checker.ATTNChecker`,
+which drives the engine through the section-level hook
+:meth:`repro.nn.attention.AttentionHooks.on_section_output`.
+
+Verification modes
+------------------
+``immediate`` (default)
+    Verify and correct at each section boundary, inside the forward pass, so
+    a repaired value is what downstream operations consume.  This is the
+    semantics the paper evaluates.
+``deferred``
+    Record the boundary matrix and its carried checksums, and verify all
+    sections of all layers of a step in one batched pass at
+    :meth:`ProtectionEngine.flush`.  Boundary matrices of the same shape are
+    stacked so the whole step costs a handful of vectorised EEC-ABFT calls
+    regardless of depth.  Deferred verification is *detection only*: by flush
+    time the forward pass has already consumed the (possibly corrupted)
+    values, so corrections are not applied retroactively.  It exists for
+    monitoring/telemetry workloads where detection latency of one step is
+    acceptable and minimal in-pass overhead matters.
+
+Follow-on items tracked in ROADMAP.md: asynchronous verification off the
+critical path, and alternate engine backends (GPU array libraries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.checksums import (
+    ChecksumState,
+    adjust_column_checksums_for_bias,
+    checksum_weights,
+    encode_column_checksums,
+    encode_per_head_row_checksums_of_weight,
+    merge_head_column_checksums,
+    split_head_column_checksums,
+    update_column_checksums_through_gemm,
+)
+from repro.core.correction import MatrixCorrectionReport, correct_matrix
+from repro.core.eec_abft import check_columns, check_rows
+from repro.core.thresholds import ABFTThresholds
+from repro.nn.attention import SectionContext
+from repro.utils.timing import TimingRegistry
+
+__all__ = ["SectionOutcome", "ProtectionEngine"]
+
+
+@dataclass
+class SectionOutcome:
+    """Result of protecting one section at one boundary.
+
+    ``report`` is ``None`` for work that carried checksums forward without
+    verifying (an :math:`S_{CL}` boundary visited only to feed :math:`S_O`,
+    or any boundary in deferred mode before :meth:`ProtectionEngine.flush`).
+    """
+
+    section: str
+    layer_index: int
+    step: int
+    report: Optional[MatrixCorrectionReport] = None
+    operand_repairs: int = 0
+    deferred: bool = False
+
+
+class _LayerState:
+    """Per-(layer, forward-pass) checksum state linking the sections."""
+
+    __slots__ = ("enabled", "cs_cl_col")
+
+    def __init__(self, enabled: Dict[str, bool]) -> None:
+        self.enabled = enabled
+        self.cs_cl_col: Optional[np.ndarray] = None
+
+
+class _DeferredCheck:
+    """One boundary matrix queued for batched verification at flush time."""
+
+    __slots__ = ("section", "layer_index", "step", "matrix", "checksums")
+
+    def __init__(self, section: str, layer_index: int, step: int,
+                 matrix: np.ndarray, checksums: ChecksumState) -> None:
+        self.section = section
+        self.layer_index = layer_index
+        self.step = step
+        self.matrix = matrix
+        self.checksums = checksums
+
+
+class ProtectionEngine:
+    """Section-level checksum-passing engine (mechanics only, no policy).
+
+    Parameters
+    ----------
+    thresholds:
+        EEC-ABFT thresholds used for every verification.
+    refresh_checksums:
+        Rebuild column checksums after a row-side repair (see
+        :func:`repro.core.correction.correct_matrix`).
+    repair_operands:
+        After a boundary correction, additionally repair the upstream operand
+        whose 0D fault caused the propagation (keeps the backward pass clean).
+    timers:
+        Shared :class:`TimingRegistry`; phase labels match the historical
+        per-GEMM backend (``"AS/encode"``, ``"CL/detect"``, ...) so overhead
+        reporting is backend-agnostic.
+    deferred:
+        Select the ``deferred`` verification mode (see module docstring).
+    """
+
+    def __init__(
+        self,
+        thresholds: Optional[ABFTThresholds] = None,
+        refresh_checksums: bool = True,
+        repair_operands: bool = True,
+        timers: Optional[TimingRegistry] = None,
+        deferred: bool = False,
+    ) -> None:
+        self.thresholds = thresholds or ABFTThresholds()
+        self.refresh_checksums = refresh_checksums
+        self.repair_operands = repair_operands
+        self.timers = timers if timers is not None else TimingRegistry()
+        self.deferred = deferred
+        self._layers: Dict[int, _LayerState] = {}
+        self._queue: List[_DeferredCheck] = []
+
+    # -- pass lifecycle ---------------------------------------------------------
+
+    def begin_layer(self, layer_index: int, enabled: Dict[str, bool]) -> None:
+        """Open the pass state for one attention layer forward pass."""
+        self._layers[layer_index] = _LayerState(dict(enabled))
+
+    def end_layer(self, layer_index: int) -> None:
+        self._layers.pop(layer_index, None)
+
+    def reset(self) -> None:
+        self._layers.clear()
+        self._queue.clear()
+
+    @property
+    def pending_verifications(self) -> int:
+        """Number of deferred boundary checks waiting for :meth:`flush`."""
+        return len(self._queue)
+
+    # -- section dispatch -------------------------------------------------------
+
+    def protect_section(self, ctx: SectionContext, out: np.ndarray) -> Optional[SectionOutcome]:
+        """Run the fused checksum chain for the section ending at ``out``.
+
+        Returns ``None`` when the layer has no open pass state (hooks attached
+        mid-pass) or the section is disabled for this pass.
+        """
+        state = self._layers.get(ctx.layer_index)
+        if state is None:
+            return None
+        if ctx.section == "AS":
+            return self._protect_as(ctx, state, out)
+        if ctx.section == "CL":
+            return self._protect_cl(ctx, state, out)
+        if ctx.section == "O":
+            return self._protect_o(ctx, state, out)
+        raise KeyError(f"unknown protection section {ctx.section!r}")
+
+    def _verify(
+        self,
+        ctx: SectionContext,
+        out: np.ndarray,
+        checksums: ChecksumState,
+        outcome: SectionOutcome,
+    ) -> None:
+        """Verify ``out`` now, or queue it for the batched flush pass."""
+        if self.deferred:
+            self._queue.append(
+                _DeferredCheck(ctx.section, ctx.layer_index, ctx.step, out, checksums)
+            )
+            outcome.deferred = True
+            return
+        with self.timers.measure(f"{ctx.section}/detect"):
+            outcome.report = correct_matrix(
+                out, checksums, thresholds=self.thresholds,
+                refresh_checksums=self.refresh_checksums,
+            )
+
+    # -- section S_AS -----------------------------------------------------------
+
+    def _protect_as(self, ctx: SectionContext, state: _LayerState, out: np.ndarray) -> Optional[SectionOutcome]:
+        if not state.enabled.get("AS", False):
+            return None
+        ops = ctx.operands
+        x, w_q, w_k = ops["x"], ops["w_q"], ops["w_k"]
+        num_rows = x.shape[-2]
+        outcome = SectionOutcome(section="AS", layer_index=ctx.layer_index, step=ctx.step)
+
+        # Encode the section input once...
+        with self.timers.measure("AS/encode"):
+            cs_x = encode_column_checksums(x)
+        # ...and carry it through every member GEMM of the section.
+        with self.timers.measure("AS/update"):
+            cs_q = update_column_checksums_through_gemm(cs_x, w_q)
+            if ops.get("bias_q") is not None:
+                cs_q = adjust_column_checksums_for_bias(cs_q, ops["bias_q"], num_rows)
+            cs_k = update_column_checksums_through_gemm(cs_x, w_k)
+            if ops.get("bias_k") is not None:
+                cs_k = adjust_column_checksums_for_bias(cs_k, ops["bias_k"], num_rows)
+            cs_q_ph = split_head_column_checksums(cs_q, ctx.num_heads)     # (B, H, 2, dh)
+            cs_k_ph = split_head_column_checksums(cs_k, ctx.num_heads)
+            # Column side of AS: col(AS) = col(Q) K^T.
+            cs_as_col = np.matmul(cs_q_ph, ops["k_t"])                      # (B, H, 2, S)
+            # Row side of AS: row(AS) = Q row(K^T) = Q col(K)^T.
+            cs_as_row = np.matmul(ops["q"], np.swapaxes(cs_k_ph, -1, -2))   # (B, H, S, 2)
+
+        self._verify(ctx, out, ChecksumState(col=cs_as_col, row=cs_as_row), outcome)
+        if (
+            self.repair_operands
+            and outcome.report is not None
+            and outcome.report.corrected > 0
+        ):
+            with self.timers.measure("AS/correct"):
+                q_report = check_columns(ops["q"], cs_q_ph, thresholds=self.thresholds)
+                kt_report = check_rows(
+                    ops["k_t"], np.swapaxes(cs_k_ph, -1, -2), thresholds=self.thresholds
+                )
+            outcome.operand_repairs = q_report.num_corrected + kt_report.num_corrected
+        return outcome
+
+    # -- section S_CL -----------------------------------------------------------
+
+    def _protect_cl(self, ctx: SectionContext, state: _LayerState, out: np.ndarray) -> Optional[SectionOutcome]:
+        cl_enabled = state.enabled.get("CL", False)
+        o_enabled = state.enabled.get("O", False)
+        if not (cl_enabled or o_enabled):
+            return None
+        ops = ctx.operands
+        outcome = SectionOutcome(section="CL", layer_index=ctx.layer_index, step=ctx.step)
+
+        cs_v_row = None
+        if cl_enabled:
+            # Per-head row checksums of V, derived from W_V without touching V:
+            # encode rowcs(W_V) once and carry it through the X W_V GEMM.
+            with self.timers.measure("CL/encode"):
+                rowcs_wv = encode_per_head_row_checksums_of_weight(ops["w_v"], ctx.num_heads)
+            with self.timers.measure("CL/update"):
+                cs_v_row = np.einsum("...sd,dhw->...hsw", ops["x"], rowcs_wv)  # (B, H, S, 2)
+                if ops.get("bias_v") is not None:
+                    bias_heads = np.asarray(ops["bias_v"], dtype=np.float64).reshape(
+                        ctx.num_heads, ctx.head_dim
+                    )
+                    _, v2 = checksum_weights(ctx.head_dim)
+                    cs_v_row = cs_v_row.copy()
+                    cs_v_row[..., 0] += bias_heads.sum(axis=-1)[None, :, None]
+                    cs_v_row[..., 1] += (bias_heads * v2).sum(axis=-1)[None, :, None]
+
+        with self.timers.measure("CL/encode"):
+            cs_ap_col = encode_column_checksums(ops["ap"])                     # (B, H, 2, S)
+        with self.timers.measure("CL/update"):
+            cs_cl_col = np.matmul(cs_ap_col, ops["v"])                         # (B, H, 2, dh)
+            cs_cl_row = None
+            if cl_enabled and cs_v_row is not None:
+                # row(CL) = AP row(V): carry the row checksums of V through.
+                cs_cl_row = np.matmul(ops["ap"], cs_v_row)                     # (B, H, S, 2)
+
+        checksums = ChecksumState(col=cs_cl_col, row=cs_cl_row)
+        if cl_enabled:
+            self._verify(ctx, out, checksums, outcome)
+            if (
+                self.repair_operands
+                and outcome.report is not None
+                and outcome.report.corrected > 0
+                and cs_v_row is not None
+            ):
+                with self.timers.measure("CL/correct"):
+                    v_report = check_rows(ops["v"], cs_v_row, thresholds=self.thresholds)
+                outcome.operand_repairs = v_report.num_corrected
+        # Pass the (possibly refreshed) column checksums of CL to section S_O.
+        state.cs_cl_col = checksums.col
+        return outcome
+
+    # -- section S_O ------------------------------------------------------------
+
+    def _protect_o(self, ctx: SectionContext, state: _LayerState, out: np.ndarray) -> Optional[SectionOutcome]:
+        if not state.enabled.get("O", False):
+            return None
+        if state.cs_cl_col is None:
+            return None
+        outcome = SectionOutcome(section="O", layer_index=ctx.layer_index, step=ctx.step)
+        with self.timers.measure("O/update"):
+            cs_cl_merged = merge_head_column_checksums(state.cs_cl_col)        # (B, 2, D)
+            cs_o_col = update_column_checksums_through_gemm(cs_cl_merged, ctx.operands["w_o"])
+        self._verify(ctx, out, ChecksumState(col=cs_o_col), outcome)
+        return outcome
+
+    # -- deferred flush ---------------------------------------------------------
+
+    def flush(self) -> List[SectionOutcome]:
+        """Verify every queued boundary matrix in one batched pass per group.
+
+        Queued checks are grouped by (section, matrix shape) and stacked along
+        a new leading axis, so all layers of a step are verified with a single
+        vectorised EEC-ABFT call per checksum side per group — the
+        cross-layer batching option of the fused design.  Detection only; see
+        the module docstring.
+        """
+        outcomes: List[SectionOutcome] = []
+        if not self._queue:
+            return outcomes
+        groups: Dict[tuple, List[_DeferredCheck]] = {}
+        for item in self._queue:
+            groups.setdefault((item.section, item.matrix.shape), []).append(item)
+        self._queue = []
+
+        for (section, _shape), items in groups.items():
+            with self.timers.measure(f"{section}/detect"):
+                stacked = np.stack([item.matrix for item in items])
+                col_reports = row_reports = None
+                if items[0].checksums.has_col():
+                    col = np.stack([item.checksums.col for item in items])
+                    col_reports = check_columns(
+                        stacked, col, thresholds=self.thresholds, correct=False
+                    )
+                if items[0].checksums.has_row():
+                    row = np.stack([item.checksums.row for item in items])
+                    row_reports = check_rows(
+                        stacked, row, thresholds=self.thresholds, correct=False
+                    )
+            for index, item in enumerate(items):
+                report = MatrixCorrectionReport()
+                if col_reports is not None:
+                    report.used_column_side = True
+                    report.detected += int(col_reports.detected[index].sum())
+                    report.aborted += int(col_reports.aborted[index].sum())
+                if row_reports is not None:
+                    report.used_row_side = True
+                    report.detected += int(row_reports.detected[index].sum())
+                    report.aborted += int(row_reports.aborted[index].sum())
+                report.residual_extreme = int(self.thresholds.is_extreme(item.matrix).sum())
+                outcomes.append(
+                    SectionOutcome(
+                        section=item.section,
+                        layer_index=item.layer_index,
+                        step=item.step,
+                        report=report,
+                        deferred=True,
+                    )
+                )
+        return outcomes

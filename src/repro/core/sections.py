@@ -59,6 +59,16 @@ class ProtectionSection:
         """Whether the boundary matrix can see either a 1R or a 1C pattern."""
         return self.maintains_column and self.maintains_row
 
+    @property
+    def boundary_op(self) -> str:
+        """The GEMM op that produces the boundary matrix (the section's last op).
+
+        This is where the fused :class:`repro.core.engine.ProtectionEngine`
+        dispatches the section's whole checksum chain — one Python dispatch
+        per section instead of one per member GEMM.
+        """
+        return self.operations[-1]
+
 
 #: The three protection sections of the paper, keyed by name.
 PROTECTION_SECTIONS: Dict[str, ProtectionSection] = {
@@ -227,6 +237,31 @@ class SectionCostModel:
         section = PROTECTION_SECTIONS[name]
         flops = self.operation_flops()
         return {op: flops[op] for op in section.operations}
+
+    # -- host-side dispatch accounting ---------------------------------------------
+
+    @staticmethod
+    def python_dispatches_per_layer(backend: str) -> int:
+        """Host-side ABFT dispatch points per attention layer forward pass.
+
+        The per-GEMM reference backend does checksum work inside all six GEMM
+        hooks; the fused engine dispatches once per protection section (at the
+        boundary GEMM), i.e. three times.  The counts are real dispatch
+        counts, not just work counts: when the fused checker is the only
+        consumer, :class:`repro.nn.MultiHeadAttention` skips the non-boundary
+        GEMM hooks entirely (see ``AttentionHooks.consumes_gemm_outputs``).
+        Composing hooks that do consume per-GEMM outputs (a fault injector, a
+        recorder) restores those dispatches for *them* — the checker's own
+        work still runs at the three boundaries only.  On the GPU substrate
+        the paper targets this is the kernel-launch/synchronisation count; on
+        the NumPy substrate it is the Python round-trip count — either way the
+        fixed per-layer overhead the Section-4.4 fusion removes.
+        """
+        if backend == "fused":
+            return len(PROTECTION_SECTIONS)
+        if backend == "per_gemm":
+            return sum(len(s.operations) for s in PROTECTION_SECTIONS.values())
+        raise KeyError(f"unknown backend {backend!r}; expected 'fused' or 'per_gemm'")
 
     def attention_gemm_flops(self) -> float:
         """Total protected GEMM FLOPs of one attention layer forward pass."""

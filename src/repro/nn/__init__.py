@@ -10,12 +10,14 @@ operation-boundary hook interface used by both the fault injector
 from repro.nn.module import Module, Parameter, ModuleList
 from repro.nn.layers import Dropout, Embedding, GELUActivation, LayerNorm, Linear, ReLUActivation, TanhActivation
 from repro.nn.attention import (
+    SECTION_BOUNDARY_OPS,
     AttentionHooks,
     AttentionOp,
     ComposedHooks,
     GemmContext,
     MultiHeadAttention,
     RecordingHooks,
+    SectionContext,
 )
 from repro.nn.transformer import FeedForward, TransformerLayer
 from repro.nn.losses import CrossEntropyLoss
@@ -35,6 +37,8 @@ __all__ = [
     "AttentionHooks",
     "AttentionOp",
     "GemmContext",
+    "SectionContext",
+    "SECTION_BOUNDARY_OPS",
     "ComposedHooks",
     "RecordingHooks",
     "TransformerLayer",

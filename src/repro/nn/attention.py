@@ -41,11 +41,13 @@ from repro.tensor import autograd as ag
 __all__ = [
     "AttentionOp",
     "GemmContext",
+    "SectionContext",
     "AttentionHooks",
     "ComposedHooks",
     "RecordingHooks",
     "MultiHeadAttention",
     "ATTENTION_MATRIX_NAMES",
+    "SECTION_BOUNDARY_OPS",
 ]
 
 
@@ -76,6 +78,16 @@ _OP_TO_MATRIX = {
 
 #: All matrices observable during one attention forward pass, in dataflow order.
 ATTENTION_MATRIX_NAMES = ("Q", "K", "V", "AS", "AP", "CL", "O")
+
+#: GEMMs that end a protection section (Section 4.4): the boundary matrices
+#: ``AS``, ``CL`` and ``O`` are produced by these three operations.  The
+#: section-level hook :meth:`AttentionHooks.on_section_output` fires exactly
+#: here, after the per-GEMM hooks have run on the same output.
+SECTION_BOUNDARY_OPS = {
+    AttentionOp.QK: "AS",
+    AttentionOp.APV: "CL",
+    AttentionOp.CLO: "O",
+}
 
 
 @dataclass
@@ -109,6 +121,44 @@ class GemmContext:
     bias: Optional[np.ndarray] = None
 
 
+@dataclass
+class SectionContext:
+    """Everything a section-level hook needs about one protection section.
+
+    Delivered by :meth:`AttentionHooks.on_section_output` at the *boundary*
+    GEMM of each protection section (``qk`` for :math:`S_{AS}`, ``apv`` for
+    :math:`S_{CL}`, ``clo`` for :math:`S_O`), carrying every operand of the
+    whole section so a checksum-passing engine can encode the section inputs
+    once and carry the checksums through all member GEMMs in a single fused
+    dispatch, instead of one Python round-trip per GEMM.
+
+    Attributes
+    ----------
+    section:
+        Section name — ``"AS"``, ``"CL"`` or ``"O"``.
+    operands:
+        Named operand arrays of the section (read-only for hooks):
+
+        * ``"AS"``: ``x``, ``w_q``, ``w_k``, ``bias_q``, ``bias_k`` (biases
+          may be ``None``), plus the boundary GEMM operands ``q`` (split
+          heads, ``(B, H, S, dh)``) and ``k_t`` (``(B, H, dh, S)``).
+        * ``"CL"``: ``x``, ``w_v``, ``bias_v``, plus ``ap`` (attention
+          probabilities actually fed to the GEMM, i.e. post-dropout) and
+          ``v`` (split heads).
+        * ``"O"``: ``cl`` (merged heads, ``(B, S, D)``) and ``w_o``.
+    layer_index / step / num_heads / head_dim / seq_len:
+        Same geometry as :class:`GemmContext`.
+    """
+
+    section: str
+    operands: Dict[str, Optional[np.ndarray]]
+    layer_index: int
+    step: int
+    num_heads: int
+    head_dim: int
+    seq_len: int
+
+
 class AttentionHooks:
     """Base class for attention instrumentation.
 
@@ -122,6 +172,29 @@ class AttentionHooks:
     def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
         """Called with the raw output of each GEMM; returns the output to use."""
         return out
+
+    def on_section_output(self, ctx: SectionContext, out: np.ndarray) -> np.ndarray:
+        """Called with the boundary matrix of each protection section.
+
+        Fires after every per-GEMM :meth:`on_gemm_output` hook has processed
+        the same array (so an injector registered before a checker corrupts
+        the matrix first, exactly as in the per-GEMM protocol).  Returns the
+        output to use downstream.
+        """
+        return out
+
+    def consumes_gemm_outputs(self) -> bool:
+        """Whether this hook needs the per-GEMM :meth:`on_gemm_output` calls.
+
+        :class:`MultiHeadAttention` skips per-GEMM dispatch entirely (no
+        :class:`GemmContext` is built) for non-boundary GEMMs when no attached
+        hook consumes them — this is what reduces a fused section-level
+        checker to three dispatches per layer instead of six.  The default
+        detects an overridden :meth:`on_gemm_output`; hooks that override it
+        but do not need every GEMM (e.g. a section-level checker) override
+        this to return False.
+        """
+        return type(self).on_gemm_output is not AttentionHooks.on_gemm_output
 
     def on_matrix(self, name: str, data: np.ndarray, layer_index: int, step: int) -> None:
         """Observation callback for non-GEMM intermediate matrices (e.g. AP)."""
@@ -144,6 +217,14 @@ class ComposedHooks(AttentionHooks):
         for h in self.hooks:
             out = h.on_gemm_output(ctx, out)
         return out
+
+    def on_section_output(self, ctx: SectionContext, out: np.ndarray) -> np.ndarray:
+        for h in self.hooks:
+            out = h.on_section_output(ctx, out)
+        return out
+
+    def consumes_gemm_outputs(self) -> bool:
+        return any(h.consumes_gemm_outputs() for h in self.hooks)
 
     def on_matrix(self, name: str, data: np.ndarray, layer_index: int, step: int) -> None:
         for h in self.hooks:
@@ -248,8 +329,19 @@ class MultiHeadAttention(Module):
         """Attach (or detach, with ``None``) the instrumentation hooks."""
         self.hooks = hooks
 
-    def _gemm_hook(self, op: AttentionOp, bias: Optional[np.ndarray] = None) -> Optional[Callable]:
-        """Build the ``forward_hook`` closure for one named GEMM."""
+    def _gemm_hook(
+        self,
+        op: AttentionOp,
+        bias: Optional[np.ndarray] = None,
+        section_operands: Optional[Dict[str, Optional[np.ndarray]]] = None,
+    ) -> Optional[Callable]:
+        """Build the ``forward_hook`` closure for one named GEMM.
+
+        For the three section-boundary GEMMs (``qk``, ``apv``, ``clo``) the
+        closure additionally dispatches :meth:`AttentionHooks.on_section_output`
+        with a :class:`SectionContext` built from ``section_operands``, after
+        the per-GEMM hooks have run.
+        """
         if self.hooks is None:
             return None
         hooks = self.hooks
@@ -257,20 +349,40 @@ class MultiHeadAttention(Module):
         step = self._step
         num_heads = self.num_heads
         head_dim = self.head_dim
+        section = SECTION_BOUNDARY_OPS.get(op)
+        consumes_gemms = hooks.consumes_gemm_outputs()
+        if not consumes_gemms and section is None:
+            # No attached hook wants per-GEMM outputs and this GEMM ends no
+            # section: skip dispatch entirely (the fused checker's 3-instead-
+            # of-6 dispatches per layer).
+            return None
 
         def hook_with_ctx(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
-            ctx = GemmContext(
-                op=op,
-                a=a,
-                b=b,
-                layer_index=layer_index,
-                step=step,
-                num_heads=num_heads,
-                head_dim=head_dim,
-                seq_len=out.shape[-2],
-                bias=bias,
-            )
-            return hooks.on_gemm_output(ctx, out)
+            if consumes_gemms:
+                ctx = GemmContext(
+                    op=op,
+                    a=a,
+                    b=b,
+                    layer_index=layer_index,
+                    step=step,
+                    num_heads=num_heads,
+                    head_dim=head_dim,
+                    seq_len=out.shape[-2],
+                    bias=bias,
+                )
+                out = hooks.on_gemm_output(ctx, out)
+            if section is not None:
+                sctx = SectionContext(
+                    section=section,
+                    operands=section_operands or {},
+                    layer_index=layer_index,
+                    step=step,
+                    num_heads=num_heads,
+                    head_dim=head_dim,
+                    seq_len=out.shape[-2],
+                )
+                out = hooks.on_section_output(sctx, out)
+            return out
 
         return hook_with_ctx
 
@@ -280,9 +392,10 @@ class MultiHeadAttention(Module):
         b: ag.Tensor,
         op: AttentionOp,
         bias: Optional[np.ndarray] = None,
+        section_operands: Optional[Dict[str, Optional[np.ndarray]]] = None,
     ) -> ag.Tensor:
         """Matmul whose raw output is routed through the hooks."""
-        hook_with_ctx = self._gemm_hook(op, bias=bias)
+        hook_with_ctx = self._gemm_hook(op, bias=bias, section_operands=section_operands)
         if hook_with_ctx is None:
             return ag.matmul(a, b, name=op.output_matrix)
         a_data, b_data = a.data, b.data
@@ -348,7 +461,18 @@ class MultiHeadAttention(Module):
         v = ag.split_heads(v_proj, self.num_heads)
 
         k_t = ag.transpose(k, (0, 1, 3, 2))
-        attention_scores = self._instrumented_matmul(q, k_t, AttentionOp.QK)
+        attention_scores = self._instrumented_matmul(
+            q, k_t, AttentionOp.QK,
+            section_operands={
+                "x": x.data,
+                "w_q": self.w_q.weight.data,
+                "w_k": self.w_k.weight.data,
+                "bias_q": bias_q,
+                "bias_k": bias_k,
+                "q": q.data,
+                "k_t": k_t.data,
+            },
+        )
 
         scaled = ag.mul(attention_scores, self.scale)
         mask = self.build_mask(seq_len, attention_mask)
@@ -360,12 +484,24 @@ class MultiHeadAttention(Module):
             hooks.on_matrix("AP", attention_probs.data, self.layer_index, step)
         attention_probs = self.attn_dropout(attention_probs)
 
-        context = self._instrumented_matmul(attention_probs, v, AttentionOp.APV)
+        context = self._instrumented_matmul(
+            attention_probs, v, AttentionOp.APV,
+            section_operands={
+                "x": x.data,
+                "w_v": self.w_v.weight.data,
+                "bias_v": bias_v,
+                "ap": attention_probs.data,
+                "v": v.data,
+            },
+        )
         context_merged = ag.merge_heads(context)
         if hooks is not None:
             hooks.on_matrix("CL_merged", context_merged.data, self.layer_index, step)
 
-        output = self._instrumented_matmul(context_merged, self.w_o.weight, AttentionOp.CLO, bias=bias_o)
+        output = self._instrumented_matmul(
+            context_merged, self.w_o.weight, AttentionOp.CLO, bias=bias_o,
+            section_operands={"cl": context_merged.data, "w_o": self.w_o.weight.data},
+        )
         if self.w_o.bias is not None:
             output = ag.add(output, self.w_o.bias)
         output = self.out_dropout(output)

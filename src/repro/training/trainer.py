@@ -193,6 +193,11 @@ class Trainer:
         restored = False
         start = time.perf_counter()
         loss_value = self._forward_backward(batch)
+        if self.checker is not None:
+            # Flush deferred section verifications (fused engine's batched
+            # mode) so this step's detections land in this step's result; a
+            # no-op for immediate-mode checkers.
+            self.checker.end_step()
 
         non_trainable = math.isnan(loss_value) or not self._weights_healthy()
         if non_trainable and self.config.restore_on_non_trainable and self.checkpoints and self.checkpoints.latest:
@@ -202,6 +207,8 @@ class Trainer:
                 self.checkpoints.restore(self.model, self.optimizer)
                 restored = True
                 loss_value = self._forward_backward(batch)
+                if self.checker is not None:
+                    self.checker.end_step()
                 non_trainable = math.isnan(loss_value) or not self._weights_healthy()
 
         if self.config.checkpoint_every and self.global_step % self.config.checkpoint_every == 0:

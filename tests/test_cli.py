@@ -23,9 +23,18 @@ class TestParser:
         assert args.rates == [13, 20]
 
     def test_registry_covers_all_figures_and_tables(self):
-        expected = {"quickstart", "table2", "table3", "sec52",
+        expected = {"quickstart", "backends", "table2", "table3", "sec52",
                     "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
         assert expected == set(EXPERIMENTS)
+
+    def test_backend_flag_parsed(self):
+        args = build_parser().parse_args(["quickstart", "--backend", "per_gemm"])
+        assert args.backend == "per_gemm"
+        assert build_parser().parse_args(["quickstart"]).backend == "fused"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quickstart", "--backend", "cuda"])
 
 
 class TestMain:
@@ -54,6 +63,20 @@ class TestMain:
         corrections = int(out.split("corrections          : ")[1].splitlines()[0])
         assert corrections >= 1
         assert "residual extremes    : 0" in out
+
+    def test_quickstart_with_per_gemm_backend(self, capsys):
+        assert main(["quickstart", "--backend", "per_gemm",
+                     "--matrix", "AS", "--error-type", "inf"]) == 0
+        out = capsys.readouterr().out
+        assert "backend              : per_gemm" in out
+        corrections = int(out.split("corrections          : ")[1].splitlines()[0])
+        assert corrections >= 1
+
+    def test_backends_experiment_reports_equivalence(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical on all 18 scenarios" in out
+        assert "NO" not in out.split("identical")[-1]
 
     def test_sec52_reports_full_coverage(self, capsys):
         assert main(["sec52", "--trials", "1"]) == 0

@@ -164,3 +164,101 @@ class TestChecksumState:
 
     def test_empty_state_verifies_anything(self, rng):
         assert ChecksumState().verify(rng.normal(size=(3, 3)))
+
+
+class TestLowPrecisionEncoding:
+    """Regression tests for the dtype-unsafe encoding bug.
+
+    The encoders used to build the Huang–Abraham weight vectors in
+    ``matrix.dtype``, so fp16/fp32 inputs accumulated the weighted sums in low
+    precision and fault-free data failed the default detection tolerances.
+    Checksums must always be accumulated in float64.
+    """
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32])
+    def test_encoders_return_float64(self, rng, dtype):
+        m = rng.normal(size=(32, 24)).astype(dtype)
+        assert encode_column_checksums(m).dtype == np.float64
+        assert encode_row_checksums(m).dtype == np.float64
+
+    def test_out_dtype_casts_back(self, rng):
+        m = rng.normal(size=(16, 8)).astype(np.float32)
+        assert encode_column_checksums(m, out_dtype=np.float32).dtype == np.float32
+        assert encode_row_checksums(m, out_dtype=np.float16).dtype == np.float16
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32])
+    def test_encoding_matches_float64_reference(self, rng, dtype):
+        m = rng.normal(size=(64, 48)).astype(dtype)
+        reference = encode_column_checksums(m.astype(np.float64))
+        assert np.allclose(encode_column_checksums(m), reference, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32])
+    def test_fault_free_low_precision_matrix_is_clean(self, rng, dtype):
+        # The headline regression: checking an fp16/fp32 matrix against its
+        # own freshly-encoded checksums must produce ZERO detections at the
+        # default (float64) thresholds.
+        from repro.core.eec_abft import check_columns, check_rows
+        from repro.core.thresholds import ABFTThresholds
+
+        m = rng.normal(size=(4, 64, 48)).astype(dtype)
+        col_report = check_columns(m, encode_column_checksums(m), ABFTThresholds())
+        row_report = check_rows(m, encode_row_checksums(m), ABFTThresholds())
+        assert col_report.clean and col_report.num_aborted == 0
+        assert row_report.clean and row_report.num_aborted == 0
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32])
+    def test_fault_free_low_precision_gemm_is_clean(self, rng, dtype):
+        # Checksums encoded from fp16/fp32 operands and carried through the
+        # GEMM must agree with the (exactly computed) product at the default
+        # thresholds: the carried checksum and the product see the same
+        # float64 arithmetic once encoding accumulates in float64.
+        from repro.core.eec_abft import check_columns
+        from repro.core.thresholds import ABFTThresholds
+
+        a = rng.normal(size=(2, 32, 24)).astype(dtype)
+        b = rng.normal(size=(24, 16)).astype(dtype)
+        product = np.matmul(a.astype(np.float64), b.astype(np.float64))
+        carried = update_column_checksums_through_gemm(encode_column_checksums(a), b)
+        report = check_columns(product, carried, ABFTThresholds())
+        assert report.clean
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32])
+    def test_low_precision_error_still_detected_and_corrected(self, rng, dtype):
+        from repro.core.eec_abft import check_columns
+        from repro.core.thresholds import ABFTThresholds
+
+        m = rng.normal(size=(32, 16)).astype(dtype)
+        cs = encode_column_checksums(m)
+        ref = m.copy()
+        m[7, 3] = np.inf
+        report = check_columns(m, cs, ABFTThresholds())
+        assert report.num_detected == 1
+        assert report.num_corrected == 1
+        assert np.allclose(m, ref, rtol=1e-2, atol=1e-3)
+
+    def test_per_head_weight_encoding_accumulates_in_float64(self, rng):
+        w = rng.normal(size=(32, 16)).astype(np.float16)
+        encoded = encode_per_head_row_checksums_of_weight(w, num_heads=4)
+        reference = encode_per_head_row_checksums_of_weight(
+            w.astype(np.float64), num_heads=4
+        )
+        assert encoded.dtype == np.float64
+        assert np.allclose(encoded, reference, rtol=1e-12, atol=1e-12)
+
+    def test_recompute_sums_accumulate_in_float64(self, rng):
+        m = rng.normal(size=(48, 32)).astype(np.float16)
+        unweighted, weighted = recompute_column_sums(m)
+        ref_u, ref_w = recompute_column_sums(m.astype(np.float64))
+        assert unweighted.dtype == np.float64 and weighted.dtype == np.float64
+        assert np.allclose(unweighted, ref_u, rtol=1e-12, atol=1e-12)
+        assert np.allclose(weighted, ref_w, rtol=1e-12, atol=1e-12)
+
+    def test_bias_adjust_promotes_to_float64(self, rng):
+        col = encode_column_checksums(rng.normal(size=(8, 6)).astype(np.float32),
+                                      out_dtype=np.float32)
+        adjusted = adjust_column_checksums_for_bias(col, rng.normal(size=6), num_rows=8)
+        assert adjusted.dtype == np.float64
+        row = encode_row_checksums(rng.normal(size=(8, 6)).astype(np.float32),
+                                   out_dtype=np.float32)
+        adjusted_row = adjust_row_checksums_for_bias(row, rng.normal(size=6))
+        assert adjusted_row.dtype == np.float64

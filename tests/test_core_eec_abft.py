@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.checksums import encode_column_checksums, encode_row_checksums
-from repro.core.eec_abft import check_columns, check_rows
+from repro.core.eec_abft import ColumnCheckReport, check_columns, check_rows
 from repro.core.thresholds import ABFTThresholds
 
 
@@ -205,3 +205,104 @@ class TestThresholds:
     def test_paper_default_values(self):
         th = ABFTThresholds()
         assert th.near_inf == 1e10 and th.correct == 1e5
+
+
+def _report(n, detected=(), corrected=(), aborted=(), case1=(), case2=(), case3=(),
+            indices=None):
+    def mask(idx):
+        m = np.zeros(n, dtype=bool)
+        m[list(idx)] = True
+        return m
+
+    ci = np.full(n, -1, dtype=np.int64)
+    for position, value in (indices or {}).items():
+        ci[position] = value
+    return ColumnCheckReport(
+        detected=mask(detected),
+        corrected=mask(corrected),
+        aborted=mask(aborted),
+        case1=mask(case1),
+        case2=mask(case2),
+        case3=mask(case3),
+        corrected_indices=ci,
+    )
+
+
+class TestReportMerge:
+    """Regression tests for ColumnCheckReport.merge.
+
+    The original implementation combined ``aborted`` with ``&`` (so an abort
+    raised by only one pass silently vanished) and discarded ``other``'s case
+    masks and corrected indices outright.
+    """
+
+    def test_detected_and_corrected_are_or(self):
+        a = _report(4, detected=(0,), corrected=(0,))
+        b = _report(4, detected=(2,), corrected=(2,))
+        merged = a.merge(b)
+        assert merged.detected.tolist() == [True, False, True, False]
+        assert merged.corrected.tolist() == [True, False, True, False]
+
+    def test_abort_survives_when_neither_pass_corrects(self):
+        # Regression: `aborted & other.aborted` dropped an abort reported by
+        # only one side even though nothing repaired the vector.
+        a = _report(3, detected=(1,), aborted=(1,))
+        b = _report(3)
+        merged = a.merge(b)
+        assert merged.aborted.tolist() == [False, True, False]
+        assert merged.num_aborted == 1
+
+    def test_abort_cleared_by_orthogonal_correction(self):
+        # A vector the column pass aborted on but the row pass repaired must
+        # not be reported as aborted.
+        a = _report(3, detected=(1,), aborted=(1,))
+        b = _report(3, detected=(1,), corrected=(1,), indices={1: 5})
+        merged = a.merge(b)
+        assert merged.aborted.tolist() == [False, False, False]
+        assert merged.corrected.tolist() == [False, True, False]
+
+    def test_case_masks_merged_not_dropped(self):
+        # Regression: other's case1/case2/case3 masks were discarded.
+        a = _report(4, detected=(0,), case1=(0,))
+        b = _report(4, detected=(2, 3), case2=(2,), case3=(3,))
+        merged = a.merge(b)
+        assert merged.case1.tolist() == [True, False, False, False]
+        assert merged.case2.tolist() == [False, False, True, False]
+        assert merged.case3.tolist() == [False, False, False, True]
+
+    def test_corrected_indices_merged_not_dropped(self):
+        # Regression: other's corrected_indices were discarded.
+        a = _report(4, corrected=(0,), indices={0: 2})
+        b = _report(4, corrected=(3,), indices={3: 7})
+        merged = a.merge(b)
+        assert merged.corrected_indices.tolist() == [2, -1, -1, 7]
+
+    def test_self_index_wins_when_both_located(self):
+        a = _report(2, corrected=(0,), indices={0: 1})
+        b = _report(2, corrected=(0,), indices={0: 4})
+        assert a.merge(b).corrected_indices.tolist() == [1, -1]
+
+    def test_mismatched_shapes_concatenate_every_field(self):
+        # Col pass over n=3 columns merged with a row pass over m=2 rows:
+        # disjoint vector sets, everything concatenates.
+        a = _report(3, detected=(1,), aborted=(1,), case2=(1,))
+        b = _report(2, detected=(0,), corrected=(0,), case1=(0,), indices={0: 9})
+        merged = a.merge(b)
+        assert merged.detected.tolist() == [False, True, False, True, False]
+        assert merged.corrected.tolist() == [False, False, False, True, False]
+        assert merged.aborted.tolist() == [False, True, False, False, False]
+        assert merged.case1.tolist() == [False, False, False, True, False]
+        assert merged.case2.tolist() == [False, True, False, False, False]
+        assert merged.corrected_indices.tolist() == [-1, -1, -1, 9, -1]
+
+    def test_merge_of_real_col_and_row_passes(self, rng, thresholds):
+        m = rng.normal(size=(5, 4))
+        col = encode_column_checksums(m)
+        row = encode_row_checksums(m)
+        m[2, 1] = np.inf
+        col_report = check_columns(m, col, thresholds)
+        row_report = check_rows(m, row, thresholds)
+        merged = col_report.merge(row_report)
+        # 4 columns + 5 rows = 9 concatenated vectors.
+        assert merged.detected.shape == (9,)
+        assert merged.num_corrected >= 1
