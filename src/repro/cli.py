@@ -25,6 +25,8 @@ import numpy as np
 from repro.analysis import format_percent, format_table, gemm_ratio_table
 from repro.core import (
     CHECKER_BACKENDS,
+    VERIFICATION_MODES,
+    VERIFICATION_MODE_CONFIGS,
     ATTNChecker,
     ATTNCheckerConfig,
     ErrorRates,
@@ -70,7 +72,9 @@ def run_quickstart(args: argparse.Namespace) -> str:
         [FaultSpec(matrix=args.matrix, error_type=args.error_type)],
         rng=np.random.default_rng(args.seed),
     )
-    checker = ATTNChecker(ATTNCheckerConfig(backend=args.backend))
+    checker = ATTNChecker(ATTNCheckerConfig(
+        backend=args.backend, async_verification=args.async_verification,
+    ))
     model.eval()
     reference = model(batch["input_ids"], attention_mask=batch["attention_mask"],
                       labels=batch["labels"]).loss_value
@@ -78,12 +82,17 @@ def run_quickstart(args: argparse.Namespace) -> str:
     protected = model(batch["input_ids"], attention_mask=batch["attention_mask"],
                       labels=batch["labels"]).loss_value
     model.set_attention_hooks(None)
+    checker.end_step()
+    checker.drain()   # settle async verification before reading statistics
+    checker.close()
     lines = [
         f"backend              : {checker.backend}",
+        f"verification mode    : {checker.verification_mode}",
         f"fault-free loss      : {reference:.6f}",
         f"protected faulty loss: {protected:.6f}",
         f"detections           : {checker.stats.total_detections}",
         f"corrections          : {checker.stats.total_corrections}",
+        f"stale detections     : {checker.stats.total_stale_detections}",
         f"residual extremes    : {checker.stats.total_residual_extreme}",
     ]
     return "\n".join(lines)
@@ -145,6 +154,69 @@ def run_backends(args: argparse.Namespace) -> str:
     return format_table(
         ["matrix", "error", "detections", "corrections", "identical"], rows,
         title=f"Backend equivalence — fused engine vs per-GEMM reference ({args.model}); {footer}",
+    )
+
+
+def run_verification_modes(args: argparse.Namespace) -> str:
+    """Compare the fused engine's immediate / deferred / async verification.
+
+    Runs the same single-fault forward passes under all three modes (same
+    seeds) and reports detection/correction counters, stale detections, and
+    the critical-path vs total checker time split.  The footer states the two
+    cross-mode invariants the test suite enforces: deferred and async make
+    byte-identical detection decisions, and async repairs (bounded-staleness
+    correction of the retained boundary matrices) match immediate-mode
+    correction counts.
+    """
+    combos = [("Q", "inf"), ("AS", "nan"), ("CL", "inf"), ("O", "near_inf")]
+    rows = []
+    per_mode = {}
+    for mode in VERIFICATION_MODES:
+        detections = corrections = stale = 0
+        critical = total = 0.0
+        signatures = []
+        for trial, (matrix, error_type) in enumerate(combos):
+            model, batch = _tiny_model_and_batch(args.model, batch=4, seed=args.seed)
+            model.eval()
+            injector = FaultInjector(
+                [FaultSpec(matrix=matrix, error_type=error_type)],
+                rng=np.random.default_rng(args.seed + trial),
+            )
+            checker = ATTNChecker(ATTNCheckerConfig(**VERIFICATION_MODE_CONFIGS[mode]))
+            model.set_attention_hooks(ComposedHooks([injector, checker]))
+            model(batch["input_ids"], attention_mask=batch["attention_mask"],
+                  labels=batch["labels"])
+            model.set_attention_hooks(None)
+            outcomes = checker.end_step() + checker.drain()
+            checker.close()
+            signatures.append(tuple(
+                (o.section, o.layer_index, o.step,
+                 o.report.detected, o.report.aborted, o.report.residual_extreme)
+                for o in outcomes if o.report is not None
+            ))
+            detections += checker.stats.total_detections
+            corrections += checker.stats.total_corrections
+            stale += checker.stats.total_stale_detections
+            critical += checker.critical_path_seconds()
+            total += checker.overhead_seconds()
+        per_mode[mode] = {"corrections": corrections, "signatures": signatures}
+        rows.append([
+            mode, detections, corrections, stale,
+            f"{critical * 1e3:.1f}", f"{total * 1e3:.1f}",
+        ])
+    identical = per_mode["deferred"]["signatures"] == per_mode["async"]["signatures"]
+    parity = per_mode["immediate"]["corrections"] == per_mode["async"]["corrections"]
+    footer = (
+        ("deferred/async detection decisions byte-identical" if identical
+         else "DEFERRED/ASYNC DETECTION DECISIONS DIVERGED")
+        + "; "
+        + ("async corrections match immediate" if parity
+           else "ASYNC CORRECTIONS DIVERGED FROM IMMEDIATE")
+    )
+    return format_table(
+        ["mode", "detections", "corrections", "stale", "critical-path ms", "total ms"],
+        rows,
+        title=f"Verification modes — fused engine ({args.model}); {footer}",
     )
 
 
@@ -275,6 +347,7 @@ def run_fig12(args: argparse.Namespace) -> str:
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "quickstart": run_quickstart,
     "backends": run_backends,
+    "verification_modes": run_verification_modes,
     "table2": run_table2,
     "table3": run_table3,
     "sec52": run_sec52,
@@ -304,6 +377,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", default="fused", choices=list(CHECKER_BACKENDS),
                         help="ATTNChecker mechanics backend: fused ProtectionEngine "
                              "(default) or the per-GEMM reference implementation")
+    parser.add_argument("--async", dest="async_verification", action="store_true",
+                        help="verify boundary checksums asynchronously on a worker "
+                             "thread, off the critical path (fused backend only)")
     parser.add_argument("--trials", type=int, default=2, help="trials per cell for campaign experiments")
     parser.add_argument("--batch-size", type=int, default=8)
     parser.add_argument("--gpus", type=int, default=1024, help="GPU count for fig12")

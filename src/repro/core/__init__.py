@@ -23,8 +23,11 @@ This package is the reproduction of the paper's primary contribution:
 ``engine``
     :class:`ProtectionEngine` — the fused section-level checksum-passing
     mechanics: encode once per section, carry through every member GEMM, and
-    verify in one batched pass per section (optionally batching all layers of
-    a step in deferred mode).
+    verify in one batched pass per section.  Three verification modes:
+    immediate (in-pass), deferred (one batched pass per step at the step
+    boundary) and async (the batched pass runs on a worker thread off the
+    training critical path, with bounded-staleness correction of the retained
+    boundary matrices).
 ``attention_checker``
     :class:`ATTNChecker` — the attention hook that ties everything together
     and plugs into :class:`repro.nn.MultiHeadAttention`.  A thin policy layer
@@ -61,6 +64,8 @@ from repro.core.sections import PROTECTION_SECTIONS, ProtectionSection, SectionC
 from repro.core.engine import ProtectionEngine, SectionOutcome
 from repro.core.attention_checker import (
     CHECKER_BACKENDS,
+    VERIFICATION_MODES,
+    VERIFICATION_MODE_CONFIGS,
     ATTNChecker,
     ATTNCheckerConfig,
     CheckerStats,
@@ -104,6 +109,8 @@ __all__ = [
     "ATTNCheckerConfig",
     "CheckerStats",
     "CHECKER_BACKENDS",
+    "VERIFICATION_MODES",
+    "VERIFICATION_MODE_CONFIGS",
     "ErrorRates",
     "OperationVulnerability",
     "SectionReliabilityModel",

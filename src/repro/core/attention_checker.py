@@ -12,15 +12,36 @@ backends:
     :class:`repro.core.engine.ProtectionEngine` — checksums are encoded once
     per protection section and passed through all member GEMMs in a single
     dispatch at the section-boundary GEMM (the paper's Section 4.4 design),
-    three Python dispatches per layer instead of six.  Supports the optional
-    ``deferred`` mode that batches verification of all layers of a step into
-    one vectorised pass (detection only).
+    three Python dispatches per layer instead of six.
 
 ``"per_gemm"``
     The original hook-per-GEMM implementation, kept as a reference backend:
     it computes the identical checksum algebra spread over all six GEMM
     hooks.  Both backends make byte-identical detection/correction decisions;
     the equivalence is enforced by tests and by the Figure-7 benchmark.
+
+The fused backend additionally selects one of three *verification modes*
+(:data:`VERIFICATION_MODES`; see :mod:`repro.core.engine` for the mechanics):
+
+===========  ==============================  ===========================  ===============
+mode         critical-path latency           guarantee                    staleness bound
+===========  ==============================  ===========================  ===============
+immediate    full: verify at each boundary,  detection + correction       none
+             inside the forward pass         before values are consumed
+deferred     encode/carry only; one batched  detection only               one step
+             flush at ``end_step``           (values already consumed)    (the flush)
+async        encode/carry + queue swap; a    detection + bounded-         ``max_pending_
+             worker thread verifies off      staleness correction of      steps`` steps
+             the critical path               the retained boundary        (backpressure)
+             (``async_verification=True``)   matrix; dirty outcomes
+                                             flagged ``stale``
+===========  ==============================  ===========================  ===============
+
+Detection decisions of async mode are byte-identical to deferred mode (both
+run the same batched pass over the same per-step snapshots).  Use
+:meth:`ATTNChecker.critical_path_seconds` vs :meth:`ATTNChecker.overhead_seconds`
+to split the checker time spent on the training thread from total checker
+work including the async worker.
 
 The checker is completely transparent to the model: attaching it changes no
 shapes and no semantics of the forward/backward pass (one of the paper's
@@ -69,6 +90,8 @@ from repro.utils.timing import TimingRegistry
 
 __all__ = [
     "CHECKER_BACKENDS",
+    "VERIFICATION_MODES",
+    "VERIFICATION_MODE_CONFIGS",
     "ATTNCheckerConfig",
     "SectionStats",
     "CheckerStats",
@@ -77,6 +100,17 @@ __all__ = [
 
 #: Selectable mechanics backends.
 CHECKER_BACKENDS = ("fused", "per_gemm")
+
+#: Verification modes of the fused backend (see the module docstring table).
+VERIFICATION_MODES = ("immediate", "deferred", "async")
+
+#: Canonical mode-name -> :class:`ATTNCheckerConfig` kwargs, the single place
+#: the CLI, benchmarks and tests translate a mode name into a configuration.
+VERIFICATION_MODE_CONFIGS = {
+    "immediate": {},
+    "deferred": {"defer_verification": True},
+    "async": {"async_verification": True},
+}
 
 
 @dataclass
@@ -98,6 +132,18 @@ class ATTNCheckerConfig:
         Fused backend only: queue boundary verifications and run them in one
         batched pass per step at :meth:`ATTNChecker.end_step` (detection only;
         see :mod:`repro.core.engine`).
+    async_verification:
+        Fused backend only, mutually exclusive with ``defer_verification``:
+        snapshot each step's queued boundary verifications at
+        :meth:`ATTNChecker.end_step` and verify them on a worker thread, off
+        the training critical path, with bounded-staleness correction of the
+        retained boundary matrices (see :mod:`repro.core.engine`).  Results
+        are folded into :attr:`ATTNChecker.stats` as they are harvested at
+        subsequent ``end_step`` calls or at :meth:`ATTNChecker.drain`.
+    max_pending_steps:
+        Async only: bound on in-flight submitted step batches; ``end_step``
+        blocks once the bound is reached (backpressure), which is also the
+        detection staleness window in steps.
     repair_operands:
         After a boundary-matrix correction, additionally repair the upstream
         operand (Q, K or V) whose 0D fault caused the propagation.  The
@@ -117,6 +163,8 @@ class ATTNCheckerConfig:
     frequencies: Dict[str, float] = field(default_factory=lambda: {"AS": 1.0, "CL": 1.0, "O": 1.0})
     backend: str = "fused"
     defer_verification: bool = False
+    async_verification: bool = False
+    max_pending_steps: int = 2
     repair_operands: bool = True
     refresh_checksums: bool = True
     collect_timing: bool = True
@@ -135,6 +183,31 @@ class ATTNCheckerConfig:
             )
         if self.defer_verification and self.backend != "fused":
             raise ValueError("defer_verification requires the 'fused' backend")
+        if self.async_verification:
+            if self.backend != "fused":
+                raise ValueError(
+                    "async_verification requires the 'fused' backend; the per-GEMM "
+                    "reference verifies inline at every GEMM and has no checksum "
+                    "queue to hand to a worker"
+                )
+            if self.defer_verification:
+                raise ValueError(
+                    "async_verification and defer_verification are mutually exclusive; "
+                    "pick one verification mode (async already batches per step)"
+                )
+        if not isinstance(self.max_pending_steps, int) or self.max_pending_steps < 1:
+            raise ValueError(
+                f"max_pending_steps must be a positive integer, got {self.max_pending_steps!r}"
+            )
+
+    @property
+    def verification_mode(self) -> str:
+        """Which of :data:`VERIFICATION_MODES` this configuration selects."""
+        if self.async_verification:
+            return "async"
+        if self.defer_verification:
+            return "deferred"
+        return "immediate"
 
 
 @dataclass
@@ -148,6 +221,9 @@ class SectionStats:
     aborted_vectors: int = 0
     residual_extreme: int = 0
     operand_repairs: int = 0
+    #: Boundaries that verified dirty only after their values were consumed
+    #: (async verification) — candidates for re-execution/abort policies.
+    stale_detections: int = 0
 
     def record(self, report: MatrixCorrectionReport) -> None:
         self.checks_run += 1
@@ -180,6 +256,10 @@ class CheckerStats:
     @property
     def total_checks(self) -> int:
         return sum(s.checks_run for s in self.sections.values())
+
+    @property
+    def total_stale_detections(self) -> int:
+        return sum(s.stale_detections for s in self.sections.values())
 
     def reset(self) -> None:
         for name in list(self.sections):
@@ -399,6 +479,8 @@ class ATTNChecker(AttentionHooks):
                 repair_operands=self.config.repair_operands,
                 timers=self.timers,
                 deferred=self.config.defer_verification,
+                asynchronous=self.config.async_verification,
+                max_pending_steps=self.config.max_pending_steps,
             )
             self._reference: Optional[_PerGemmReferenceBackend] = None
         else:
@@ -410,6 +492,15 @@ class ATTNChecker(AttentionHooks):
     @property
     def backend(self) -> str:
         return self.config.backend
+
+    @property
+    def verification_mode(self) -> str:
+        return self.config.verification_mode
+
+    @property
+    def pending_verifications(self) -> int:
+        """Boundary checks queued this step, not yet flushed/submitted."""
+        return self.engine.pending_verifications if self.engine is not None else 0
 
     @property
     def thresholds(self) -> ABFTThresholds:
@@ -425,13 +516,15 @@ class ATTNChecker(AttentionHooks):
             self.config.frequencies[name] = float(value)
 
     def reset_stats(self) -> None:
-        self.stats.reset()
-        self.timers.reset()
-        self.last_reports.clear()
+        # Join the async worker before clearing the timers: an in-flight
+        # batch must not record ``async/`` entries into the fresh registry.
         if self.engine is not None:
             self.engine.reset()
         if self._reference is not None:
             self._reference.reset()
+        self.stats.reset()
+        self.timers.reset()
+        self.last_reports.clear()
 
     # -- frequency gating (policy) ----------------------------------------------
 
@@ -491,20 +584,79 @@ class ATTNChecker(AttentionHooks):
         return out
 
     def end_step(self) -> List[SectionOutcome]:
-        """Flush deferred verifications (fused backend's batched mode).
+        """Close one training step's verification work; call once per step.
 
-        Call once per training step; a no-op in immediate mode.  Returns the
-        flushed outcomes (detection statistics are folded into
-        :attr:`stats`).
+        * immediate mode — a no-op (every boundary already verified in-pass);
+        * deferred mode — flush the step's queued checks in one batched pass,
+          on the calling thread;
+        * async mode — submit the step's snapshot to the worker (blocking
+          only if ``max_pending_steps`` batches are already in flight) and
+          harvest whatever verification results have completed so far,
+          without waiting for the batch just submitted.
+
+        Returns the outcomes produced now (statistics are folded into
+        :attr:`stats`); always leaves :attr:`pending_verifications` at zero.
         """
-        if self.engine is None or not self.config.defer_verification:
+        if self.engine is None:
             return []
-        outcomes = self.engine.flush()
-        for outcome in outcomes:
-            if outcome.report is not None:
-                self.stats.sections[outcome.section].record(outcome.report)
-                self.last_reports[outcome.section] = outcome.report
+        if self.config.async_verification:
+            with self.timers.measure("submit/async"):
+                self.engine.submit_step()
+            outcomes = self.engine.harvest()
+        elif self.config.defer_verification:
+            outcomes = self.engine.flush()
+        else:
+            return []
+        self._fold_outcomes(outcomes)
         return outcomes
+
+    def drain(self) -> List[SectionOutcome]:
+        """Barrier: complete and fold every queued/in-flight verification.
+
+        Deferred mode flushes synchronously; async mode submits any residual
+        front-buffer items and waits for the worker to finish all batches
+        (re-raising a worker exception instead of swallowing it).  A no-op
+        returning ``[]`` in immediate mode or for the per-GEMM backend.
+        """
+        if self.engine is None:
+            return []
+        if self.config.async_verification:
+            with self.timers.measure("submit/async"):
+                self.engine.submit_step()
+            outcomes = self.engine.drain()
+        elif self.config.defer_verification:
+            outcomes = self.engine.flush()
+        else:
+            return []
+        self._fold_outcomes(outcomes)
+        return outcomes
+
+    def close(self) -> None:
+        """Join the async verification worker, keeping statistics intact."""
+        if self.engine is not None:
+            self.engine.close()
+
+    def _fold_outcomes(self, outcomes: List[SectionOutcome]) -> None:
+        """Fold batched-verification outcomes into :attr:`stats`.
+
+        Detection counters come from the batched detect pass (byte-identical
+        between deferred and async modes).  For async outcomes that carry a
+        bounded-staleness ``repair``, corrections come from the repair report
+        and the residual counter reports the post-repair state, mirroring
+        what immediate mode would have recorded at the same boundary.
+        """
+        for outcome in outcomes:
+            report = outcome.report
+            if report is None:
+                continue
+            stats = self.stats.sections[outcome.section]
+            stats.record(report)
+            if outcome.repair is not None:
+                stats.corrections += outcome.repair.corrected
+                stats.residual_extreme += outcome.repair.residual_extreme - report.residual_extreme
+            if outcome.stale and report.detected:
+                stats.stale_detections += 1
+            self.last_reports[outcome.section] = report
 
     # -- stats plumbing -----------------------------------------------------------
 
@@ -527,22 +679,42 @@ class ATTNChecker(AttentionHooks):
     # -- reporting ----------------------------------------------------------------
 
     def overhead_seconds(self) -> float:
-        """Total wall-clock time spent in ABFT work (all sections, all phases)."""
+        """Total wall-clock ABFT work, including the async worker's share."""
         return self.timers.total()
 
+    def critical_path_seconds(self) -> float:
+        """ABFT time spent on the training thread (excludes ``async/`` keys).
+
+        For immediate and deferred modes this equals
+        :meth:`overhead_seconds`; for async mode it is the encode/carry/queue
+        cost plus the step-submit bookkeeping — the part the paper's
+        off-critical-path claim says should be all that remains.
+        """
+        return self.timers.total(exclude="async/")
+
+    def async_verification_seconds(self) -> float:
+        """Wall-clock the async worker spent verifying/repairing (0 otherwise)."""
+        return self.timers.total(prefix="async/")
+
     def section_overhead_seconds(self) -> Dict[str, float]:
-        """Wall-clock ABFT time per protection section."""
+        """Wall-clock ABFT time per protection section (critical path only)."""
         return {name: self.timers.total(prefix=f"{name}/") for name in PROTECTION_SECTIONS}
 
     def summary(self) -> str:
         """Human-readable multi-line statistics summary."""
-        lines = [f"ATTNChecker statistics (backend={self.config.backend}):"]
+        lines = [
+            f"ATTNChecker statistics (backend={self.config.backend}, "
+            f"mode={self.verification_mode}):"
+        ]
         for name, stats in self.stats.sections.items():
             lines.append(
                 f"  [{name}] checks={stats.checks_run} skipped={stats.checks_skipped} "
                 f"detected={stats.detections} corrected={stats.corrections} "
                 f"aborted={stats.aborted_vectors} residual_extreme={stats.residual_extreme} "
-                f"operand_repairs={stats.operand_repairs}"
+                f"operand_repairs={stats.operand_repairs} stale={stats.stale_detections}"
             )
-        lines.append(f"  total ABFT time: {self.overhead_seconds() * 1e3:.3f} ms")
+        lines.append(
+            f"  total ABFT time: {self.overhead_seconds() * 1e3:.3f} ms "
+            f"(critical path: {self.critical_path_seconds() * 1e3:.3f} ms)"
+        )
         return "\n".join(lines)

@@ -28,6 +28,24 @@ which drives the engine through the section-level hook
 
 Verification modes
 ------------------
+The engine supports three verification modes.  At a glance:
+
+============  =====================  ==========================  =================
+mode          verification latency   guarantee                   staleness bound
+============  =====================  ==========================  =================
+*immediate*   in-pass (boundary)     detection **and** in-place  none — repaired
+              — full cost on the     correction before the       values are what
+              critical path          value is consumed           downstream sees
+*deferred*    end of step — flush    detection only; one         one step — flush
+              cost still on the      batched pass over all       runs at
+              critical path          layers of the step          ``flush()``
+*async*       off the critical       detection plus bounded-     ``max_pending_``
+              path — a worker        staleness correction of     ``steps`` steps,
+              thread verifies        the *retained* boundary     enforced by
+              while the next         matrix; outcome flagged     backpressure in
+              step computes          ``stale`` for the trainer   ``submit_step``
+============  =====================  ==========================  =================
+
 ``immediate`` (default)
     Verify and correct at each section boundary, inside the forward pass, so
     a repaired value is what downstream operations consume.  This is the
@@ -39,18 +57,43 @@ Verification modes
     stacked so the whole step costs a handful of vectorised EEC-ABFT calls
     regardless of depth.  Deferred verification is *detection only*: by flush
     time the forward pass has already consumed the (possibly corrupted)
-    values, so corrections are not applied retroactively.  It exists for
-    monitoring/telemetry workloads where detection latency of one step is
-    acceptable and minimal in-pass overhead matters.
+    values, so corrections are not applied retroactively.
+``async``
+    Same per-step work-item snapshot as deferred, but the batched
+    verification runs on a standard-library worker thread while the training
+    loop proceeds with the next step's compute — the checker work leaves the
+    critical path entirely.  The queues are double-buffered:
+    :meth:`protect_section` appends :class:`_DeferredCheck` work items to the
+    *front* buffer; :meth:`submit_step` swaps it against an empty buffer and
+    hands the snapshot to the worker.  ``max_pending_steps`` bounds how many
+    submitted step batches may be in flight: submitting beyond the bound
+    *blocks* until the worker catches up, so detection can never trail the
+    fault by more than ``max_pending_steps`` steps (the staleness window).
+    Within that window the engine upgrades detection to *bounded-staleness
+    correction*: a boundary that verifies dirty has its retained matrix
+    repaired via EEC-ABFT (on a copy — the live value was already consumed),
+    and the outcome is flagged ``stale`` so the trainer can re-execute the
+    affected step or abort (see ``TrainerConfig.stale_policy``).  Only the
+    *earliest* dirty boundary of a (step, layer) pass is repaired: later
+    boundaries of the same pass are propagation shadows of the same fault and
+    re-execution, not double-repair, is the recovery for them.
 
-Follow-on items tracked in ROADMAP.md: asynchronous verification off the
-critical path, and alternate engine backends (GPU array libraries).
+Detection decisions of ``async`` mode are byte-identical to ``deferred``
+mode — both run the same batched pass (:meth:`ProtectionEngine._verify_batch`)
+over the same per-step snapshots.  Worker-side wall-clock is recorded under
+timer keys prefixed ``"async/"`` so callers can split critical-path from
+total checker time.
+
+Follow-on items tracked in ROADMAP.md: alternate engine backends (GPU array
+libraries) and layer-granular re-execution from retained activations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,11 +109,18 @@ from repro.core.checksums import (
 )
 from repro.core.correction import MatrixCorrectionReport, correct_matrix
 from repro.core.eec_abft import check_columns, check_rows
+from repro.core.sections import PROTECTION_SECTIONS
 from repro.core.thresholds import ABFTThresholds
 from repro.nn.attention import SectionContext
 from repro.utils.timing import TimingRegistry
 
 __all__ = ["SectionOutcome", "ProtectionEngine"]
+
+#: Dataflow order of the protection sections within one attention pass (the
+#: declaration order of ``PROTECTION_SECTIONS``).  The async repair pass uses
+#: it to find the earliest dirty boundary of a step — the fault site — since
+#: later dirty boundaries are propagation shadows.
+_SECTION_ORDER = {name: index for index, name in enumerate(PROTECTION_SECTIONS)}
 
 
 @dataclass
@@ -79,7 +129,11 @@ class SectionOutcome:
 
     ``report`` is ``None`` for work that carried checksums forward without
     verifying (an :math:`S_{CL}` boundary visited only to feed :math:`S_O`,
-    or any boundary in deferred mode before :meth:`ProtectionEngine.flush`).
+    or any boundary in deferred/async mode before its batched verification
+    ran).  For queued modes the eventual ``report`` holds the *detection*
+    outcome (``corrected`` stays 0 — the consumed value was never patched);
+    async mode additionally attaches ``repair``, the EEC-ABFT report of
+    repairing the retained boundary matrix within the staleness window.
     """
 
     section: str
@@ -88,6 +142,17 @@ class SectionOutcome:
     report: Optional[MatrixCorrectionReport] = None
     operand_repairs: int = 0
     deferred: bool = False
+    #: Verification completed after the producing step's values were already
+    #: consumed (async mode, dirty boundary) — the trainer's cue to re-execute
+    #: or abort under its staleness policy.
+    stale: bool = False
+    #: Diagnostic: how many step batches had been submitted past this one when
+    #: its verification ran.  Bounded by ``max_pending_steps`` (backpressure);
+    #: not part of the detection/correction decision.
+    lag_steps: int = 0
+    #: Bounded-staleness repair of the retained boundary matrix (async mode,
+    #: earliest dirty boundary of its pass only).
+    repair: Optional[MatrixCorrectionReport] = None
 
 
 class _LayerState:
@@ -101,7 +166,13 @@ class _LayerState:
 
 
 class _DeferredCheck:
-    """One boundary matrix queued for batched verification at flush time."""
+    """One boundary matrix queued for batched verification.
+
+    The work item of both deferred and async modes: the retained boundary
+    matrix (by reference — downstream autograd ops allocate fresh arrays, so
+    the retained values stay what the boundary produced) plus its carried
+    checksums.
+    """
 
     __slots__ = ("section", "layer_index", "step", "matrix", "checksums")
 
@@ -130,9 +201,17 @@ class ProtectionEngine:
     timers:
         Shared :class:`TimingRegistry`; phase labels match the historical
         per-GEMM backend (``"AS/encode"``, ``"CL/detect"``, ...) so overhead
-        reporting is backend-agnostic.
+        reporting is backend-agnostic.  The async worker records under the
+        same labels prefixed ``"async/"``.
     deferred:
         Select the ``deferred`` verification mode (see module docstring).
+    asynchronous:
+        Select the ``async`` verification mode.  Mutually exclusive with
+        ``deferred``.
+    max_pending_steps:
+        Async only: bound on in-flight submitted step batches.
+        :meth:`submit_step` blocks once the bound is reached, which both
+        prevents unbounded queue growth and enforces the staleness window.
     """
 
     def __init__(
@@ -142,14 +221,34 @@ class ProtectionEngine:
         repair_operands: bool = True,
         timers: Optional[TimingRegistry] = None,
         deferred: bool = False,
+        asynchronous: bool = False,
+        max_pending_steps: int = 2,
     ) -> None:
+        if deferred and asynchronous:
+            raise ValueError("deferred and asynchronous verification are mutually exclusive")
+        if max_pending_steps < 1:
+            raise ValueError(f"max_pending_steps must be >= 1, got {max_pending_steps}")
         self.thresholds = thresholds or ABFTThresholds()
         self.refresh_checksums = refresh_checksums
         self.repair_operands = repair_operands
         self.timers = timers if timers is not None else TimingRegistry()
         self.deferred = deferred
+        self.asynchronous = asynchronous
+        self.max_pending_steps = max_pending_steps
         self._layers: Dict[int, _LayerState] = {}
+        #: Front buffer of the double-buffered queue: the step in progress
+        #: appends here; submit_step()/flush() swap it out wholesale.
         self._queue: List[_DeferredCheck] = []
+        # -- async worker state (guarded by _cv) --------------------------------
+        self._cv = threading.Condition()
+        self._inbox: Deque[Tuple[int, List[_DeferredCheck]]] = deque()
+        self._completed: List[SectionOutcome] = []
+        self._inflight = 0
+        self._epoch = 0  # number of step batches submitted so far
+        self._failure: Optional[BaseException] = None
+        self._shutdown = False
+        self._discard_on_shutdown = False
+        self._worker: Optional[threading.Thread] = None
 
     # -- pass lifecycle ---------------------------------------------------------
 
@@ -161,13 +260,40 @@ class ProtectionEngine:
         self._layers.pop(layer_index, None)
 
     def reset(self) -> None:
+        """Drop all pass state and queued work; joins the async worker.
+
+        In-flight batches are *discarded*, not verified — reset means the
+        caller no longer wants their results.
+        """
         self._layers.clear()
         self._queue.clear()
+        self._join_worker(discard=True)
+        with self._cv:
+            self._inbox.clear()
+            self._completed.clear()
+            self._inflight = 0
+            self._epoch = 0
+            self._failure = None
+
+    def close(self) -> None:
+        """Join the async worker thread (idempotent; engine stays usable).
+
+        Graceful: batches already submitted are verified before the worker
+        exits, so a later :meth:`harvest`/:meth:`drain` still returns their
+        outcomes instead of hanging on stranded in-flight accounting.
+        """
+        self._join_worker(discard=False)
 
     @property
     def pending_verifications(self) -> int:
-        """Number of deferred boundary checks waiting for :meth:`flush`."""
+        """Work items in the front buffer, not yet flushed/submitted."""
         return len(self._queue)
+
+    @property
+    def pending_steps(self) -> int:
+        """Submitted step batches the async worker has not finished yet."""
+        with self._cv:
+            return self._inflight
 
     # -- section dispatch -------------------------------------------------------
 
@@ -195,8 +321,8 @@ class ProtectionEngine:
         checksums: ChecksumState,
         outcome: SectionOutcome,
     ) -> None:
-        """Verify ``out`` now, or queue it for the batched flush pass."""
-        if self.deferred:
+        """Verify ``out`` now, or queue it for a batched verification pass."""
+        if self.deferred or self.asynchronous:
             self._queue.append(
                 _DeferredCheck(ctx.section, ctx.layer_index, ctx.step, out, checksums)
             )
@@ -316,40 +442,42 @@ class ProtectionEngine:
         self._verify(ctx, out, ChecksumState(col=cs_o_col), outcome)
         return outcome
 
-    # -- deferred flush ---------------------------------------------------------
+    # -- batched verification (shared by deferred flush and the async worker) ----
 
-    def flush(self) -> List[SectionOutcome]:
-        """Verify every queued boundary matrix in one batched pass per group.
+    def _verify_batch(
+        self, items: List[_DeferredCheck], timer_prefix: str = ""
+    ) -> List[Tuple[_DeferredCheck, SectionOutcome]]:
+        """Verify queued boundary matrices in one batched pass per group.
 
-        Queued checks are grouped by (section, matrix shape) and stacked along
-        a new leading axis, so all layers of a step are verified with a single
-        vectorised EEC-ABFT call per checksum side per group — the
-        cross-layer batching option of the fused design.  Detection only; see
-        the module docstring.
+        Checks are grouped by (section, matrix shape) and stacked along a new
+        leading axis, so all layers of a step are verified with a single
+        vectorised EEC-ABFT call per checksum side per group — the cross-layer
+        batching of the fused design.  Detection only: ``corrected`` stays 0.
+        Deferred mode and the async worker both run exactly this code, which
+        is what makes their detection decisions byte-identical.
         """
-        outcomes: List[SectionOutcome] = []
-        if not self._queue:
-            return outcomes
+        pairs: List[Tuple[_DeferredCheck, SectionOutcome]] = []
+        if not items:
+            return pairs
         groups: Dict[tuple, List[_DeferredCheck]] = {}
-        for item in self._queue:
+        for item in items:
             groups.setdefault((item.section, item.matrix.shape), []).append(item)
-        self._queue = []
 
-        for (section, _shape), items in groups.items():
-            with self.timers.measure(f"{section}/detect"):
-                stacked = np.stack([item.matrix for item in items])
+        for (section, _shape), group in groups.items():
+            with self.timers.measure(f"{timer_prefix}{section}/detect"):
+                stacked = np.stack([item.matrix for item in group])
                 col_reports = row_reports = None
-                if items[0].checksums.has_col():
-                    col = np.stack([item.checksums.col for item in items])
+                if group[0].checksums.has_col():
+                    col = np.stack([item.checksums.col for item in group])
                     col_reports = check_columns(
                         stacked, col, thresholds=self.thresholds, correct=False
                     )
-                if items[0].checksums.has_row():
-                    row = np.stack([item.checksums.row for item in items])
+                if group[0].checksums.has_row():
+                    row = np.stack([item.checksums.row for item in group])
                     row_reports = check_rows(
                         stacked, row, thresholds=self.thresholds, correct=False
                     )
-            for index, item in enumerate(items):
+            for index, item in enumerate(group):
                 report = MatrixCorrectionReport()
                 if col_reports is not None:
                     report.used_column_side = True
@@ -360,13 +488,178 @@ class ProtectionEngine:
                     report.detected += int(row_reports.detected[index].sum())
                     report.aborted += int(row_reports.aborted[index].sum())
                 report.residual_extreme = int(self.thresholds.is_extreme(item.matrix).sum())
-                outcomes.append(
+                pairs.append((
+                    item,
                     SectionOutcome(
                         section=item.section,
                         layer_index=item.layer_index,
                         step=item.step,
                         report=report,
                         deferred=True,
-                    )
+                    ),
+                ))
+        return pairs
+
+    # -- deferred flush ---------------------------------------------------------
+
+    def flush(self) -> List[SectionOutcome]:
+        """Verify every queued boundary matrix, synchronously, right now.
+
+        In deferred mode this is the per-step batched pass (detection only;
+        see the module docstring).  In async mode it is a convenience barrier:
+        submit whatever the front buffer holds, then :meth:`drain`.
+        """
+        if self.asynchronous:
+            self.submit_step()
+            return self.drain()
+        items, self._queue = self._queue, []
+        return [outcome for _, outcome in self._verify_batch(items)]
+
+    # -- async mode -------------------------------------------------------------
+
+    def submit_step(self) -> int:
+        """Swap the front buffer and hand the snapshot to the worker thread.
+
+        Blocks while ``max_pending_steps`` step batches are already in
+        flight — the backpressure that bounds both memory growth and
+        detection staleness.  Returns the number of work items submitted.
+        """
+        if not self.asynchronous:
+            raise RuntimeError("submit_step() requires asynchronous mode")
+        items, self._queue = self._queue, []
+        if not items:
+            return 0
+        with self._cv:
+            while self._inflight >= self.max_pending_steps and self._failure is None:
+                self._cv.wait()
+            # A pending worker failure surfaces here rather than after more
+            # wasted submissions; the step's items are dropped with it.
+            self._raise_failure_locked()
+            self._epoch += 1
+            self._inflight += 1
+            self._inbox.append((self._epoch, items))
+            self._ensure_worker_locked()
+            self._cv.notify_all()
+        return len(items)
+
+    def harvest(self) -> List[SectionOutcome]:
+        """Collect verification results completed so far, without blocking.
+
+        Re-raises an exception the worker hit, instead of swallowing it.
+        """
+        with self._cv:
+            self._raise_failure_locked()
+            completed, self._completed = self._completed, []
+        return completed
+
+    def drain(self) -> List[SectionOutcome]:
+        """Barrier: wait until every submitted step batch has been verified.
+
+        Returns all completed outcomes (including ones finished before the
+        call); re-raises any worker exception.
+        """
+        if not self.asynchronous:
+            return []
+        with self._cv:
+            while self._inflight and self._failure is None:
+                self._cv.wait()
+            self._raise_failure_locked()
+            completed, self._completed = self._completed, []
+        return completed
+
+    def _raise_failure_locked(self) -> None:
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise failure
+
+    def _ensure_worker_locked(self) -> None:
+        if self._worker is None or not self._worker.is_alive():
+            self._shutdown = False
+            self._discard_on_shutdown = False
+            self._worker = threading.Thread(
+                target=self._worker_main, name="protection-engine-verifier", daemon=True
+            )
+            self._worker.start()
+
+    def _join_worker(self, discard: bool) -> None:
+        worker = self._worker
+        if worker is None:
+            return
+        with self._cv:
+            self._shutdown = True
+            self._discard_on_shutdown = discard
+            self._cv.notify_all()
+        worker.join(timeout=30.0)
+        if worker.is_alive():  # pragma: no cover - only on a wedged batch
+            raise RuntimeError("protection-engine verification worker did not shut down")
+        self._worker = None
+        self._shutdown = False
+
+    def _worker_main(self) -> None:
+        while True:
+            with self._cv:
+                while not self._inbox and not self._shutdown:
+                    self._cv.wait()
+                if self._shutdown and self._discard_on_shutdown:
+                    # reset(): drop the remaining batches but keep the
+                    # in-flight accounting sane for anyone mid-drain.
+                    self._inflight -= len(self._inbox)
+                    self._inbox.clear()
+                    self._cv.notify_all()
+                    return
+                if not self._inbox:  # graceful shutdown, nothing left
+                    return
+                epoch, items = self._inbox.popleft()
+            try:
+                outcomes = self._process_batch(epoch, items)
+            except BaseException as exc:  # propagated to the caller at next drain
+                with self._cv:
+                    self._failure = exc
+                    self._inflight -= 1
+                    self._cv.notify_all()
+            else:
+                with self._cv:
+                    self._completed.extend(outcomes)
+                    self._inflight -= 1
+                    self._cv.notify_all()
+
+    def _process_batch(self, epoch: int, items: List[_DeferredCheck]) -> List[SectionOutcome]:
+        """Verify one submitted step batch and repair the dirty fault sites.
+
+        Detection runs the exact deferred-mode batched pass.  Then, per step
+        counter, the *earliest* dirty boundary in dataflow order — the fault
+        site under the paper's single-transient-fault-per-step model — has
+        its retained matrix repaired via EEC-ABFT on a copy (the live array
+        was already consumed by the forward pass; repairing a copy keeps the
+        result race-free for any reader still holding the original).  Dirty
+        boundaries downstream of the fault site are propagation shadows: an
+        extreme value that escaped its section corrupts everything after it,
+        and the recovery for those is step re-execution (the trainer's
+        ``stale_policy``), not more repairs.  Backpressure guarantees every
+        batch verifies within the ``max_pending_steps`` staleness window, so
+        the fault site is always eligible for repair.
+        """
+        pairs = self._verify_batch(items, timer_prefix="async/")
+        with self._cv:
+            lag = self._epoch - epoch
+        earliest_dirty: Dict[int, Tuple[Tuple[int, int], _DeferredCheck, SectionOutcome]] = {}
+        for item, outcome in pairs:
+            outcome.lag_steps = lag
+            report = outcome.report
+            if report.detected or report.aborted or report.residual_extreme:
+                outcome.stale = True
+                rank = (item.layer_index, _SECTION_ORDER[item.section])
+                if item.step not in earliest_dirty or rank < earliest_dirty[item.step][0]:
+                    earliest_dirty[item.step] = (rank, item, outcome)
+        for _rank, item, outcome in earliest_dirty.values():
+            with self.timers.measure(f"async/{item.section}/repair"):
+                repaired = np.array(item.matrix, copy=True)
+                checksums = ChecksumState(
+                    col=None if item.checksums.col is None else item.checksums.col.copy(),
+                    row=None if item.checksums.row is None else item.checksums.row.copy(),
                 )
-        return outcomes
+                outcome.repair = correct_matrix(
+                    repaired, checksums, thresholds=self.thresholds,
+                    refresh_checksums=self.refresh_checksums,
+                )
+        return [outcome for _, outcome in pairs]

@@ -263,6 +263,39 @@ class SectionCostModel:
             return sum(len(s.operations) for s in PROTECTION_SECTIONS.values())
         raise KeyError(f"unknown backend {backend!r}; expected 'fused' or 'per_gemm'")
 
+    @staticmethod
+    def verification_dispatches_per_step(mode: str, num_layers: int) -> Dict[str, int]:
+        """Boundary-*verification* dispatches of one training step, split by
+        where they land relative to the training critical path.
+
+        Complements :meth:`python_dispatches_per_layer` (which counts the
+        encode/carry dispatch points of the fused engine): this counts the
+        EEC-ABFT verification passes themselves, per fused-engine mode.
+
+        * ``immediate`` — one verification per section per layer, all inside
+          the forward pass.
+        * ``deferred`` — all layers of the step are stacked and verified in
+          one batched pass per section at ``end_step``; fewer dispatches, but
+          still on the calling thread.
+        * ``async`` — the same batched passes run on the worker thread, so
+          zero verification dispatches remain on the critical path.
+
+        Counts assume the homogeneous-layer case (every layer's boundary
+        matrices share a shape, so each section forms a single stacked group).
+        """
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        sections = len(PROTECTION_SECTIONS)
+        if mode == "immediate":
+            return {"critical_path": sections * num_layers, "off_critical_path": 0}
+        if mode == "deferred":
+            return {"critical_path": sections, "off_critical_path": 0}
+        if mode == "async":
+            return {"critical_path": 0, "off_critical_path": sections}
+        raise KeyError(
+            f"unknown verification mode {mode!r}; expected 'immediate', 'deferred' or 'async'"
+        )
+
     def attention_gemm_flops(self) -> float:
         """Total protected GEMM FLOPs of one attention layer forward pass."""
         return float(sum(self.operation_flops().values()))

@@ -13,9 +13,16 @@ from repro.training.optimizer import SGD, AdamW, Optimizer
 from repro.training.scheduler import ConstantSchedule, LinearWarmupSchedule, LRSchedule
 from repro.training.checkpoint import CheckpointManager, CheckpointRecord
 from repro.training.metrics import TrainingMetrics, StepResult
-from repro.training.trainer import Trainer, TrainerConfig
+from repro.training.trainer import (
+    STALE_POLICIES,
+    StaleDetectionAbort,
+    Trainer,
+    TrainerConfig,
+)
 
 __all__ = [
+    "STALE_POLICIES",
+    "StaleDetectionAbort",
     "Optimizer",
     "SGD",
     "AdamW",

@@ -8,6 +8,7 @@ A100 numbers come from :mod:`repro.perfmodel` instead.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -65,13 +66,21 @@ class TimingRegistry:
     Keys are free-form strings; by convention the library uses
     ``"attention/forward"``, ``"abft/encode"``, ``"abft/detect"`` and so on,
     which lets overhead reports aggregate by prefix.
+
+    The registry itself is thread-safe: the key-to-timer map is guarded by a
+    lock so an asynchronous verification worker can record under its own keys
+    (``"async/..."``) while the training thread records and aggregates.
+    Individual :class:`Timer` objects are *not* locked — the library's
+    convention is that each key is only ever measured from one thread.
     """
 
     def __init__(self) -> None:
         self._timers: Dict[str, Timer] = defaultdict(Timer)
+        self._lock = threading.Lock()
 
     def timer(self, key: str) -> Timer:
-        return self._timers[key]
+        with self._lock:
+            return self._timers[key]
 
     @contextmanager
     def measure(self, key: str) -> Iterator[Timer]:
@@ -79,24 +88,39 @@ class TimingRegistry:
             yield t
 
     def elapsed(self, key: str) -> float:
-        return self._timers[key].elapsed if key in self._timers else 0.0
+        with self._lock:
+            return self._timers[key].elapsed if key in self._timers else 0.0
 
-    def total(self, prefix: str = "") -> float:
-        """Sum of elapsed time over all keys starting with ``prefix``."""
-        return sum(t.elapsed for k, t in self._timers.items() if k.startswith(prefix))
+    def total(self, prefix: str = "", exclude: Optional[str] = None) -> float:
+        """Sum of elapsed time over keys starting with ``prefix``.
+
+        ``exclude`` drops keys starting with that prefix, in the same locked
+        pass — e.g. ``total(exclude="async/")`` is the critical-path time of a
+        checker whose verification worker records under ``"async/"`` keys.
+        """
+        with self._lock:
+            return sum(
+                t.elapsed
+                for k, t in self._timers.items()
+                if k.startswith(prefix) and (exclude is None or not k.startswith(exclude))
+            )
 
     def keys(self) -> List[str]:
-        return sorted(self._timers)
+        with self._lock:
+            return sorted(self._timers)
 
     def reset(self) -> None:
-        self._timers.clear()
+        with self._lock:
+            self._timers.clear()
 
     def as_dict(self) -> Dict[str, float]:
-        return {k: t.elapsed for k, t in sorted(self._timers.items())}
+        with self._lock:
+            return {k: t.elapsed for k, t in sorted(self._timers.items())}
 
     def report(self) -> str:
         """Human-readable multi-line report, longest timers first."""
-        rows = sorted(self._timers.items(), key=lambda kv: -kv[1].elapsed)
+        with self._lock:
+            rows = sorted(self._timers.items(), key=lambda kv: -kv[1].elapsed)
         lines = [f"{'key':<40} {'calls':>8} {'total (s)':>12} {'mean (ms)':>12}"]
         for key, t in rows:
             lines.append(f"{key:<40} {t.count:>8d} {t.elapsed:>12.6f} {t.mean * 1e3:>12.4f}")

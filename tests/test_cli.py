@@ -23,8 +23,8 @@ class TestParser:
         assert args.rates == [13, 20]
 
     def test_registry_covers_all_figures_and_tables(self):
-        expected = {"quickstart", "backends", "table2", "table3", "sec52",
-                    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+        expected = {"quickstart", "backends", "verification_modes", "table2", "table3",
+                    "sec52", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
         assert expected == set(EXPERIMENTS)
 
     def test_backend_flag_parsed(self):
@@ -35,6 +35,11 @@ class TestParser:
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["quickstart", "--backend", "cuda"])
+
+    def test_async_flag_parsed(self):
+        args = build_parser().parse_args(["quickstart", "--async"])
+        assert args.async_verification is True
+        assert build_parser().parse_args(["quickstart"]).async_verification is False
 
 
 class TestMain:
@@ -72,11 +77,32 @@ class TestMain:
         corrections = int(out.split("corrections          : ")[1].splitlines()[0])
         assert corrections >= 1
 
+    def test_quickstart_with_async_verification(self, capsys):
+        assert main(["quickstart", "--async", "--matrix", "AS", "--error-type", "inf"]) == 0
+        out = capsys.readouterr().out
+        assert "verification mode    : async" in out
+        corrections = int(out.split("corrections          : ")[1].splitlines()[0])
+        assert corrections >= 1
+        stale = int(out.split("stale detections     : ")[1].splitlines()[0])
+        assert stale >= 1
+
+    def test_async_requires_fused_backend(self):
+        with pytest.raises(ValueError):
+            main(["quickstart", "--async", "--backend", "per_gemm"])
+
     def test_backends_experiment_reports_equivalence(self, capsys):
         assert main(["backends"]) == 0
         out = capsys.readouterr().out
         assert "byte-identical on all 18 scenarios" in out
         assert "NO" not in out.split("identical")[-1]
+
+    def test_verification_modes_experiment(self, capsys):
+        assert main(["verification_modes"]) == 0
+        out = capsys.readouterr().out
+        assert "deferred/async detection decisions byte-identical" in out
+        assert "async corrections match immediate" in out
+        for mode in ("immediate", "deferred", "async"):
+            assert mode in out
 
     def test_sec52_reports_full_coverage(self, capsys):
         assert main(["sec52", "--trials", "1"]) == 0
