@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Pluggable array backends, end to end.
+
+The checker stack dispatches through :mod:`repro.backend`: a registry of
+array libraries (NumPy always; CuPy/Torch when installed) behind one
+protocol, so checksum encoding, EEC-ABFT detection and correction run on
+whatever array type a protection section produces.  This walkthrough:
+
+1. prints what the registry knows vs. what is installed on this machine and
+   what ``"auto"`` resolves to;
+2. runs the same single-fault protected forward pass with the engine in its
+   default *follow-the-arrays* mode and pinned to each installed backend,
+   showing that detections/corrections are identical everywhere while the
+   ``xfer/*`` transfer keys stay at exactly zero on the native path;
+3. demonstrates a device-resident fault: the injector flips the exponent MSB
+   of one element *in place* through the backend's integer view — the same
+   bit flip the paper performs on GPU memory.
+
+Run with:  python examples/array_backends.py [model-name]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ATTNChecker, ATTNCheckerConfig, FaultInjector, FaultSpec, build_model
+from repro.analysis import format_table
+from repro.backend import (
+    KNOWN_ARRAY_BACKENDS,
+    BackendUnavailable,
+    available_array_backends,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.data import SyntheticMRPC
+from repro.nn import ComposedHooks
+from repro.utils.floatbits import flip_exponent_msb_inplace
+
+
+def run(model_name: str, array_backend: str):
+    model = build_model(model_name, size="tiny", rng=np.random.default_rng(0))
+    model.eval()
+    data = SyntheticMRPC(
+        num_examples=16,
+        max_seq_len=model.config.max_seq_len,
+        vocab_size=model.config.vocab_size,
+        seed=7,
+    )
+    batch = dict(data.encode(range(4)))
+    injector = FaultInjector(
+        [FaultSpec(matrix="AS", error_type="near_inf")],
+        rng=np.random.default_rng(11),
+    )
+    checker = ATTNChecker(ATTNCheckerConfig(array_backend=array_backend))
+    model.set_attention_hooks(ComposedHooks([injector, checker]))
+    out = model(batch["input_ids"], attention_mask=batch["attention_mask"],
+                labels=batch["labels"])
+    model.set_attention_hooks(None)
+    checker.end_step()
+    return {
+        "detections": checker.stats.total_detections,
+        "corrections": checker.stats.total_corrections,
+        "loss": out.loss_value,
+        "abft_ms": checker.overhead_seconds() * 1e3,
+        "xfer_ms": checker.transfer_seconds() * 1e3,
+    }
+
+
+def device_resident_bitflip_demo():
+    """Flip one element's exponent MSB through the backend's integer view."""
+    backend = get_backend("auto")
+    block = backend.asarray(np.linspace(0.5, 0.95, 6).reshape(2, 3))
+    before = float(backend.to_numpy(block)[1, 1])
+    flip_exponent_msb_inplace(block, (1, 1), backend=backend)
+    after = float(backend.to_numpy(block)[1, 1])
+    print(
+        f"\nDevice-resident fault on the {backend.name} backend "
+        f"({backend.device_info()}):\n"
+        f"  block[1, 1]: {before:.6g}  ->  {after:.6g}  "
+        f"(exponent MSB flipped in place, no host copy)"
+    )
+
+
+def main() -> int:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "bert-base"
+    print(f"known array backends    : {', '.join(KNOWN_ARRAY_BACKENDS)}")
+    # Importability is necessary but not sufficient (a CuPy wheel without a
+    # reachable CUDA device constructs no backend): attempt construction and
+    # keep only the backends that actually come up.
+    usable = []
+    for name in available_array_backends():
+        try:
+            print(f"  {name:<8} -> {get_backend(name).device_info()}")
+            usable.append(name)
+        except BackendUnavailable as exc:
+            print(f"  {name:<8} -> unavailable ({exc})")
+    print(f"usable on this host     : {', '.join(usable)}")
+    print(f"'auto' resolves to      : {resolve_backend_name('auto')}")
+
+    rows = []
+    for backend_name in ("auto",) + tuple(usable):
+        r = run(model_name, backend_name)
+        rows.append([
+            backend_name, r["detections"], r["corrections"], f"{r['loss']:.4f}",
+            f"{r['abft_ms']:.1f}", f"{r['xfer_ms']:.3f}",
+        ])
+    print("\n" + format_table(
+        ["array backend", "detections", "corrections", "loss",
+         "ABFT ms", "xfer ms"],
+        rows,
+        title=f"One near-INF fault on {model_name} (tiny) under each array backend — "
+              "identical decisions; xfer stays 0 whenever the engine runs natively",
+    ))
+    device_resident_bitflip_demo()
+    print(
+        "\nReading the table: the checker's decisions are backend-invariant\n"
+        "(the cross-backend equivalence suite enforces this byte for byte),\n"
+        "and the engine only ever pays xfer/h2d + xfer/d2h copies when it is\n"
+        "pinned to a backend that does not own the model's arrays."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

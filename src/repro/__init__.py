@@ -1,11 +1,15 @@
 """ATTNChecker reproduction: fault-tolerant attention for LLM training.
 
 This package reproduces *ATTNChecker: Highly-Optimized Fault Tolerant
-Attention for Large Language Model Training* (PPoPP 2025) as a pure-Python /
-NumPy library, including every substrate the paper depends on:
+Attention for Large Language Model Training* (PPoPP 2025) as a pure-Python
+library, including every substrate the paper depends on:
 
-* :mod:`repro.tensor` / :mod:`repro.nn` — NumPy autograd engine and
-  transformer building blocks with instrumented attention;
+* :mod:`repro.backend` — pluggable array backends (NumPy reference always;
+  CuPy/Torch adapters when installed) behind one protocol, so the checker
+  stack runs on whatever array library owns the data;
+* :mod:`repro.tensor` / :mod:`repro.nn` — autograd engine (NumPy substrate)
+  over backend-generic kernels, and transformer building blocks with
+  instrumented attention;
 * :mod:`repro.models` — BERT / RoBERTa / GPT-2 / GPT-Neo model zoo;
 * :mod:`repro.data` / :mod:`repro.training` — synthetic MRPC-style corpus,
   optimisers, trainer, checkpoint/restore baseline;

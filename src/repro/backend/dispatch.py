@@ -1,0 +1,78 @@
+"""Array-type dispatch: from an array to the backend that owns it.
+
+The generic kernels receive raw arrays, not backend handles, so they resolve
+the owning backend from the array's *type*: :func:`backend_of` keys a cache
+on ``type(array)`` and :func:`namespace_of` is the one-liner kernels put at
+the top (``xp = namespace_of(x)``).
+
+Resolution never imports an optional library the process has not already
+imported: a ``torch.Tensor`` can only exist if ``torch`` is in
+``sys.modules``, so probing is gated on that — on a NumPy-only host the fast
+path is a single dict hit on ``type(ndarray)``.
+
+Python scalars, lists and NumPy scalars fall through to the NumPy reference
+backend, matching how the historical ``np.asarray``-everywhere code treated
+them.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, BackendUnavailable
+from repro.backend.registry import backend_module, get_backend, known_array_backends
+
+__all__ = ["backend_of", "namespace_of", "clear_dispatch_cache"]
+
+_TYPE_CACHE: Dict[type, ArrayBackend] = {}
+
+
+def clear_dispatch_cache() -> None:
+    """Drop the type->backend cache (needed after re-registering backends)."""
+    _TYPE_CACHE.clear()
+
+
+def backend_of(array: Any) -> ArrayBackend:
+    """The :class:`ArrayBackend` that natively owns ``array``."""
+    backend = _TYPE_CACHE.get(type(array))
+    if backend is not None:
+        return backend
+    return _resolve_slow(array)
+
+
+def namespace_of(array: Any) -> Any:
+    """The function namespace (``xp``) of the backend owning ``array``."""
+    return backend_of(array).xp
+
+
+def _resolve_slow(array: Any) -> ArrayBackend:
+    if isinstance(array, (np.ndarray, np.generic)):
+        backend = get_backend("numpy")
+    else:
+        backend = _probe_optional_backends(array)
+        if backend is None:
+            # Python scalars / sequences: the NumPy reference adopts them.
+            backend = get_backend("numpy")
+    _TYPE_CACHE[type(array)] = backend
+    return backend
+
+
+def _probe_optional_backends(array: Any) -> Any:
+    for name in known_array_backends():
+        # The registry records each backend's optional-library module; only
+        # probe a backend whose library the process has already imported (an
+        # array of its type cannot exist otherwise).
+        module = backend_module(name)
+        probe_gated = module is not None and module not in sys.modules
+        if name == "numpy" or probe_gated:
+            continue
+        try:
+            backend = get_backend(name)
+        except BackendUnavailable:  # registered but not importable
+            continue
+        if backend.is_backend_array(array):
+            return backend
+    return None

@@ -1,0 +1,89 @@
+"""The NumPy reference backend — always present, always the oracle.
+
+The namespace is (almost) the :mod:`numpy` module itself: a memoising wrapper
+adds the handful of functions the generic kernels need under Array-API-style
+names that older NumPy releases lack as module functions (``astype``), and
+everything else resolves straight to ``numpy``.  This keeps the NumPy hot
+path byte-identical to the historical direct ``np.`` calls — the cross-backend
+equivalence tests compare every other adapter against this one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backend.base import UINT_DTYPE_FOR_FLOAT, ArrayBackend, BackendCapabilities
+
+__all__ = ["NumpyNamespace", "NumpyBackend"]
+
+
+class NumpyNamespace:
+    """``numpy`` plus normalising shims, with memoised attribute lookup."""
+
+    def __init__(self) -> None:
+        # Pre-bind the dtype attributes generic code spells as ``xp.<dtype>``.
+        self.float16 = np.float16
+        self.float32 = np.float32
+        self.float64 = np.float64
+        self.int64 = np.int64
+        self.bool_ = np.bool_
+
+    @staticmethod
+    def astype(array: Any, dtype: Any, copy: bool = True) -> np.ndarray:
+        """Array-API style ``astype`` (NumPy < 2.0 has no module function)."""
+        return np.asarray(array).astype(dtype, copy=copy)
+
+    def __getattr__(self, name: str) -> Any:
+        value = getattr(np, name)
+        setattr(self, name, value)  # memoise: next lookup skips __getattr__
+        return value
+
+
+class NumpyBackend(ArrayBackend):
+    """Host-resident reference implementation of :class:`ArrayBackend`."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self.xp = NumpyNamespace()
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(device_kind="cpu")
+
+    def device_info(self) -> str:
+        return f"numpy {np.__version__} (cpu)"
+
+    # -- conversion -------------------------------------------------------------
+
+    def asarray(self, data: Any, dtype: Any = None) -> np.ndarray:
+        return np.asarray(data, dtype=dtype)
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        return np.asarray(array)
+
+    def copy(self, array: Any) -> np.ndarray:
+        return np.array(array, copy=True)
+
+    # -- identity / memory ------------------------------------------------------
+
+    def is_backend_array(self, obj: Any) -> bool:
+        return isinstance(obj, np.ndarray)
+
+    def shares_memory(self, a: Any, b: Any) -> bool:
+        return bool(np.shares_memory(a, b))
+
+    # -- raw bits ---------------------------------------------------------------
+
+    def uint_view(self, array: np.ndarray) -> np.ndarray:
+        dtype = np.dtype(array.dtype)
+        if dtype not in UINT_DTYPE_FOR_FLOAT:
+            raise TypeError(f"no integer view for dtype {dtype!r}")
+        return array.view(UINT_DTYPE_FOR_FLOAT[dtype])
+
+    # -- misc -------------------------------------------------------------------
+
+    def dtype_of(self, array: Any) -> np.dtype:
+        return np.dtype(np.asarray(array).dtype)

@@ -23,6 +23,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis import format_percent, format_table, gemm_ratio_table
+from repro.backend import (
+    KNOWN_ARRAY_BACKENDS,
+    BackendUnavailable,
+    available_array_backends,
+    resolve_backend_name,
+)
 from repro.core import (
     CHECKER_BACKENDS,
     VERIFICATION_MODES,
@@ -74,6 +80,7 @@ def run_quickstart(args: argparse.Namespace) -> str:
     )
     checker = ATTNChecker(ATTNCheckerConfig(
         backend=args.backend, async_verification=args.async_verification,
+        array_backend=args.array_backend,
     ))
     model.eval()
     reference = model(batch["input_ids"], attention_mask=batch["attention_mask"],
@@ -88,6 +95,9 @@ def run_quickstart(args: argparse.Namespace) -> str:
     lines = [
         f"backend              : {checker.backend}",
         f"verification mode    : {checker.verification_mode}",
+        f"array backend        : {checker.array_backend_name} "
+        f"(installed: {', '.join(available_array_backends())})",
+        f"transfer time        : {checker.transfer_seconds() * 1e3:.3f} ms",
         f"fault-free loss      : {reference:.6f}",
         f"protected faulty loss: {protected:.6f}",
         f"detections           : {checker.stats.total_detections}",
@@ -120,7 +130,9 @@ def run_backends(args: argparse.Namespace) -> str:
                 [FaultSpec(matrix=matrix, error_type=error_type)],
                 rng=np.random.default_rng(args.seed),
             )
-            checker = ATTNChecker(ATTNCheckerConfig(backend=backend))
+            checker = ATTNChecker(ATTNCheckerConfig(
+                backend=backend, array_backend=args.array_backend,
+            ))
             model.set_attention_hooks(ComposedHooks([injector, checker]))
             outputs[backend] = model(
                 batch["input_ids"], attention_mask=batch["attention_mask"],
@@ -182,7 +194,9 @@ def run_verification_modes(args: argparse.Namespace) -> str:
                 [FaultSpec(matrix=matrix, error_type=error_type)],
                 rng=np.random.default_rng(args.seed + trial),
             )
-            checker = ATTNChecker(ATTNCheckerConfig(**VERIFICATION_MODE_CONFIGS[mode]))
+            checker = ATTNChecker(ATTNCheckerConfig(
+                array_backend=args.array_backend, **VERIFICATION_MODE_CONFIGS[mode],
+            ))
             model.set_attention_hooks(ComposedHooks([injector, checker]))
             model(batch["input_ids"], attention_mask=batch["attention_mask"],
                   labels=batch["labels"])
@@ -364,6 +378,22 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
 # Argument parsing
 # ---------------------------------------------------------------------------
 
+def _array_backend_name(name: str) -> str:
+    """Argparse type for ``--array-backend``: validate against the registry.
+
+    Both failure modes produce a message listing what is *known* (registered
+    backend names) versus what is *installed* (importable on this machine),
+    so an unknown or missing name tells the user exactly what to do.
+    """
+    if name == "auto":
+        return name
+    try:
+        resolve_backend_name(name)
+    except (ValueError, BackendUnavailable) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return name
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -377,6 +407,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", default="fused", choices=list(CHECKER_BACKENDS),
                         help="ATTNChecker mechanics backend: fused ProtectionEngine "
                              "(default) or the per-GEMM reference implementation")
+    parser.add_argument("--array-backend", default="auto", type=_array_backend_name,
+                        metavar="{auto," + ",".join(KNOWN_ARRAY_BACKENDS) + "}",
+                        help="array library the checksum chain runs on: 'auto' "
+                             "(default) follows the model's arrays; naming a "
+                             "registered backend pins the fused engine to it "
+                             f"(known: {', '.join(KNOWN_ARRAY_BACKENDS)}; "
+                             f"installed here: {', '.join(available_array_backends())})")
     parser.add_argument("--async", dest="async_verification", action="store_true",
                         help="verify boundary checksums asynchronously on a worker "
                              "thread, off the critical path (fused backend only)")

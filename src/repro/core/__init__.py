@@ -11,6 +11,12 @@ This package is the reproduction of the paper's primary contribution:
     The Extreme Error Correcting ABFT of Section 4.2 — per-vector detection,
     case analysis (finite / INF / NaN deltas), location and correction of
     INF, NaN and near-INF errors, vectorised over whole matrices.
+
+The checksum/EEC-ABFT stack (``checksums``, ``eec_abft``, ``correction``,
+``engine``) is **array-backend generic**: every kernel dispatches through
+:mod:`repro.backend`, so the same code protects NumPy, CuPy or Torch arrays
+natively, and ``ATTNCheckerConfig.array_backend`` selects (or pins) the
+library per checker.
 ``patterns``
     Error-pattern classification (0D / 1R / 1C / 2D) and error-type mixes,
     shared with the fault-propagation study.

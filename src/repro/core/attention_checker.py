@@ -65,6 +65,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.backend import (
+    ArrayBackend,
+    BackendUnavailable,
+    get_backend,
+    namespace_of,
+)
 from repro.core.checksums import (
     ChecksumState,
     adjust_column_checksums_for_bias,
@@ -86,7 +92,7 @@ from repro.nn.attention import (
     GemmContext,
     SectionContext,
 )
-from repro.utils.timing import TimingRegistry
+from repro.utils.timing import TimingRegistry, XFER_PREFIX
 
 __all__ = [
     "CHECKER_BACKENDS",
@@ -128,6 +134,19 @@ class ATTNCheckerConfig:
         ``"fused"`` — the section-level checksum-passing
         :class:`~repro.core.engine.ProtectionEngine` (default);
         ``"per_gemm"`` — the reference hook-per-GEMM implementation.
+    array_backend:
+        Which array library the checksum chain runs on — a name from
+        :data:`repro.backend.KNOWN_ARRAY_BACKENDS` or ``"auto"`` (default).
+        Orthogonal to both ``backend`` and the verification mode.  ``"auto"``
+        *follows* the arrays each protection section produces (a NumPy model
+        is checked with NumPy, a Torch tensor with Torch — never a host
+        round-trip).  Naming a backend *pins* the fused engine to it: foreign
+        section outputs are adopted and repaired values written back, with
+        the copies timed under the ``xfer/h2d`` / ``xfer/d2h`` keys so
+        transfer overhead reports separately from checksum math.  Unknown
+        names raise :class:`ValueError` listing the known backends; known
+        names whose library is missing raise
+        :class:`repro.backend.BackendUnavailable` listing what is installed.
     defer_verification:
         Fused backend only: queue boundary verifications and run them in one
         batched pass per step at :meth:`ATTNChecker.end_step` (detection only;
@@ -162,6 +181,7 @@ class ATTNCheckerConfig:
     thresholds: ABFTThresholds = field(default_factory=ABFTThresholds)
     frequencies: Dict[str, float] = field(default_factory=lambda: {"AS": 1.0, "CL": 1.0, "O": 1.0})
     backend: str = "fused"
+    array_backend: str = "auto"
     defer_verification: bool = False
     async_verification: bool = False
     max_pending_steps: int = 2
@@ -181,6 +201,10 @@ class ATTNCheckerConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {CHECKER_BACKENDS}"
             )
+        if self.array_backend != "auto":
+            # Fail fast with the registry's helpful unknown-vs-uninstalled
+            # message instead of at the first protected forward pass.
+            get_backend(self.array_backend)
         if self.defer_verification and self.backend != "fused":
             raise ValueError("defer_verification requires the 'fused' backend")
         if self.async_verification:
@@ -294,7 +318,9 @@ class _PerGemmReferenceBackend:
     checksum algebra is operation-for-operation identical to the fused
     :class:`~repro.core.engine.ProtectionEngine`, which makes the two backends
     byte-comparable — this class is the oracle the engine is validated
-    against.
+    against.  Like the engine it is array-library generic, but it always
+    *follows* the GEMM operands' owning backend (there is no engine here to
+    pin); a configured ``array_backend`` only affects the fused engine.
     """
 
     def __init__(self, checker: "ATTNChecker") -> None:
@@ -362,13 +388,14 @@ class _PerGemmReferenceBackend:
         if state.cs_q_col is None or state.cs_k_col is None:
             return
         num_heads = ctx.num_heads
+        xp = namespace_of(ctx.a)
         with checker.timers.measure("AS/update"):
             cs_q_ph = split_head_column_checksums(state.cs_q_col, num_heads)   # (B, H, 2, dh)
             cs_k_ph = split_head_column_checksums(state.cs_k_col, num_heads)
             # Column side of AS: col(AS) = col(Q) K^T.
-            cs_as_col = np.matmul(cs_q_ph, ctx.b)                              # (B, H, 2, S)
+            cs_as_col = xp.matmul(cs_q_ph, ctx.b)                              # (B, H, 2, S)
             # Row side of AS: row(AS) = Q row(K^T) = Q col(K)^T.
-            cs_as_row = np.matmul(ctx.a, np.swapaxes(cs_k_ph, -1, -2))          # (B, H, S, 2)
+            cs_as_row = xp.matmul(ctx.a, xp.swapaxes(cs_k_ph, -1, -2))          # (B, H, S, 2)
         with checker.timers.measure("AS/detect"):
             checksums = ChecksumState(col=cs_as_col, row=cs_as_row)
             report = correct_matrix(
@@ -380,7 +407,7 @@ class _PerGemmReferenceBackend:
         if checker.config.repair_operands and report.corrected > 0:
             with checker.timers.measure("AS/correct"):
                 q_report = check_columns(ctx.a, cs_q_ph, thresholds=checker.thresholds)
-                kt_report = check_rows(ctx.b, np.swapaxes(cs_k_ph, -1, -2), thresholds=checker.thresholds)
+                kt_report = check_rows(ctx.b, xp.swapaxes(cs_k_ph, -1, -2), thresholds=checker.thresholds)
             checker.stats.sections["AS"].operand_repairs += (
                 q_report.num_corrected + kt_report.num_corrected
             )
@@ -394,16 +421,19 @@ class _PerGemmReferenceBackend:
             return
         num_heads = ctx.num_heads
         head_dim = ctx.head_dim
+        xp = namespace_of(ctx.a)
         with checker.timers.measure("CL/encode"):
             rowcs_wv = encode_per_head_row_checksums_of_weight(ctx.b, num_heads)  # (D, H, 2)
         with checker.timers.measure("CL/update"):
-            cs_v_row = np.einsum("...sd,dhw->...hsw", ctx.a, rowcs_wv)            # (B, H, S, 2)
+            cs_v_row = xp.einsum("...sd,dhw->...hsw", ctx.a, rowcs_wv)            # (B, H, S, 2)
             if ctx.bias is not None:
-                bias_heads = np.asarray(ctx.bias, dtype=np.float64).reshape(num_heads, head_dim)
-                _, v2 = checksum_weights(head_dim)
-                cs_v_row = cs_v_row.copy()
-                cs_v_row[..., 0] += bias_heads.sum(axis=-1)[None, :, None]
-                cs_v_row[..., 1] += (bias_heads * v2).sum(axis=-1)[None, :, None]
+                bias_heads = xp.astype(
+                    xp.asarray(ctx.bias), xp.float64, copy=False
+                ).reshape(num_heads, head_dim)
+                _, v2 = checksum_weights(head_dim, xp=xp)
+                cs_v_row = xp.copy(cs_v_row)
+                cs_v_row[..., 0] += xp.sum(bias_heads, axis=-1)[None, :, None]
+                cs_v_row[..., 1] += xp.sum(bias_heads * v2, axis=-1)[None, :, None]
         state.cs_v_row = cs_v_row
 
     def _handle_context_layer(self, ctx: GemmContext, state: _PerGemmState, out: np.ndarray) -> None:
@@ -414,15 +444,16 @@ class _PerGemmReferenceBackend:
         if not (cl_enabled or o_enabled):
             checker.stats.sections["CL"].checks_skipped += 1
             return
+        xp = namespace_of(ctx.a)
         with checker.timers.measure("CL/encode"):
             cs_ap_col = encode_column_checksums(ctx.a)                            # (B, H, 2, S)
         with checker.timers.measure("CL/update"):
-            cs_cl_col = np.matmul(cs_ap_col, ctx.b)                               # (B, H, 2, dh)
+            cs_cl_col = xp.matmul(cs_ap_col, ctx.b)                               # (B, H, 2, dh)
             cs_cl_row = None
             if cl_enabled and state.cs_v_row is not None:
                 # row(CL) = AP row(V): carry the per-head row checksums of V
                 # through the AP x V GEMM.
-                cs_cl_row = np.matmul(ctx.a, state.cs_v_row)                      # (B, H, S, 2)
+                cs_cl_row = xp.matmul(ctx.a, state.cs_v_row)                      # (B, H, S, 2)
         checksums = ChecksumState(col=cs_cl_col, row=cs_cl_row)
         if cl_enabled:
             with checker.timers.measure("CL/detect"):
@@ -472,6 +503,11 @@ class ATTNChecker(AttentionHooks):
         self.timers = TimingRegistry()
         self.last_reports: Dict[str, MatrixCorrectionReport] = {}
         self._freq_accumulators: Dict[str, float] = {name: 0.0 for name in PROTECTION_SECTIONS}
+        #: Resolved array-backend pin; ``None`` = follow the section's arrays.
+        self.array_backend: Optional[ArrayBackend] = (
+            None if self.config.array_backend == "auto"
+            else get_backend(self.config.array_backend)
+        )
         if self.config.backend == "fused":
             self.engine: Optional[ProtectionEngine] = ProtectionEngine(
                 thresholds=self.config.thresholds,
@@ -481,6 +517,7 @@ class ATTNChecker(AttentionHooks):
                 deferred=self.config.defer_verification,
                 asynchronous=self.config.async_verification,
                 max_pending_steps=self.config.max_pending_steps,
+                array_backend=self.array_backend,
             )
             self._reference: Optional[_PerGemmReferenceBackend] = None
         else:
@@ -492,6 +529,17 @@ class ATTNChecker(AttentionHooks):
     @property
     def backend(self) -> str:
         return self.config.backend
+
+    @property
+    def array_backend_name(self) -> str:
+        """Configured array backend (``"auto"`` = follow the section arrays)."""
+        return self.config.array_backend
+
+    def transfer_seconds(self) -> float:
+        """Wall-clock spent copying arrays between the model's array library
+        and a pinned engine backend (the ``xfer/*`` keys).  Exactly zero on
+        the pure-NumPy path and whenever the engine follows its inputs."""
+        return self.timers.total(prefix=XFER_PREFIX)
 
     @property
     def verification_mode(self) -> str:
@@ -704,7 +752,8 @@ class ATTNChecker(AttentionHooks):
         """Human-readable multi-line statistics summary."""
         lines = [
             f"ATTNChecker statistics (backend={self.config.backend}, "
-            f"mode={self.verification_mode}):"
+            f"mode={self.verification_mode}, "
+            f"array_backend={self.config.array_backend}):"
         ]
         for name, stats in self.stats.sections.items():
             lines.append(
@@ -715,6 +764,7 @@ class ATTNChecker(AttentionHooks):
             )
         lines.append(
             f"  total ABFT time: {self.overhead_seconds() * 1e3:.3f} ms "
-            f"(critical path: {self.critical_path_seconds() * 1e3:.3f} ms)"
+            f"(critical path: {self.critical_path_seconds() * 1e3:.3f} ms, "
+            f"transfers: {self.transfer_seconds() * 1e3:.3f} ms)"
         )
         return "\n".join(lines)

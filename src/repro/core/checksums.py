@@ -30,14 +30,27 @@ This module implements encoding, propagation (including bias-add adjustment,
 needed because the projections in real transformer layers are affine rather
 than linear), and the head split/merge plumbing required because the paper's
 GEMMs ``Q K^T`` and ``AP V`` operate per attention head.
+
+Backend-generic contract
+------------------------
+Every function here is **array-library generic**: it dispatches through the
+namespace of the backend that owns its input
+(:func:`repro.backend.namespace_of`), so a NumPy matrix is encoded with NumPy
+BLAS, a CuPy/Torch matrix with the device library — the checksums live
+wherever the protected data lives and never round-trip through host memory.
+The NumPy path executes the exact operation sequence of the historical
+implementation (the cross-backend equivalence tests pin this).  Weighted sums
+are always *accumulated in the backend's float64*, whatever the input dtype.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
+
+from repro.backend import backend_of, get_backend, namespace_of
 
 __all__ = [
     "checksum_weights",
@@ -56,17 +69,25 @@ __all__ = [
 ]
 
 
-def checksum_weights(length: int, dtype=np.float64) -> Tuple[np.ndarray, np.ndarray]:
+def checksum_weights(length: int, dtype=None, xp: Any = None) -> Tuple[Any, Any]:
     """Return the unweighted and weighted checksum vectors ``(v1, v2)``.
 
     ``v1 = [1, 1, ..., 1]`` and ``v2 = [1, 2, ..., length]`` (1-based), the
     classic Huang–Abraham choice that the paper uses: the ratio of the two
     checksum differences directly yields the (1-based) error index.
+
+    ``xp`` selects the array namespace the vectors are built in (so they land
+    on the same device as the data they will multiply); it defaults to NumPy,
+    and ``dtype`` defaults to that namespace's float64.
     """
     if length <= 0:
         raise ValueError(f"checksum length must be positive, got {length}")
-    v1 = np.ones(length, dtype=dtype)
-    v2 = np.arange(1, length + 1, dtype=dtype)
+    if xp is None:
+        xp = get_backend("numpy").xp
+    if dtype is None:
+        dtype = xp.float64
+    v1 = xp.ones(length, dtype=dtype)
+    v2 = xp.arange(1, length + 1, dtype=dtype)
     return v1, v2
 
 
@@ -74,13 +95,13 @@ def checksum_weights(length: int, dtype=np.float64) -> Tuple[np.ndarray, np.ndar
 # Encoding
 # ---------------------------------------------------------------------------
 
-def encode_column_checksums(matrix: np.ndarray, out_dtype=None) -> np.ndarray:
+def encode_column_checksums(matrix: Any, out_dtype=None) -> Any:
     """Encode column checksums of ``matrix`` (..., m, n) -> (..., 2, n).
 
     Row 0 holds the unweighted column sums, row 1 the weighted sums.  This is
     the operation the paper's custom "encoding kernel" implements on GPU
     (Section 4.6, Figure 9); here it is a dense matmul with the 2 x m weight
-    block, which NumPy dispatches to BLAS.
+    block, which the owning backend dispatches to its BLAS/GEMM library.
 
     The weighted sums are always *accumulated in float64*, whatever the input
     dtype: encoding an fp16/fp32 matrix in its own precision loses enough of
@@ -88,56 +109,60 @@ def encode_column_checksums(matrix: np.ndarray, out_dtype=None) -> np.ndarray:
     default detection tolerances.  Pass ``out_dtype`` to cast the finished
     checksums back down when a caller needs the storage format.
     """
-    matrix = np.asarray(matrix)
+    xp = namespace_of(matrix)
+    matrix = xp.asarray(matrix)
     m = matrix.shape[-2]
-    v1, v2 = checksum_weights(m)
-    weights = np.stack([v1, v2], axis=0)  # (2, m), float64
-    encoded = np.matmul(weights, matrix.astype(np.float64, copy=False))
-    return encoded if out_dtype is None else encoded.astype(out_dtype)
+    v1, v2 = checksum_weights(m, xp=xp)
+    weights = xp.stack([v1, v2], axis=0)  # (2, m), float64
+    encoded = xp.matmul(weights, xp.astype(matrix, xp.float64, copy=False))
+    return encoded if out_dtype is None else xp.astype(encoded, out_dtype)
 
 
-def encode_row_checksums(matrix: np.ndarray, out_dtype=None) -> np.ndarray:
+def encode_row_checksums(matrix: Any, out_dtype=None) -> Any:
     """Encode row checksums of ``matrix`` (..., m, n) -> (..., m, 2).
 
     Accumulates in float64 regardless of input dtype (see
     :func:`encode_column_checksums`); ``out_dtype`` casts the result back.
     """
-    matrix = np.asarray(matrix)
+    xp = namespace_of(matrix)
+    matrix = xp.asarray(matrix)
     n = matrix.shape[-1]
-    v1, v2 = checksum_weights(n)
-    weights = np.stack([v1, v2], axis=1)  # (n, 2), float64
-    encoded = np.matmul(matrix.astype(np.float64, copy=False), weights)
-    return encoded if out_dtype is None else encoded.astype(out_dtype)
+    v1, v2 = checksum_weights(n, xp=xp)
+    weights = xp.stack([v1, v2], axis=1)  # (n, 2), float64
+    encoded = xp.matmul(xp.astype(matrix, xp.float64, copy=False), weights)
+    return encoded if out_dtype is None else xp.astype(encoded, out_dtype)
 
 
-def recompute_column_sums(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def recompute_column_sums(matrix: Any) -> Tuple[Any, Any]:
     """Recompute (unweighted, weighted) column sums of the *current* data.
 
     Unlike :func:`encode_column_checksums` this is used on the possibly
     corrupted output at detection time; returning the two components
     separately avoids an extra stack/copy in the hot detection path.
     """
-    matrix = np.asarray(matrix)
+    xp = namespace_of(matrix)
+    matrix = xp.asarray(matrix)
     m = matrix.shape[-2]
-    _, v2 = checksum_weights(m, dtype=np.float64)
-    matrix64 = matrix.astype(np.float64, copy=False)
-    unweighted = matrix.sum(axis=-2, dtype=np.float64)
-    weighted = np.einsum("i,...ij->...j", v2, matrix64)
+    _, v2 = checksum_weights(m, xp=xp)
+    matrix64 = xp.astype(matrix, xp.float64, copy=False)
+    unweighted = xp.sum(matrix, axis=-2, dtype=xp.float64)
+    weighted = xp.einsum("i,...ij->...j", v2, matrix64)
     return unweighted, weighted
 
 
-def recompute_row_sums(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def recompute_row_sums(matrix: Any) -> Tuple[Any, Any]:
     """Recompute (unweighted, weighted) row sums of the *current* data.
 
     Like the encoders, accumulation is always in float64 so low-precision data
     does not produce round-off false positives against float64 checksums.
     """
-    matrix = np.asarray(matrix)
+    xp = namespace_of(matrix)
+    matrix = xp.asarray(matrix)
     n = matrix.shape[-1]
-    _, v2 = checksum_weights(n, dtype=np.float64)
-    matrix64 = matrix.astype(np.float64, copy=False)
-    unweighted = matrix.sum(axis=-1, dtype=np.float64)
-    weighted = np.einsum("j,...ij->...i", v2, matrix64)
+    _, v2 = checksum_weights(n, xp=xp)
+    matrix64 = xp.astype(matrix, xp.float64, copy=False)
+    unweighted = xp.sum(matrix, axis=-1, dtype=xp.float64)
+    weighted = xp.einsum("j,...ij->...i", v2, matrix64)
     return unweighted, weighted
 
 
@@ -145,44 +170,47 @@ def recompute_row_sums(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 # Propagation through GEMM and bias
 # ---------------------------------------------------------------------------
 
-def update_column_checksums_through_gemm(col_checksums_a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def update_column_checksums_through_gemm(col_checksums_a: Any, b: Any) -> Any:
     """Propagate column checksums through ``C = A B``:  ``col(C) = col(A) B``."""
-    return np.matmul(col_checksums_a, b)
+    return namespace_of(col_checksums_a).matmul(col_checksums_a, b)
 
 
-def update_row_checksums_through_gemm(a: np.ndarray, row_checksums_b: np.ndarray) -> np.ndarray:
+def update_row_checksums_through_gemm(a: Any, row_checksums_b: Any) -> Any:
     """Propagate row checksums through ``C = A B``:  ``row(C) = A row(B)``."""
-    return np.matmul(a, row_checksums_b)
+    return namespace_of(a).matmul(a, row_checksums_b)
 
 
 def adjust_column_checksums_for_bias(
-    col_checksums: np.ndarray, bias: np.ndarray, num_rows: int
-) -> np.ndarray:
+    col_checksums: Any, bias: Any, num_rows: int
+) -> Any:
     """Adjust column checksums for an affine output ``C' = C + 1 bias^T``.
 
     Adding the same bias vector to every one of the ``num_rows`` rows shifts
     the unweighted column sums by ``num_rows * bias`` and the weighted sums by
     ``(1 + 2 + ... + num_rows) * bias``.
     """
-    bias = np.asarray(bias, dtype=np.float64)
-    adjusted = np.array(col_checksums, dtype=np.float64)  # copy, float64 accumulation
+    xp = namespace_of(col_checksums)
+    bias = xp.astype(xp.asarray(bias), xp.float64, copy=False)
+    # Copy + float64 accumulation, on the checksums' own device.
+    adjusted = xp.astype(col_checksums, xp.float64, copy=True)
     adjusted[..., 0, :] = adjusted[..., 0, :] + num_rows * bias
     adjusted[..., 1, :] = adjusted[..., 1, :] + (num_rows * (num_rows + 1) / 2.0) * bias
     return adjusted
 
 
-def adjust_row_checksums_for_bias(row_checksums: np.ndarray, bias: np.ndarray) -> np.ndarray:
+def adjust_row_checksums_for_bias(row_checksums: Any, bias: Any) -> Any:
     """Adjust row checksums for ``C' = C + 1 bias^T``.
 
     Every row gains ``sum(bias)`` on the unweighted side and
     ``sum(bias * [1..n])`` on the weighted side.
     """
-    bias = np.asarray(bias, dtype=np.float64)
+    xp = namespace_of(row_checksums)
+    bias = xp.astype(xp.asarray(bias), xp.float64, copy=False)
     n = bias.shape[-1]
-    _, v2 = checksum_weights(n)
-    adjusted = np.array(row_checksums, dtype=np.float64)  # copy, float64 accumulation
+    _, v2 = checksum_weights(n, xp=xp)
+    adjusted = xp.astype(row_checksums, xp.float64, copy=True)
     adjusted[..., 0] = adjusted[..., 0] + bias.sum()
-    adjusted[..., 1] = adjusted[..., 1] + float(np.dot(bias, v2))
+    adjusted[..., 1] = adjusted[..., 1] + float(xp.dot(bias, v2))
     return adjusted
 
 
@@ -190,7 +218,7 @@ def adjust_row_checksums_for_bias(row_checksums: np.ndarray, bias: np.ndarray) -
 # Head split / merge
 # ---------------------------------------------------------------------------
 
-def split_head_column_checksums(col_checksums: np.ndarray, num_heads: int) -> np.ndarray:
+def split_head_column_checksums(col_checksums: Any, num_heads: int) -> Any:
     """Split column checksums of a ``(B, S, D)`` projection into per-head blocks.
 
     ``(B, 2, D) -> (B, H, 2, D/H)`` — mirrors
@@ -199,7 +227,8 @@ def split_head_column_checksums(col_checksums: np.ndarray, num_heads: int) -> np
     (sequence positions) untouched, the column checksums partition the same
     way.
     """
-    col_checksums = np.asarray(col_checksums)
+    xp = namespace_of(col_checksums)
+    col_checksums = xp.asarray(col_checksums)
     *lead, two, d = col_checksums.shape
     if two != 2:
         raise ValueError(f"expected a checksum axis of size 2, got {two}")
@@ -207,20 +236,21 @@ def split_head_column_checksums(col_checksums: np.ndarray, num_heads: int) -> np
         raise ValueError(f"feature dim {d} not divisible by num_heads {num_heads}")
     head_dim = d // num_heads
     reshaped = col_checksums.reshape(*lead, 2, num_heads, head_dim)
-    return np.moveaxis(reshaped, -2, -3)  # (..., H, 2, head_dim)
+    return xp.moveaxis(reshaped, -2, -3)  # (..., H, 2, head_dim)
 
 
-def merge_head_column_checksums(per_head: np.ndarray) -> np.ndarray:
+def merge_head_column_checksums(per_head: Any) -> Any:
     """Inverse of :func:`split_head_column_checksums`: ``(B, H, 2, dh) -> (B, 2, H*dh)``."""
-    per_head = np.asarray(per_head)
+    xp = namespace_of(per_head)
+    per_head = xp.asarray(per_head)
     *lead, h, two, dh = per_head.shape
     if two != 2:
         raise ValueError(f"expected a checksum axis of size 2, got {two}")
-    moved = np.moveaxis(per_head, -3, -2)  # (..., 2, H, dh)
+    moved = xp.moveaxis(per_head, -3, -2)  # (..., 2, H, dh)
     return moved.reshape(*lead, 2, h * dh)
 
 
-def encode_per_head_row_checksums_of_weight(weight: np.ndarray, num_heads: int) -> np.ndarray:
+def encode_per_head_row_checksums_of_weight(weight: Any, num_heads: int) -> Any:
     """Row-checksum encode a projection weight per output head.
 
     For ``W`` of shape ``(D_in, D_out)`` whose output features are split into
@@ -231,15 +261,16 @@ def encode_per_head_row_checksums_of_weight(weight: np.ndarray, num_heads: int) 
     block yields per-head row checksums of ``V = X W`` directly — the
     checksum-passing trick of protection section S_CL.
     """
-    weight = np.asarray(weight)
+    xp = namespace_of(weight)
+    weight = xp.asarray(weight)
     d_in, d_out = weight.shape
     if d_out % num_heads:
         raise ValueError(f"output dim {d_out} not divisible by num_heads {num_heads}")
     dh = d_out // num_heads
-    v1, v2 = checksum_weights(dh)  # float64: same dtype-safety rule as the encoders
-    weights = np.stack([v1, v2], axis=1)  # (dh, 2)
-    per_head = weight.astype(np.float64, copy=False).reshape(d_in, num_heads, dh)
-    return np.einsum("dhk,kw->dhw", per_head, weights)  # (D_in, H, 2)
+    v1, v2 = checksum_weights(dh, xp=xp)  # float64: same dtype-safety rule as the encoders
+    weights = xp.stack([v1, v2], axis=1)  # (dh, 2)
+    per_head = xp.astype(weight, xp.float64, copy=False).reshape(d_in, num_heads, dh)
+    return xp.einsum("dhk,kw->dhw", per_head, weights)  # (D_in, H, 2)
 
 
 # ---------------------------------------------------------------------------
@@ -252,11 +283,12 @@ class ChecksumState:
 
     Either side may be absent (``None``) — e.g. the attention output ``O``
     only carries column checksums (Section 4.4, "Attention Output Protection
-    Section").
+    Section").  The stored arrays belong to whatever backend encoded them; a
+    state never mixes backends between its two sides.
     """
 
-    col: Optional[np.ndarray] = None
-    row: Optional[np.ndarray] = None
+    col: Optional[Any] = None
+    row: Optional[Any] = None
 
     def has_col(self) -> bool:
         return self.col is not None
@@ -266,27 +298,28 @@ class ChecksumState:
 
     def copy(self) -> "ChecksumState":
         return ChecksumState(
-            col=None if self.col is None else self.col.copy(),
-            row=None if self.row is None else self.row.copy(),
+            col=None if self.col is None else backend_of(self.col).copy(self.col),
+            row=None if self.row is None else backend_of(self.row).copy(self.row),
         )
 
     @staticmethod
-    def encode(matrix: np.ndarray, col: bool = True, row: bool = False) -> "ChecksumState":
+    def encode(matrix: Any, col: bool = True, row: bool = False) -> "ChecksumState":
         """Encode fresh checksums directly from ``matrix``."""
         return ChecksumState(
             col=encode_column_checksums(matrix) if col else None,
             row=encode_row_checksums(matrix) if row else None,
         )
 
-    def verify(self, matrix: np.ndarray, rtol: float = 1e-6, atol: float = 1e-6) -> bool:
+    def verify(self, matrix: Any, rtol: float = 1e-6, atol: float = 1e-6) -> bool:
         """Whether the stored checksums are consistent with ``matrix``."""
+        xp = namespace_of(matrix)
         ok = True
         if self.col is not None:
             unweighted, weighted = recompute_column_sums(matrix)
-            ok &= bool(np.allclose(self.col[..., 0, :], unweighted, rtol=rtol, atol=atol))
-            ok &= bool(np.allclose(self.col[..., 1, :], weighted, rtol=rtol, atol=atol))
+            ok &= bool(xp.allclose(self.col[..., 0, :], unweighted, rtol=rtol, atol=atol))
+            ok &= bool(xp.allclose(self.col[..., 1, :], weighted, rtol=rtol, atol=atol))
         if self.row is not None:
             unweighted, weighted = recompute_row_sums(matrix)
-            ok &= bool(np.allclose(self.row[..., 0], unweighted, rtol=rtol, atol=atol))
-            ok &= bool(np.allclose(self.row[..., 1], weighted, rtol=rtol, atol=atol))
+            ok &= bool(xp.allclose(self.row[..., 0], unweighted, rtol=rtol, atol=atol))
+            ok &= bool(xp.allclose(self.row[..., 1], weighted, rtol=rtol, atol=atol))
         return ok

@@ -19,14 +19,16 @@ implementing the three propagation-handling strategies of the paper:
   candidate error classes before concluding (Section 4.3, last paragraph);
   at this level they simply show up as vectors corrected through different
   cases.
+
+Like the layers below it, :func:`correct_matrix` is backend-generic: the
+matrix, its checksums and all repairs stay on whatever array library produced
+them (NumPy, CuPy or Torch), with no host round-trip.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
-import numpy as np
+from typing import Any, Optional
 
 from repro.core.checksums import ChecksumState, encode_column_checksums, encode_row_checksums
 from repro.core.eec_abft import ColumnCheckReport, check_columns, check_rows
@@ -77,7 +79,7 @@ class MatrixCorrectionReport:
 
 
 def correct_matrix(
-    matrix: np.ndarray,
+    matrix: Any,
     checksums: ChecksumState,
     thresholds: Optional[ABFTThresholds] = None,
     refresh_checksums: bool = True,

@@ -16,10 +16,22 @@ extreme element and to reconstructing the true value from the unweighted
 checksum and the healthy elements.
 
 The paper runs one GPU thread per column vector; this reproduction expresses
-the same per-vector case analysis as whole-array NumPy masks, which keeps the
+the same per-vector case analysis as whole-array masks, which keeps the
 per-call Python overhead independent of the number of vectors — the
 vectorisation guidance of the HPC-Python guides and the analogue of the
 paper's divergence-free kernel design.
+
+Backend-generic contract
+------------------------
+Both entry points dispatch through the array namespace of the backend that
+owns the protected matrix (:func:`repro.backend.namespace_of`): detection,
+case classification, location and in-place correction all run inside the
+owning array library, so device-resident data is verified and repaired
+without a host round-trip.  The report masks belong to the same backend as
+the matrix; their scalar summaries (``num_detected`` etc.) are plain Python
+ints on every backend.  On NumPy this module executes the exact historical
+operation sequence — the equivalence tests compare every other backend's
+decisions against it, byte for byte.
 
 The public entry points are :func:`check_columns` (column-checksum side,
 handles 0D and 1R patterns) and :func:`check_rows` (row-checksum side, 0D and
@@ -29,11 +41,10 @@ handles 0D and 1R patterns) and :func:`check_rows` (row-checksum side, 0D and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Optional
 
-import numpy as np
-
+from repro.backend import backend_of, namespace_of
 from repro.core.checksums import checksum_weights
 from repro.core.thresholds import ABFTThresholds
 
@@ -46,7 +57,8 @@ class ColumnCheckReport:
 
     All masks have one entry per checked vector (i.e. per column for
     :func:`check_columns`, per row for :func:`check_rows`), flattened over any
-    leading batch/head axes.
+    leading batch/head axes, and live on the backend that owns the checked
+    matrix.
 
     Attributes
     ----------
@@ -67,13 +79,13 @@ class ColumnCheckReport:
         Per-vector index of the repaired element (-1 where no repair).
     """
 
-    detected: np.ndarray
-    corrected: np.ndarray
-    aborted: np.ndarray
-    case1: np.ndarray
-    case2: np.ndarray
-    case3: np.ndarray
-    corrected_indices: np.ndarray
+    detected: Any
+    corrected: Any
+    aborted: Any
+    case1: Any
+    case2: Any
+    case3: Any
+    corrected_indices: Any
 
     @property
     def num_detected(self) -> int:
@@ -110,9 +122,10 @@ class ColumnCheckReport:
           same matrix, whose vector counts differ).  Every field, including
           the case masks and ``corrected_indices``, is concatenated flat.
         """
-        if self.detected.shape != other.detected.shape:
-            def cat(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-                return np.concatenate([a.ravel(), b.ravel()])
+        xp = namespace_of(self.detected)
+        if tuple(self.detected.shape) != tuple(other.detected.shape):
+            def cat(a, b):
+                return xp.concatenate([a.ravel(), b.ravel()])
 
             return ColumnCheckReport(
                 detected=cat(self.detected, other.detected),
@@ -132,28 +145,28 @@ class ColumnCheckReport:
             case1=self.case1 | other.case1,
             case2=self.case2 | other.case2,
             case3=self.case3 | other.case3,
-            corrected_indices=np.where(
+            corrected_indices=xp.where(
                 self.corrected_indices >= 0, self.corrected_indices, other.corrected_indices
             ),
         )
 
 
-def _empty_report(shape) -> ColumnCheckReport:
-    zeros = np.zeros(shape, dtype=bool)
+def _empty_report(shape, xp) -> ColumnCheckReport:
+    zeros = xp.zeros(shape, dtype=xp.bool_)
     return ColumnCheckReport(
-        detected=zeros.copy(),
-        corrected=zeros.copy(),
-        aborted=zeros.copy(),
-        case1=zeros.copy(),
-        case2=zeros.copy(),
-        case3=zeros.copy(),
-        corrected_indices=np.full(shape, -1, dtype=np.int64),
+        detected=xp.copy(zeros),
+        corrected=xp.copy(zeros),
+        aborted=xp.copy(zeros),
+        case1=xp.copy(zeros),
+        case2=xp.copy(zeros),
+        case3=xp.copy(zeros),
+        corrected_indices=xp.full(shape, -1, dtype=xp.int64),
     )
 
 
 def check_columns(
-    matrix: np.ndarray,
-    col_checksums: np.ndarray,
+    matrix: Any,
+    col_checksums: Any,
     thresholds: Optional[ABFTThresholds] = None,
     correct: bool = True,
 ) -> ColumnCheckReport:
@@ -162,11 +175,11 @@ def check_columns(
     Parameters
     ----------
     matrix:
-        Protected data of shape ``(..., m, n)``; **modified in place** when
-        corrections are applied.
+        Protected data of shape ``(..., m, n)``, in any registered backend's
+        array type; **modified in place** when corrections are applied.
     col_checksums:
         Maintained (true) column checksums of shape ``(..., 2, n)`` — row 0
-        unweighted, row 1 weighted with ``[1..m]``.
+        unweighted, row 1 weighted with ``[1..m]`` — on the same backend.
     thresholds:
         Numerical thresholds; defaults to the paper's values.
     correct:
@@ -179,11 +192,14 @@ def check_columns(
         Per-column masks describing what was detected, corrected or aborted.
     """
     thresholds = thresholds or ABFTThresholds()
-    matrix = np.asarray(matrix)
-    col_checksums = np.asarray(col_checksums)
+    backend = backend_of(matrix)
+    xp = backend.xp
+    matrix = xp.asarray(matrix)
+    col_checksums = xp.asarray(col_checksums)
     if matrix.shape[:-2] != col_checksums.shape[:-2] or matrix.shape[-1] != col_checksums.shape[-1]:
         raise ValueError(
-            f"checksum shape {col_checksums.shape} incompatible with matrix shape {matrix.shape}"
+            f"checksum shape {tuple(col_checksums.shape)} incompatible with "
+            f"matrix shape {tuple(matrix.shape)}"
         )
     if col_checksums.shape[-2] != 2:
         raise ValueError("column checksums must have two rows (unweighted, weighted)")
@@ -193,41 +209,41 @@ def check_columns(
     # ``reshape`` copies when ``matrix`` is a non-contiguous view (e.g. the
     # transposed view used by :func:`check_rows`); remember whether we must
     # write corrections back at the end.
-    flat_is_view = np.shares_memory(flat, matrix)
+    flat_is_view = backend.shares_memory(flat, matrix)
     cs = col_checksums.reshape(-1, 2, n)
     batch = flat.shape[0]
 
-    report = _empty_report((batch, n))
+    report = _empty_report((batch, n), xp)
 
-    _, v2 = checksum_weights(m)
+    _, v2 = checksum_weights(m, xp=xp)
 
     # --- recompute checksums of the (possibly corrupted) data ----------------
     # Accumulate in float64 regardless of the data dtype: summing a low
     # precision (fp16/fp32) matrix in its own dtype loses enough weighted-sum
     # precision to trigger false positives at the default thresholds.
-    flat64 = flat.astype(np.float64, copy=False)
-    with np.errstate(invalid="ignore", over="ignore"):
-        recomputed0 = flat.sum(axis=1, dtype=np.float64)      # (B, n)
-        recomputed1 = np.einsum("i,bij->bj", v2, flat64)       # (B, n)
+    flat64 = xp.astype(flat, xp.float64, copy=False)
+    with xp.errstate(invalid="ignore", over="ignore"):
+        recomputed0 = xp.sum(flat, axis=1, dtype=xp.float64)   # (B, n)
+        recomputed1 = xp.einsum("i,bij->bj", v2, flat64)       # (B, n)
         delta1 = cs[:, 0, :] - recomputed0
         delta2 = cs[:, 1, :] - recomputed1
 
-        extreme = thresholds.is_extreme(flat)                 # (B, m, n)
-        n_extreme = extreme.sum(axis=1)                       # (B, n)
+        extreme = thresholds.is_extreme(flat)                  # (B, m, n)
+        n_extreme = xp.sum(extreme, axis=1)                    # (B, n)
 
         tol = thresholds.detection_tolerance(cs[:, 0, :])
-        finite_d1 = np.isfinite(delta1)
-        abs_d1 = np.abs(delta1)
+        finite_d1 = xp.isfinite(delta1)
+        abs_d1 = xp.abs(delta1)
         numeric_mismatch = finite_d1 & (abs_d1 > tol)
         detected = numeric_mismatch | ~finite_d1 | (n_extreme > 0)
 
         report.detected[:] = detected
-        if not detected.any():
+        if not bool(detected.any()):
             return _reshape_report(report, lead, n)
 
         # --- classify the cases of Figure 3 ----------------------------------
-        nan_d1 = np.isnan(delta1)
-        inf_d1 = np.isinf(delta1)
+        nan_d1 = xp.isnan(delta1)
+        inf_d1 = xp.isinf(delta1)
         case1 = detected & finite_d1
         case2 = detected & inf_d1
         case3 = detected & nan_d1
@@ -244,17 +260,17 @@ def check_columns(
 
         # --- locate single errors ---------------------------------------------
         # Index from the checksum ratio (1-based in the paper, 0-based here).
-        safe_d1 = np.where(np.abs(delta1) > 0, delta1, 1.0)
+        safe_d1 = xp.where(xp.abs(delta1) > 0, delta1, 1.0)
         ratio = delta2 / safe_d1
-        ratio_valid = np.isfinite(ratio)
-        nearest = np.rint(ratio)
-        ratio_is_integer = ratio_valid & (np.abs(ratio - nearest) <= 0.45)
-        idx_from_checksum = np.clip(nearest.astype(np.int64) - 1, 0, m - 1)
+        ratio_valid = xp.isfinite(ratio)
+        nearest = xp.rint(ratio)
+        ratio_is_integer = ratio_valid & (xp.abs(ratio - nearest) <= 0.45)
+        idx_from_checksum = xp.clip(xp.astype(nearest, xp.int64, copy=False) - 1, 0, m - 1)
         in_range = ratio_valid & (nearest >= 1) & (nearest <= m)
 
         # Index from searching the vector for the extreme / non-finite element
         # (cases 2 and 3, and case-1 overflow of delta2).
-        idx_from_search = np.argmax(extreme, axis=1)          # (B, n), 0 when none
+        idx_from_search = xp.argmax(extreme, axis=1)           # (B, n), 0 when none
 
         # --- pure numeric single error (classic ABFT path) --------------------
         numeric_single = case1 & numeric_mismatch & (n_extreme == 0)
@@ -267,38 +283,44 @@ def check_columns(
         extreme_single = detected & (n_extreme == 1) & ~consistent_corruption
         # Prefer the checksum-located index when delta2 survived (case 1 with
         # finite delta2); otherwise use the searched index, as the paper does.
-        use_checksum_idx = extreme_single & case1 & np.isfinite(delta2) & in_range & ratio_is_integer
-        idx_extreme = np.where(use_checksum_idx, idx_from_checksum, idx_from_search)
+        use_checksum_idx = extreme_single & case1 & xp.isfinite(delta2) & in_range & ratio_is_integer
+        idx_extreme = xp.where(use_checksum_idx, idx_from_checksum, idx_from_search)
 
         if correct:
-            batch_idx, col_idx = np.nonzero(numeric_locatable & ~aborted)
-            if batch_idx.size:
+            batch_idx, col_idx = xp.nonzero(numeric_locatable & ~aborted)
+            if batch_idx.shape[0]:
                 rows = idx_from_checksum[batch_idx, col_idx]
                 corrupted = flat[batch_idx, rows, col_idx]
                 addition = delta1[batch_idx, col_idx]
                 # T_correct rule: large corrupted values are reconstructed from
                 # the checksum and the healthy elements instead of delta-added.
-                large = np.abs(corrupted) > thresholds.correct
+                large = xp.abs(corrupted) > thresholds.correct
                 sum_others = recomputed0[batch_idx, col_idx] - corrupted
                 reconstructed = cs[batch_idx, 0, col_idx] - sum_others
-                flat[batch_idx, rows, col_idx] = np.where(
-                    large, reconstructed, corrupted + addition
+                # Repairs are computed in float64; cast down to the data's
+                # dtype explicitly (NumPy assignment would cast silently,
+                # Torch index assignment requires matching dtypes).
+                flat[batch_idx, rows, col_idx] = xp.astype(
+                    xp.where(large, reconstructed, corrupted + addition),
+                    flat.dtype, copy=False,
                 )
                 report.corrected[batch_idx, col_idx] = True
                 report.corrected_indices[batch_idx, col_idx] = rows
 
-            batch_idx, col_idx = np.nonzero(extreme_single & ~aborted)
-            if batch_idx.size:
+            batch_idx, col_idx = xp.nonzero(extreme_single & ~aborted)
+            if batch_idx.shape[0]:
                 rows = idx_extreme[batch_idx, col_idx]
                 # Reconstruct: true value = checksum - sum of healthy elements.
-                healthy = np.where(extreme, 0.0, flat)
-                sum_others = healthy.sum(axis=1)[batch_idx, col_idx] - np.where(
+                healthy = xp.where(extreme, 0.0, flat)
+                sum_others = xp.sum(healthy, axis=1)[batch_idx, col_idx] - xp.where(
                     thresholds.is_extreme(flat[batch_idx, rows, col_idx]),
                     0.0,
                     flat[batch_idx, rows, col_idx],
                 )
                 reconstructed = cs[batch_idx, 0, col_idx] - sum_others
-                flat[batch_idx, rows, col_idx] = reconstructed
+                flat[batch_idx, rows, col_idx] = xp.astype(
+                    reconstructed, flat.dtype, copy=False
+                )
                 report.corrected[batch_idx, col_idx] = True
                 report.corrected_indices[batch_idx, col_idx] = rows
 
@@ -310,8 +332,8 @@ def check_columns(
 
 
 def check_rows(
-    matrix: np.ndarray,
-    row_checksums: np.ndarray,
+    matrix: Any,
+    row_checksums: Any,
     thresholds: Optional[ABFTThresholds] = None,
     correct: bool = True,
 ) -> ColumnCheckReport:
@@ -319,13 +341,14 @@ def check_rows(
 
     Implemented by viewing the transposed matrix through
     :func:`check_columns`: the row checksums of ``M`` are exactly the column
-    checksums of ``M^T``.  The transposed array is a NumPy view, so in-place
-    corrections propagate back to ``matrix``.
+    checksums of ``M^T``.  The transposed array is a zero-copy view in every
+    supported backend, so in-place corrections propagate back to ``matrix``.
     """
-    matrix = np.asarray(matrix)
-    row_checksums = np.asarray(row_checksums)
-    transposed = np.swapaxes(matrix, -1, -2)
-    cs_t = np.swapaxes(row_checksums, -1, -2)
+    xp = namespace_of(matrix)
+    matrix = xp.asarray(matrix)
+    row_checksums = xp.asarray(row_checksums)
+    transposed = xp.swapaxes(matrix, -1, -2)
+    cs_t = xp.swapaxes(row_checksums, -1, -2)
     return check_columns(transposed, cs_t, thresholds=thresholds, correct=correct)
 
 

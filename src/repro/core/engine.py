@@ -26,6 +26,25 @@ thresholds, statistics — lives in :class:`repro.core.attention_checker.ATTNChe
 which drives the engine through the section-level hook
 :meth:`repro.nn.attention.AttentionHooks.on_section_output`.
 
+Array backends
+--------------
+The checksum chain is array-library generic.  Each
+:class:`~repro.nn.attention.SectionContext` carries the backend that owns its
+arrays, and by default the engine simply *follows* it: encode, carry, verify
+and repair run natively in that library (NumPy, CuPy or Torch), so a
+device-resident boundary matrix is never round-tripped through host memory on
+the critical path.
+
+Passing ``array_backend`` *pins* the engine to one registered backend
+instead.  Section outputs that already belong to the pinned backend still run
+natively; foreign outputs (say, a NumPy model driving a Torch-pinned engine)
+are adopted into the pinned backend before the chain runs and repaired values
+are written back afterwards.  Those copies are real transfer overhead and are
+timed under the dedicated keys :data:`repro.utils.timing.XFER_H2D` /
+:data:`~repro.utils.timing.XFER_D2H`, so the Figure-7 overhead split can
+report copy cost separately from checksum math.  On the pure-NumPy path both
+keys stay exactly zero.
+
 Verification modes
 ------------------
 The engine supports three verification modes.  At a glance:
@@ -84,19 +103,20 @@ over the same per-step snapshots.  Worker-side wall-clock is recorded under
 timer keys prefixed ``"async/"`` so callers can split critical-path from
 total checker time.
 
-Follow-on items tracked in ROADMAP.md: alternate engine backends (GPU array
-libraries) and layer-granular re-execution from retained activations.
+Follow-on items tracked in ROADMAP.md: porting the model/autograd substrate
+onto the array backends and layer-granular re-execution from retained
+activations.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
-import numpy as np
-
+from repro.backend import ArrayBackend, backend_of
 from repro.core.checksums import (
     ChecksumState,
     adjust_column_checksums_for_bias,
@@ -112,7 +132,7 @@ from repro.core.eec_abft import check_columns, check_rows
 from repro.core.sections import PROTECTION_SECTIONS
 from repro.core.thresholds import ABFTThresholds
 from repro.nn.attention import SectionContext
-from repro.utils.timing import TimingRegistry
+from repro.utils.timing import TimingRegistry, XFER_D2H, XFER_H2D
 
 __all__ = ["SectionOutcome", "ProtectionEngine"]
 
@@ -162,7 +182,7 @@ class _LayerState:
 
     def __init__(self, enabled: Dict[str, bool]) -> None:
         self.enabled = enabled
-        self.cs_cl_col: Optional[np.ndarray] = None
+        self.cs_cl_col: Optional[Any] = None
 
 
 class _DeferredCheck:
@@ -171,18 +191,20 @@ class _DeferredCheck:
     The work item of both deferred and async modes: the retained boundary
     matrix (by reference — downstream autograd ops allocate fresh arrays, so
     the retained values stay what the boundary produced) plus its carried
-    checksums.
+    checksums and the backend they live on.
     """
 
-    __slots__ = ("section", "layer_index", "step", "matrix", "checksums")
+    __slots__ = ("section", "layer_index", "step", "matrix", "checksums", "backend")
 
     def __init__(self, section: str, layer_index: int, step: int,
-                 matrix: np.ndarray, checksums: ChecksumState) -> None:
+                 matrix: Any, checksums: ChecksumState,
+                 backend: Optional[ArrayBackend] = None) -> None:
         self.section = section
         self.layer_index = layer_index
         self.step = step
         self.matrix = matrix
         self.checksums = checksums
+        self.backend = backend if backend is not None else backend_of(matrix)
 
 
 class ProtectionEngine:
@@ -202,7 +224,8 @@ class ProtectionEngine:
         Shared :class:`TimingRegistry`; phase labels match the historical
         per-GEMM backend (``"AS/encode"``, ``"CL/detect"``, ...) so overhead
         reporting is backend-agnostic.  The async worker records under the
-        same labels prefixed ``"async/"``.
+        same labels prefixed ``"async/"``; adoption / write-back copies of a
+        pinned engine record under ``"xfer/h2d"`` / ``"xfer/d2h"``.
     deferred:
         Select the ``deferred`` verification mode (see module docstring).
     asynchronous:
@@ -212,6 +235,11 @@ class ProtectionEngine:
         Async only: bound on in-flight submitted step batches.
         :meth:`submit_step` blocks once the bound is reached, which both
         prevents unbounded queue growth and enforces the staleness window.
+    array_backend:
+        ``None`` (default) follows the backend that owns each section's
+        arrays.  An :class:`~repro.backend.ArrayBackend` instance pins the
+        checksum chain to that library: foreign section outputs are adopted
+        (``xfer/h2d``) and repaired values written back (``xfer/d2h``).
     """
 
     def __init__(
@@ -223,6 +251,7 @@ class ProtectionEngine:
         deferred: bool = False,
         asynchronous: bool = False,
         max_pending_steps: int = 2,
+        array_backend: Optional[ArrayBackend] = None,
     ) -> None:
         if deferred and asynchronous:
             raise ValueError("deferred and asynchronous verification are mutually exclusive")
@@ -235,6 +264,7 @@ class ProtectionEngine:
         self.deferred = deferred
         self.asynchronous = asynchronous
         self.max_pending_steps = max_pending_steps
+        self.array_backend = array_backend
         self._layers: Dict[int, _LayerState] = {}
         #: Front buffer of the double-buffered queue: the step in progress
         #: appends here; submit_step()/flush() swap it out wholesale.
@@ -295,9 +325,96 @@ class ProtectionEngine:
         with self._cv:
             return self._inflight
 
+    # -- backend adoption -------------------------------------------------------
+
+    @contextmanager
+    def _timed(self, key: str, backend: ArrayBackend) -> Iterator[None]:
+        """Measure one checksum phase with device-correct boundaries.
+
+        Device libraries launch kernels asynchronously, so the wall clock
+        must not start until prior work has retired and must not stop until
+        this phase's kernels have: the backend's :meth:`synchronize` barrier
+        runs on both edges.  On host backends it is a no-op and the timing is
+        byte-identical to a bare ``timers.measure``.
+        """
+        backend.synchronize()
+        with self.timers.measure(key):
+            try:
+                yield
+            finally:
+                backend.synchronize()
+
+    @staticmethod
+    def _section_active(ctx: SectionContext, state: _LayerState) -> bool:
+        """Whether this boundary has any checksum work this pass.
+
+        Checked *before* operand adoption so a pinned-foreign engine never
+        pays ``xfer/h2d`` copies for a section that frequency gating (or a
+        missing upstream checksum) is about to skip.
+        """
+        if ctx.section == "AS":
+            return state.enabled.get("AS", False)
+        if ctx.section == "CL":
+            return state.enabled.get("CL", False) or state.enabled.get("O", False)
+        if ctx.section == "O":
+            return state.enabled.get("O", False) and state.cs_cl_col is not None
+        raise KeyError(f"unknown protection section {ctx.section!r}")
+
+    def _adopt_section(
+        self, ctx: SectionContext, out: Any
+    ) -> Tuple[ArrayBackend, Dict[str, Optional[Any]], Any, bool]:
+        """Resolve the backend the checksum chain runs on for this section.
+
+        Native case (no pin, or ``out`` already belongs to the pinned
+        backend): zero copies, zero transfer time.  Pinned-foreign case:
+        adopt the boundary output and every section operand into the pinned
+        backend, timing the copies under ``xfer/h2d``.  For host-resident
+        backends whose adoption can alias host memory (Torch on CPU) the
+        "copy" is free and in-place repairs flow straight back.
+        """
+        owner = ctx.backend if ctx.backend is not None else backend_of(out)
+        pinned = self.array_backend
+        if pinned is None or pinned.is_backend_array(out):
+            return (pinned or owner), ctx.operands, out, False
+        with self._timed(XFER_H2D, pinned):
+            ops = {
+                key: None if value is None else pinned.asarray(value)
+                for key, value in ctx.operands.items()
+            }
+            work = pinned.asarray(out)
+        return pinned, ops, work, True
+
+    def _write_back_section(
+        self,
+        ctx: SectionContext,
+        out: Any,
+        ops: Dict[str, Optional[Any]],
+        work: Any,
+        outcome: Optional[SectionOutcome],
+    ) -> None:
+        """Export a pinned engine's repairs back into the producing arrays.
+
+        Only runs on the adopted (pinned-foreign) path, and only when a
+        repair actually mutated data — detection-only verifications leave the
+        producing arrays untouched and cost no ``xfer/d2h`` time.
+        """
+        if outcome is None or outcome.report is None:
+            return
+        pinned = self.array_backend
+        if outcome.report.corrected > 0:
+            with self._timed(XFER_D2H, pinned):
+                out[...] = pinned.to_numpy(work)
+        if outcome.operand_repairs > 0:
+            with self._timed(XFER_D2H, pinned):
+                for key in ("q", "k_t", "v"):
+                    host = ctx.operands.get(key)
+                    adopted = ops.get(key)
+                    if host is not None and adopted is not None:
+                        host[...] = pinned.to_numpy(adopted)
+
     # -- section dispatch -------------------------------------------------------
 
-    def protect_section(self, ctx: SectionContext, out: np.ndarray) -> Optional[SectionOutcome]:
+    def protect_section(self, ctx: SectionContext, out: Any) -> Optional[SectionOutcome]:
         """Run the fused checksum chain for the section ending at ``out``.
 
         Returns ``None`` when the layer has no open pass state (hooks attached
@@ -306,29 +423,38 @@ class ProtectionEngine:
         state = self._layers.get(ctx.layer_index)
         if state is None:
             return None
+        if not self._section_active(ctx, state):
+            return None
+        backend, ops, work, adopted = self._adopt_section(ctx, out)
         if ctx.section == "AS":
-            return self._protect_as(ctx, state, out)
-        if ctx.section == "CL":
-            return self._protect_cl(ctx, state, out)
-        if ctx.section == "O":
-            return self._protect_o(ctx, state, out)
-        raise KeyError(f"unknown protection section {ctx.section!r}")
+            outcome = self._protect_as(ctx, state, ops, work, backend)
+        elif ctx.section == "CL":
+            outcome = self._protect_cl(ctx, state, ops, work, backend)
+        elif ctx.section == "O":
+            outcome = self._protect_o(ctx, state, ops, work, backend)
+        else:
+            raise KeyError(f"unknown protection section {ctx.section!r}")
+        if adopted:
+            self._write_back_section(ctx, out, ops, work, outcome)
+        return outcome
 
     def _verify(
         self,
         ctx: SectionContext,
-        out: np.ndarray,
+        out: Any,
         checksums: ChecksumState,
         outcome: SectionOutcome,
+        backend: ArrayBackend,
     ) -> None:
         """Verify ``out`` now, or queue it for a batched verification pass."""
         if self.deferred or self.asynchronous:
             self._queue.append(
-                _DeferredCheck(ctx.section, ctx.layer_index, ctx.step, out, checksums)
+                _DeferredCheck(ctx.section, ctx.layer_index, ctx.step, out,
+                               checksums, backend=backend)
             )
             outcome.deferred = True
             return
-        with self.timers.measure(f"{ctx.section}/detect"):
+        with self._timed(f"{ctx.section}/detect", backend):
             outcome.report = correct_matrix(
                 out, checksums, thresholds=self.thresholds,
                 refresh_checksums=self.refresh_checksums,
@@ -336,19 +462,25 @@ class ProtectionEngine:
 
     # -- section S_AS -----------------------------------------------------------
 
-    def _protect_as(self, ctx: SectionContext, state: _LayerState, out: np.ndarray) -> Optional[SectionOutcome]:
-        if not state.enabled.get("AS", False):
-            return None
-        ops = ctx.operands
+    def _protect_as(
+        self,
+        ctx: SectionContext,
+        state: _LayerState,
+        ops: Dict[str, Optional[Any]],
+        out: Any,
+        backend: ArrayBackend,
+    ) -> Optional[SectionOutcome]:
+        # Gating already happened in protect_section via _section_active.
+        xp = backend.xp
         x, w_q, w_k = ops["x"], ops["w_q"], ops["w_k"]
         num_rows = x.shape[-2]
         outcome = SectionOutcome(section="AS", layer_index=ctx.layer_index, step=ctx.step)
 
         # Encode the section input once...
-        with self.timers.measure("AS/encode"):
+        with self._timed("AS/encode", backend):
             cs_x = encode_column_checksums(x)
         # ...and carry it through every member GEMM of the section.
-        with self.timers.measure("AS/update"):
+        with self._timed("AS/update", backend):
             cs_q = update_column_checksums_through_gemm(cs_x, w_q)
             if ops.get("bias_q") is not None:
                 cs_q = adjust_column_checksums_for_bias(cs_q, ops["bias_q"], num_rows)
@@ -358,70 +490,76 @@ class ProtectionEngine:
             cs_q_ph = split_head_column_checksums(cs_q, ctx.num_heads)     # (B, H, 2, dh)
             cs_k_ph = split_head_column_checksums(cs_k, ctx.num_heads)
             # Column side of AS: col(AS) = col(Q) K^T.
-            cs_as_col = np.matmul(cs_q_ph, ops["k_t"])                      # (B, H, 2, S)
+            cs_as_col = xp.matmul(cs_q_ph, ops["k_t"])                      # (B, H, 2, S)
             # Row side of AS: row(AS) = Q row(K^T) = Q col(K)^T.
-            cs_as_row = np.matmul(ops["q"], np.swapaxes(cs_k_ph, -1, -2))   # (B, H, S, 2)
+            cs_as_row = xp.matmul(ops["q"], xp.swapaxes(cs_k_ph, -1, -2))   # (B, H, S, 2)
 
-        self._verify(ctx, out, ChecksumState(col=cs_as_col, row=cs_as_row), outcome)
+        self._verify(ctx, out, ChecksumState(col=cs_as_col, row=cs_as_row), outcome, backend)
         if (
             self.repair_operands
             and outcome.report is not None
             and outcome.report.corrected > 0
         ):
-            with self.timers.measure("AS/correct"):
+            with self._timed("AS/correct", backend):
                 q_report = check_columns(ops["q"], cs_q_ph, thresholds=self.thresholds)
                 kt_report = check_rows(
-                    ops["k_t"], np.swapaxes(cs_k_ph, -1, -2), thresholds=self.thresholds
+                    ops["k_t"], xp.swapaxes(cs_k_ph, -1, -2), thresholds=self.thresholds
                 )
             outcome.operand_repairs = q_report.num_corrected + kt_report.num_corrected
         return outcome
 
     # -- section S_CL -----------------------------------------------------------
 
-    def _protect_cl(self, ctx: SectionContext, state: _LayerState, out: np.ndarray) -> Optional[SectionOutcome]:
+    def _protect_cl(
+        self,
+        ctx: SectionContext,
+        state: _LayerState,
+        ops: Dict[str, Optional[Any]],
+        out: Any,
+        backend: ArrayBackend,
+    ) -> Optional[SectionOutcome]:
+        # At least one of CL/O is enabled (gated via _section_active); when
+        # only O is, this boundary is visited solely to derive cs_cl_col.
         cl_enabled = state.enabled.get("CL", False)
-        o_enabled = state.enabled.get("O", False)
-        if not (cl_enabled or o_enabled):
-            return None
-        ops = ctx.operands
+        xp = backend.xp
         outcome = SectionOutcome(section="CL", layer_index=ctx.layer_index, step=ctx.step)
 
         cs_v_row = None
         if cl_enabled:
             # Per-head row checksums of V, derived from W_V without touching V:
             # encode rowcs(W_V) once and carry it through the X W_V GEMM.
-            with self.timers.measure("CL/encode"):
+            with self._timed("CL/encode", backend):
                 rowcs_wv = encode_per_head_row_checksums_of_weight(ops["w_v"], ctx.num_heads)
-            with self.timers.measure("CL/update"):
-                cs_v_row = np.einsum("...sd,dhw->...hsw", ops["x"], rowcs_wv)  # (B, H, S, 2)
+            with self._timed("CL/update", backend):
+                cs_v_row = xp.einsum("...sd,dhw->...hsw", ops["x"], rowcs_wv)  # (B, H, S, 2)
                 if ops.get("bias_v") is not None:
-                    bias_heads = np.asarray(ops["bias_v"], dtype=np.float64).reshape(
-                        ctx.num_heads, ctx.head_dim
-                    )
-                    _, v2 = checksum_weights(ctx.head_dim)
-                    cs_v_row = cs_v_row.copy()
-                    cs_v_row[..., 0] += bias_heads.sum(axis=-1)[None, :, None]
-                    cs_v_row[..., 1] += (bias_heads * v2).sum(axis=-1)[None, :, None]
+                    bias_heads = xp.astype(
+                        xp.asarray(ops["bias_v"]), xp.float64, copy=False
+                    ).reshape(ctx.num_heads, ctx.head_dim)
+                    _, v2 = checksum_weights(ctx.head_dim, xp=xp)
+                    cs_v_row = xp.copy(cs_v_row)
+                    cs_v_row[..., 0] += xp.sum(bias_heads, axis=-1)[None, :, None]
+                    cs_v_row[..., 1] += xp.sum(bias_heads * v2, axis=-1)[None, :, None]
 
-        with self.timers.measure("CL/encode"):
+        with self._timed("CL/encode", backend):
             cs_ap_col = encode_column_checksums(ops["ap"])                     # (B, H, 2, S)
-        with self.timers.measure("CL/update"):
-            cs_cl_col = np.matmul(cs_ap_col, ops["v"])                         # (B, H, 2, dh)
+        with self._timed("CL/update", backend):
+            cs_cl_col = xp.matmul(cs_ap_col, ops["v"])                         # (B, H, 2, dh)
             cs_cl_row = None
             if cl_enabled and cs_v_row is not None:
                 # row(CL) = AP row(V): carry the row checksums of V through.
-                cs_cl_row = np.matmul(ops["ap"], cs_v_row)                     # (B, H, S, 2)
+                cs_cl_row = xp.matmul(ops["ap"], cs_v_row)                     # (B, H, S, 2)
 
         checksums = ChecksumState(col=cs_cl_col, row=cs_cl_row)
         if cl_enabled:
-            self._verify(ctx, out, checksums, outcome)
+            self._verify(ctx, out, checksums, outcome, backend)
             if (
                 self.repair_operands
                 and outcome.report is not None
                 and outcome.report.corrected > 0
                 and cs_v_row is not None
             ):
-                with self.timers.measure("CL/correct"):
+                with self._timed("CL/correct", backend):
                     v_report = check_rows(ops["v"], cs_v_row, thresholds=self.thresholds)
                 outcome.operand_repairs = v_report.num_corrected
         # Pass the (possibly refreshed) column checksums of CL to section S_O.
@@ -430,16 +568,21 @@ class ProtectionEngine:
 
     # -- section S_O ------------------------------------------------------------
 
-    def _protect_o(self, ctx: SectionContext, state: _LayerState, out: np.ndarray) -> Optional[SectionOutcome]:
-        if not state.enabled.get("O", False):
-            return None
-        if state.cs_cl_col is None:
-            return None
+    def _protect_o(
+        self,
+        ctx: SectionContext,
+        state: _LayerState,
+        ops: Dict[str, Optional[Any]],
+        out: Any,
+        backend: ArrayBackend,
+    ) -> Optional[SectionOutcome]:
+        # Gating (O enabled and a CL checksum to carry) happened in
+        # protect_section via _section_active.
         outcome = SectionOutcome(section="O", layer_index=ctx.layer_index, step=ctx.step)
-        with self.timers.measure("O/update"):
+        with self._timed("O/update", backend):
             cs_cl_merged = merge_head_column_checksums(state.cs_cl_col)        # (B, 2, D)
-            cs_o_col = update_column_checksums_through_gemm(cs_cl_merged, ctx.operands["w_o"])
-        self._verify(ctx, out, ChecksumState(col=cs_o_col), outcome)
+            cs_o_col = update_column_checksums_through_gemm(cs_cl_merged, ops["w_o"])
+        self._verify(ctx, out, ChecksumState(col=cs_o_col), outcome, backend)
         return outcome
 
     # -- batched verification (shared by deferred flush and the async worker) ----
@@ -449,31 +592,34 @@ class ProtectionEngine:
     ) -> List[Tuple[_DeferredCheck, SectionOutcome]]:
         """Verify queued boundary matrices in one batched pass per group.
 
-        Checks are grouped by (section, matrix shape) and stacked along a new
-        leading axis, so all layers of a step are verified with a single
-        vectorised EEC-ABFT call per checksum side per group — the cross-layer
-        batching of the fused design.  Detection only: ``corrected`` stays 0.
-        Deferred mode and the async worker both run exactly this code, which
-        is what makes their detection decisions byte-identical.
+        Checks are grouped by (section, matrix shape, owning backend) and
+        stacked along a new leading axis, so all layers of a step are verified
+        with a single vectorised EEC-ABFT call per checksum side per group —
+        the cross-layer batching of the fused design.  Stacking and detection
+        run on each group's own backend.  Detection only: ``corrected`` stays
+        0.  Deferred mode and the async worker both run exactly this code,
+        which is what makes their detection decisions byte-identical.
         """
         pairs: List[Tuple[_DeferredCheck, SectionOutcome]] = []
         if not items:
             return pairs
         groups: Dict[tuple, List[_DeferredCheck]] = {}
         for item in items:
-            groups.setdefault((item.section, item.matrix.shape), []).append(item)
+            key = (item.section, tuple(item.matrix.shape), id(item.backend))
+            groups.setdefault(key, []).append(item)
 
-        for (section, _shape), group in groups.items():
-            with self.timers.measure(f"{timer_prefix}{section}/detect"):
-                stacked = np.stack([item.matrix for item in group])
+        for (section, _shape, _backend_id), group in groups.items():
+            xp = group[0].backend.xp
+            with self._timed(f"{timer_prefix}{section}/detect", group[0].backend):
+                stacked = xp.stack([item.matrix for item in group])
                 col_reports = row_reports = None
                 if group[0].checksums.has_col():
-                    col = np.stack([item.checksums.col for item in group])
+                    col = xp.stack([item.checksums.col for item in group])
                     col_reports = check_columns(
                         stacked, col, thresholds=self.thresholds, correct=False
                     )
                 if group[0].checksums.has_row():
-                    row = np.stack([item.checksums.row for item in group])
+                    row = xp.stack([item.checksums.row for item in group])
                     row_reports = check_rows(
                         stacked, row, thresholds=self.thresholds, correct=False
                     )
@@ -652,14 +798,10 @@ class ProtectionEngine:
                 if item.step not in earliest_dirty or rank < earliest_dirty[item.step][0]:
                     earliest_dirty[item.step] = (rank, item, outcome)
         for _rank, item, outcome in earliest_dirty.values():
-            with self.timers.measure(f"async/{item.section}/repair"):
-                repaired = np.array(item.matrix, copy=True)
-                checksums = ChecksumState(
-                    col=None if item.checksums.col is None else item.checksums.col.copy(),
-                    row=None if item.checksums.row is None else item.checksums.row.copy(),
-                )
+            with self._timed(f"async/{item.section}/repair", item.backend):
+                repaired = item.backend.copy(item.matrix)
                 outcome.repair = correct_matrix(
-                    repaired, checksums, thresholds=self.thresholds,
+                    repaired, item.checksums.copy(), thresholds=self.thresholds,
                     refresh_checksums=self.refresh_checksums,
                 )
         return [outcome for _, outcome in pairs]

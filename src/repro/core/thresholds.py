@@ -13,6 +13,11 @@ Detection additionally needs a round-off tolerance ``E`` ("close enough"
 comparison of recalculated and maintained checksums).  We express it as a
 relative + absolute tolerance pair, scaled per comparison by the magnitude of
 the checksums involved — the standard practice for ABFT on floating point.
+
+The two array-consuming methods (:meth:`ABFTThresholds.detection_tolerance`
+and :meth:`ABFTThresholds.is_extreme`) are backend-generic: they dispatch
+through the namespace of whatever array library owns their input, so
+thresholding runs on-device for CuPy/Torch data.
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.backend import namespace_of
 
 __all__ = ["ABFTThresholds"]
 
@@ -88,13 +95,15 @@ class ABFTThresholds:
         params.update(overrides)
         return cls(**params)
 
-    def detection_tolerance(self, reference: np.ndarray) -> np.ndarray:
+    def detection_tolerance(self, reference) -> np.ndarray:
         """Per-comparison tolerance ``E`` scaled by the reference magnitude."""
-        ref = np.abs(np.asarray(reference, dtype=np.float64))
-        ref = np.where(np.isfinite(ref), ref, 0.0)
+        xp = namespace_of(reference)
+        ref = xp.abs(xp.astype(xp.asarray(reference), xp.float64, copy=False))
+        ref = xp.where(xp.isfinite(ref), ref, 0.0)
         return self.detect_rtol * ref + self.detect_atol
 
-    def is_extreme(self, values: np.ndarray) -> np.ndarray:
+    def is_extreme(self, values) -> np.ndarray:
         """Mask of INF / NaN / near-INF elements."""
-        values = np.asarray(values)
-        return ~np.isfinite(values) | (np.abs(values) > self.near_inf)
+        xp = namespace_of(values)
+        values = xp.asarray(values)
+        return ~xp.isfinite(values) | (xp.abs(values) > self.near_inf)

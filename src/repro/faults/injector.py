@@ -7,7 +7,10 @@ the computation.
 
 * **INF** and **NaN** are injected by assignment;
 * **near-INF** is injected by flipping the most significant exponent bit of
-  the selected element;
+  the selected element — performed *in place* on the GEMM output buffer by
+  viewing it through the owning array backend's integer dtype
+  (:func:`repro.utils.floatbits.flip_exponent_msb_inplace`), so a
+  device-resident CuPy/Torch output is corrupted without a host round-trip;
 * **numeric** (a moderate value change) is provided additionally, to exercise
   the classic-ABFT code path and the benign-fault behaviour the prior work
   observed.
@@ -20,13 +23,21 @@ exactly like a fault striking the kernel before ABFT detection runs.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import backend_of
 from repro.nn.attention import AttentionHooks, AttentionOp, GemmContext
-from repro.utils.floatbits import flip_exponent_msb, make_near_inf
+from repro.utils.floatbits import (
+    NEAR_INF_MINIMUM_MAGNITUDE,
+    flip_exponent_msb,
+    flip_exponent_msb_inplace,
+    make_near_inf,
+    near_inf_fallback,
+)
 from repro.utils.rng import new_rng
 
 __all__ = ["ERROR_TYPES", "TARGET_MATRICES", "FaultSpec", "InjectionRecord", "FaultInjector"]
@@ -174,6 +185,34 @@ class FaultInjector(AttentionHooks):
             return float(original + spec.sign * spec.numeric_delta)
         raise KeyError(spec.error_type)
 
+    def _inject_near_inf_inplace(self, spec: FaultSpec, out, position, original: float) -> Optional[float]:
+        """Flip the exponent MSB of ``out[position]`` on its own buffer.
+
+        Returns the injected value, or ``None`` when the in-place path does
+        not apply (dtype override requested, non-flippable dtype, or a
+        zero / non-finite original where the paper's method falls back to a
+        representative near-INF constant) — the caller then uses the host
+        scalar path, which computes the identical value by construction.
+        """
+        if self.value_dtype is not None:
+            return None
+        if original == 0.0 or not np.isfinite(original):
+            return None
+        backend = backend_of(out)
+        dtype = backend.dtype_of(out)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            return None
+        flip_exponent_msb_inplace(out, position, backend=backend)
+        value = float(out[position])
+        # Same fallback rule as make_near_inf (shared constants): a flip that
+        # shrank the value is replaced by a representative near-INF constant
+        # so campaigns always inject a genuine extreme.
+        if not np.isfinite(value) or abs(value) < NEAR_INF_MINIMUM_MAGNITUDE or value == 0.0:
+            out[position] = math.copysign(near_inf_fallback(dtype), original)
+        if spec.sign < 0:
+            out[position] = -abs(float(out[position]))
+        return float(out[position])
+
     def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
         if not self.enabled:
             return out
@@ -187,11 +226,16 @@ class FaultInjector(AttentionHooks):
             if spec.position is not None:
                 position = tuple(spec.position)
             else:
-                flat = int(self.rng.integers(0, out.size))
-                position = tuple(int(i) for i in np.unravel_index(flat, out.shape))
+                flat = int(self.rng.integers(0, math.prod(out.shape)))
+                position = tuple(int(i) for i in np.unravel_index(flat, tuple(out.shape)))
             original = float(out[position])
-            injected = self._corrupt_value(spec, original, self.value_dtype or out.dtype)
-            out[position] = injected
+            injected = None
+            if spec.error_type == "near_inf":
+                injected = self._inject_near_inf_inplace(spec, out, position, original)
+            if injected is None:
+                dtype = self.value_dtype or backend_of(out).dtype_of(out)
+                injected = self._corrupt_value(spec, original, dtype)
+                out[position] = injected
             self._fired_count[index] += 1
             self.records.append(
                 InjectionRecord(

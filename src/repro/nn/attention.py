@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backend import ArrayBackend, backend_of
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
 from repro.tensor import autograd as ag
@@ -148,6 +149,13 @@ class SectionContext:
         * ``"O"``: ``cl`` (merged heads, ``(B, S, D)``) and ``w_o``.
     layer_index / step / num_heads / head_dim / seq_len:
         Same geometry as :class:`GemmContext`.
+    backend:
+        The :class:`repro.backend.ArrayBackend` that owns the section's
+        arrays (resolved from the boundary output's type).  Checksum-passing
+        engines use it to run encode / carry / verify / repair natively in
+        the producing array library, so device-resident section outputs are
+        never round-tripped through host memory on the critical path.
+        ``None`` falls back to per-array dispatch.
     """
 
     section: str
@@ -157,6 +165,7 @@ class SectionContext:
     num_heads: int
     head_dim: int
     seq_len: int
+    backend: Optional[ArrayBackend] = None
 
 
 class AttentionHooks:
@@ -380,6 +389,7 @@ class MultiHeadAttention(Module):
                     num_heads=num_heads,
                     head_dim=head_dim,
                     seq_len=out.shape[-2],
+                    backend=backend_of(out),
                 )
                 out = hooks.on_section_output(sctx, out)
             return out

@@ -3,27 +3,37 @@
 The ATTNChecker paper injects near-INF errors "by flipping the most
 significant bit of the [exponent of the] selected element" and injects INF and
 NaN "via assignments" (Section 5.1, *Fault Injection*).  This module provides
-the exact bit-level machinery to do both, for ``float32`` and ``float64``
-arrays, without ever leaving NumPy.
+the exact bit-level machinery to do both.
 
-The functions operate on scalars and on arrays alike; array inputs are handled
-with vectorised bit views so fault-injection campaigns over millions of
-elements remain fast.
+Two families of helpers coexist:
+
+* the host-side scalar/array functions (``flip_bit``, ``make_near_inf``, ...)
+  operate on NumPy data with vectorised bit views, so fault-injection
+  campaigns over millions of elements remain fast;
+* :func:`flip_exponent_msb_inplace` is **backend-generic**: it reinterprets
+  one element of any registered backend's buffer (NumPy, CuPy, Torch) as a
+  same-width integer via :meth:`repro.backend.ArrayBackend.uint_view` and
+  XORs the exponent MSB *in place* — a device-resident matrix is corrupted
+  without ever copying it to the host, mirroring a transient fault striking
+  GPU memory.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
 __all__ = [
     "EXPONENT_BITS",
     "MANTISSA_BITS",
+    "NEAR_INF_MINIMUM_MAGNITUDE",
+    "near_inf_fallback",
     "float_to_bits",
     "bits_to_float",
     "flip_bit",
     "flip_exponent_msb",
+    "flip_exponent_msb_inplace",
     "make_inf",
     "make_nan",
     "make_near_inf",
@@ -38,7 +48,19 @@ MANTISSA_BITS = {np.dtype(np.float32): 23, np.dtype(np.float64): 52}
 
 _UINT_FOR = {np.dtype(np.float32): np.uint32, np.dtype(np.float64): np.uint64}
 
+#: Magnitude floor below which an exponent flip does not count as a genuine
+#: near-INF fault (matches the paper's T_near-INF default); shared by
+#: :func:`make_near_inf` and the injector's in-place flip path so the two
+#: stay value-equivalent by construction.
+NEAR_INF_MINIMUM_MAGNITUDE = 1e10
+
 ArrayLike = Union[float, np.ndarray]
+
+
+def near_inf_fallback(dtype: np.dtype) -> float:
+    """Representative near-INF magnitude injected when the exponent flip
+    shrank the value instead (original exponent MSB already set)."""
+    return float(np.finfo(np.dtype(dtype)).max / 16.0)
 
 
 def _uint_dtype(dtype: np.dtype) -> np.dtype:
@@ -116,6 +138,37 @@ def flip_exponent_msb(x: ArrayLike, dtype: np.dtype = np.float32) -> np.ndarray:
     return flip_bit(arr, man_bits + exp_bits - 1, dtype=arr.dtype)
 
 
+def flip_exponent_msb_inplace(
+    array,
+    position: Tuple[int, ...],
+    backend=None,
+) -> None:
+    """Flip the exponent MSB of ``array[position]`` in place, on any backend.
+
+    The buffer is reinterpreted through the owning backend's same-width
+    integer view (:meth:`repro.backend.ArrayBackend.uint_view`) and a single
+    element is XORed — no host copy, no dtype round-trip.  For a
+    device-resident array this is the faithful analogue of a transient bit
+    flip in GPU memory; for NumPy it produces bit-identical results to
+    assigning :func:`flip_exponent_msb` of the element.
+
+    ``backend`` defaults to :func:`repro.backend.backend_of` of the array.
+    Raises :class:`TypeError` for dtypes without an IEEE-754 exponent map.
+    """
+    from repro.backend import backend_of  # local import: utils stay light
+
+    bk = backend if backend is not None else backend_of(array)
+    dtype = bk.dtype_of(array)
+    if dtype not in EXPONENT_BITS:
+        raise TypeError(f"unsupported floating dtype for in-place flip: {dtype!r}")
+    bit = MANTISSA_BITS[dtype] + EXPONENT_BITS[dtype] - 1
+    bits = bk.uint_view(array)
+    # A plain Python-int mask XORs correctly against signed (Torch) and
+    # unsigned (NumPy/CuPy) views on any device.  The exponent MSB is never
+    # the sign bit, so the mask always fits the signed range.
+    bits[position] = bits[position] ^ (1 << bit)
+
+
 def make_inf(sign: int = 1, dtype: np.dtype = np.float32) -> float:
     """Return +inf or -inf in the requested dtype."""
     value = np.inf if sign >= 0 else -np.inf
@@ -130,7 +183,7 @@ def make_nan(dtype: np.dtype = np.float32) -> float:
 def make_near_inf(
     base: ArrayLike = 1.0,
     dtype: np.dtype = np.float32,
-    minimum_magnitude: float = 1e10,
+    minimum_magnitude: float = NEAR_INF_MINIMUM_MAGNITUDE,
 ) -> np.ndarray:
     """Produce a finite but extremely large value from ``base``.
 
@@ -143,8 +196,7 @@ def make_near_inf(
     """
     flipped = flip_exponent_msb(base, dtype=dtype)
     flipped = np.asarray(flipped, dtype=dtype)
-    finfo = np.finfo(np.dtype(dtype))
-    fallback = np.dtype(dtype).type(finfo.max / 16.0)
+    fallback = np.dtype(dtype).type(near_inf_fallback(dtype))
     bad = ~np.isfinite(flipped) | (np.abs(flipped) < minimum_magnitude)
     out = np.where(bad, np.sign(np.asarray(base, dtype=dtype)) * fallback, flipped)
     out = np.where(out == 0, fallback, out)

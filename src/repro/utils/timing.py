@@ -15,7 +15,17 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["Timer", "TimingRegistry", "timed"]
+__all__ = ["XFER_H2D", "XFER_D2H", "XFER_PREFIX", "Timer", "TimingRegistry", "timed"]
+
+#: Timer key for host-to-device (adoption) copies of checker inputs — time a
+#: pinned ProtectionEngine spends importing section arrays produced by a
+#: different array library.  Zero on the pure-NumPy path.
+XFER_H2D = "xfer/h2d"
+#: Timer key for device-to-host (export / write-back) copies of repaired data.
+XFER_D2H = "xfer/d2h"
+#: Common prefix of the transfer keys, for ``TimingRegistry.total(prefix=...)``
+#: aggregation — the "copy overhead" line of the Figure-7 style splits.
+XFER_PREFIX = "xfer/"
 
 
 @dataclass

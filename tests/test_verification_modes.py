@@ -84,11 +84,14 @@ def random_scenario(seed):
     }
 
 
-def run_scenario(mode, scenario, seed):
+def run_scenario(mode, scenario, seed, extra_config=None):
     """One single-fault protected forward pass under one checker mode.
 
     Returns everything the equivalence assertions need: the protected output,
     full per-section statistics, and the drained outcome signatures.
+    ``extra_config`` merges additional :class:`ATTNCheckerConfig` kwargs
+    (e.g. ``array_backend``) — the cross-array-backend campaign in
+    ``test_backend_dispatch.py`` reuses this helper through it.
     """
     attention = MultiHeadAttention(
         hidden_size=scenario["hidden"], num_heads=scenario["heads"], dropout_p=0.0,
@@ -103,7 +106,7 @@ def run_scenario(mode, scenario, seed):
                    layer_index=0)],
         rng=np.random.default_rng(4000 + seed),
     )
-    checker = ATTNChecker(ATTNCheckerConfig(**MODE_KWARGS[mode]))
+    checker = ATTNChecker(ATTNCheckerConfig(**MODE_KWARGS[mode], **(extra_config or {})))
     attention.set_hooks(ComposedHooks([injector, checker]))
     try:
         output = attention(Tensor(x)).data.copy()
