@@ -83,6 +83,21 @@ class ArrayBackend:
     #: The NumPy-flavoured function namespace kernels dispatch through.
     xp: Any = None
 
+    # -- namespace binding ------------------------------------------------------
+
+    def namespace_for(self, array: Any) -> Any:
+        """The function namespace to use for kernels operating on ``array``.
+
+        Defaults to :attr:`xp`.  Backends whose library distinguishes the
+        *device* an array lives on (Torch) override this to return a namespace
+        whose creation functions (``zeros``/``ones``/``arange``/``full``)
+        allocate on **the array's own device** rather than the backend's
+        default — so a CPU tensor driven through a CUDA-defaulting backend
+        meets CPU-resident checksum weights and report masks, not CUDA ones
+        (creation-follows-input).
+        """
+        return self.xp
+
     # -- capabilities -----------------------------------------------------------
 
     @property

@@ -69,6 +69,12 @@ class CupyNamespace:
     def astype(self, array: Any, dtype: Any, copy: bool = True):
         return self._cupy.asarray(array).astype(dtype, copy=copy)
 
+    def add_at(self, target: Any, indices: Any, values: Any) -> None:
+        """Unbuffered scatter-add (CuPy has no ``ufunc.at``; use ``cupyx``)."""
+        import cupyx  # noqa: PLC0415 - ships with cupy, lazy like the rest
+
+        cupyx.scatter_add(target, indices, values)
+
     @contextmanager
     def errstate(self, **_kwargs) -> Iterator[None]:
         """CuPy device kernels raise no IEEE warnings — a no-op context."""

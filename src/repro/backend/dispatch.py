@@ -44,17 +44,27 @@ def backend_of(array: Any) -> ArrayBackend:
 
 
 def namespace_of(array: Any) -> Any:
-    """The function namespace (``xp``) of the backend owning ``array``."""
-    return backend_of(array).xp
+    """The function namespace (``xp``) of the backend owning ``array``.
+
+    Routed through :meth:`~repro.backend.base.ArrayBackend.namespace_for`, so
+    device-aware backends hand back a namespace bound to the array's own
+    device: creation functions inside the kernels follow their input instead
+    of the backend's default device.
+    """
+    return backend_of(array).namespace_for(array)
 
 
 def _resolve_slow(array: Any) -> ArrayBackend:
-    if isinstance(array, (np.ndarray, np.generic)):
+    # Exact-type check: ndarray *subclasses* may be the native type of a
+    # registered wrapper backend (the test suite's simulated-foreign arrays),
+    # so only the base class takes the NumPy fast path unprobed.
+    if type(array) is np.ndarray or isinstance(array, np.generic):
         backend = get_backend("numpy")
     else:
         backend = _probe_optional_backends(array)
         if backend is None:
-            # Python scalars / sequences: the NumPy reference adopts them.
+            # Python scalars / sequences / unclaimed ndarray subclasses: the
+            # NumPy reference adopts them.
             backend = get_backend("numpy")
     _TYPE_CACHE[type(array)] = backend
     return backend

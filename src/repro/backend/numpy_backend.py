@@ -32,8 +32,28 @@ class NumpyNamespace:
 
     @staticmethod
     def astype(array: Any, dtype: Any, copy: bool = True) -> np.ndarray:
-        """Array-API style ``astype`` (NumPy < 2.0 has no module function)."""
-        return np.asarray(array).astype(dtype, copy=copy)
+        """Array-API style ``astype`` (NumPy < 2.0 has no module function).
+
+        ``asanyarray`` (not ``asarray``) so ndarray *subclasses* — the test
+        suite's simulated-foreign arrays — keep their type through a cast.
+        """
+        return np.asanyarray(array).astype(dtype, copy=copy)
+
+    @staticmethod
+    def copy(array: Any) -> np.ndarray:
+        """``np.copy`` with ``subok`` so ndarray subclasses survive the copy
+        (plain ndarrays are byte-identical to the default)."""
+        return np.copy(array, subok=True)
+
+    @staticmethod
+    def add_at(target: np.ndarray, indices: Any, values: Any) -> None:
+        """Unbuffered scatter-add ``target[indices] += values`` in place.
+
+        The embedding backward's gradient scatter: repeated indices must
+        accumulate (``np.add.at`` semantics), which plain fancy-index
+        assignment does not do.
+        """
+        np.add.at(target, indices, values)
 
     def __getattr__(self, name: str) -> Any:
         value = getattr(np, name)
@@ -65,7 +85,8 @@ class NumpyBackend(ArrayBackend):
         return np.asarray(array)
 
     def copy(self, array: Any) -> np.ndarray:
-        return np.array(array, copy=True)
+        # subok keeps ndarray subclasses (simulated-foreign arrays) intact.
+        return np.array(array, copy=True, subok=True)
 
     # -- identity / memory ------------------------------------------------------
 

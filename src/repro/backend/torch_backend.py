@@ -4,7 +4,12 @@ Torch's function surface is close to NumPy's but not identical (``dim`` vs
 ``axis``, ``clamp`` vs ``clip``, tuple-returning ``max``, unbiased ``var``
 by default, no ``errstate``), so unlike the NumPy/CuPy namespaces this one is
 written out explicitly: every function the generic kernels dispatch to is a
-small normalising wrapper with NumPy semantics.  Notable pins:
+small normalising wrapper with NumPy semantics.  Each namespace instance is
+additionally bound to **one device**: creation functions (``zeros``/``ones``/
+``arange``/``full``) allocate there, and :meth:`TorchBackend.namespace_for`
+hands kernels the namespace of their *input's* device, so creation follows
+input instead of silently landing on the backend's default device.  Notable
+pins:
 
 * reductions take ``axis=`` / ``keepdims=`` keywords and ``var`` uses
   ``correction=0`` (NumPy's biased estimator) — silently inheriting Torch's
@@ -96,6 +101,14 @@ class TorchNamespace:
     def copy(self, array):
         return array.clone()
 
+    # -- like-creation (creation follows input by construction) -----------------
+
+    def zeros_like(self, array, dtype: Any = None):
+        return self._torch.zeros_like(array, dtype=dtype)
+
+    def ones_like(self, array, dtype: Any = None):
+        return self._torch.ones_like(array, dtype=dtype)
+
     # -- shape ------------------------------------------------------------------
 
     def reshape(self, array, shape):
@@ -112,6 +125,23 @@ class TorchNamespace:
 
     def swapaxes(self, array, axis1, axis2):
         return self._torch.swapaxes(array, axis1, axis2)
+
+    def transpose(self, array, axes=None):
+        if axes is None:
+            axes = tuple(reversed(range(array.dim())))
+        return array.permute(tuple(int(a) for a in axes))
+
+    def broadcast_to(self, array, shape):
+        return self._torch.broadcast_to(array, tuple(int(s) for s in shape))
+
+    def expand_dims(self, array, axis):
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        # NumPy inserts all axes relative to the *output* rank, smallest first.
+        out_ndim = array.dim() + len(axes)
+        axes = sorted(a % out_ndim for a in axes)
+        for a in axes:
+            array = array.unsqueeze(a)
+        return array
 
     # -- math -------------------------------------------------------------------
 
@@ -196,30 +226,35 @@ class TorchNamespace:
 
     # -- reductions -------------------------------------------------------------
 
+    @staticmethod
+    def _keep_full_dims(out, array, keepdims: bool):
+        """NumPy's ``keepdims=True`` with ``axis=None``: all axes become 1."""
+        return out.reshape((1,) * array.dim()) if keepdims else out
+
     def sum(self, array, axis=None, dtype: Any = None, keepdims: bool = False):
         if axis is None:
-            return self._torch.sum(array, dtype=dtype)
+            return self._keep_full_dims(self._torch.sum(array, dtype=dtype), array, keepdims)
         return self._torch.sum(array, dim=axis, keepdim=keepdims, dtype=dtype)
 
     def mean(self, array, axis=None, keepdims: bool = False):
         if axis is None:
-            return self._torch.mean(array)
+            return self._keep_full_dims(self._torch.mean(array), array, keepdims)
         return self._torch.mean(array, dim=axis, keepdim=keepdims)
 
     def var(self, array, axis=None, keepdims: bool = False):
         # correction=0 reproduces NumPy's biased variance, not Torch's default.
         if axis is None:
-            return self._torch.var(array, correction=0)
+            return self._keep_full_dims(self._torch.var(array, correction=0), array, keepdims)
         return self._torch.var(array, dim=axis, keepdim=keepdims, correction=0)
 
     def max(self, array, axis=None, keepdims: bool = False):
         if axis is None:
-            return self._torch.max(array)
+            return self._keep_full_dims(self._torch.max(array), array, keepdims)
         return self._torch.amax(array, dim=axis, keepdim=keepdims)
 
     def min(self, array, axis=None, keepdims: bool = False):
         if axis is None:
-            return self._torch.min(array)
+            return self._keep_full_dims(self._torch.min(array), array, keepdims)
         return self._torch.amin(array, dim=axis, keepdim=keepdims)
 
     def argmax(self, array, axis=None):
@@ -231,12 +266,12 @@ class TorchNamespace:
 
     def any(self, array, axis=None, keepdims: bool = False):
         if axis is None:
-            return self._torch.any(array)
+            return self._keep_full_dims(self._torch.any(array), array, keepdims)
         return self._torch.any(array, dim=axis, keepdim=keepdims)
 
     def all(self, array, axis=None, keepdims: bool = False):
         if axis is None:
-            return self._torch.all(array)
+            return self._keep_full_dims(self._torch.all(array), array, keepdims)
         return self._torch.all(array, dim=axis, keepdim=keepdims)
 
     # -- logic / selection ------------------------------------------------------
@@ -268,6 +303,16 @@ class TorchNamespace:
 
     def put_along_axis(self, array, indices, values, axis: int):
         array.scatter_(axis, indices.to(self._torch.int64), values)
+
+    def add_at(self, target, indices, values) -> None:
+        """Unbuffered scatter-add along the leading axis (``np.add.at``).
+
+        The autograd embedding backward only scatters row gradients into a
+        2-D table, so leading-axis ``index_add_`` covers the generic kernels'
+        use; repeated indices accumulate, matching NumPy exactly.
+        """
+        indices = self.asarray(indices).to(self._torch.int64)
+        target.index_add_(0, indices, self.asarray(values).to(target.dtype))
 
     # -- numerics context -------------------------------------------------------
 
@@ -304,6 +349,23 @@ class TorchBackend(ArrayBackend):
             device = "cuda" if torch.cuda.is_available() else "cpu"
         self.device = torch.device(device)
         self.xp = TorchNamespace(torch, self.device)
+        self._namespaces = {self.device: self.xp}
+
+    def namespace_for(self, array):
+        """A namespace whose creation functions allocate on ``array``'s device.
+
+        This is the creation-follows-input rule: ``asarray`` never migrates an
+        existing tensor and GEMM/einsum operands device-reconcile, but checksum
+        weights and report masks are *created* inside the kernels — binding the
+        namespace to the input's device keeps a CPU tensor driven through a
+        CUDA-defaulting backend entirely on CPU (and vice versa).
+        """
+        device = array.device
+        namespace = self._namespaces.get(device)
+        if namespace is None:
+            namespace = TorchNamespace(self._torch, device)
+            self._namespaces[device] = namespace
+        return namespace
 
     @property
     def capabilities(self) -> BackendCapabilities:

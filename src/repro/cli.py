@@ -60,8 +60,12 @@ OVERHEAD_MODELS = ["bert-small", "bert-base", "bert-large", "gpt2", "gpt-neo", "
 # Experiment implementations (each returns the printed text)
 # ---------------------------------------------------------------------------
 
-def _tiny_model_and_batch(model_name: str, batch: int = 8, seed: int = 0):
-    model = build_model(model_name, size="tiny", rng=np.random.default_rng(seed))
+def _tiny_model_and_batch(model_name: str, batch: int = 8, seed: int = 0,
+                          array_backend: Optional[str] = None):
+    model = build_model(
+        model_name, size="tiny", rng=np.random.default_rng(seed),
+        array_backend=array_backend,
+    )
     data = SyntheticMRPC(
         num_examples=max(16, 2 * batch),
         max_seq_len=model.config.max_seq_len,
@@ -73,7 +77,7 @@ def _tiny_model_and_batch(model_name: str, batch: int = 8, seed: int = 0):
 
 
 def run_quickstart(args: argparse.Namespace) -> str:
-    model, batch = _tiny_model_and_batch(args.model)
+    model, batch = _tiny_model_and_batch(args.model, array_backend=args.model_array_backend)
     injector = FaultInjector(
         [FaultSpec(matrix=args.matrix, error_type=args.error_type)],
         rng=np.random.default_rng(args.seed),
@@ -92,11 +96,13 @@ def run_quickstart(args: argparse.Namespace) -> str:
     checker.end_step()
     checker.drain()   # settle async verification before reading statistics
     checker.close()
+    substrate = getattr(model, "array_backend", None)
     lines = [
         f"backend              : {checker.backend}",
         f"verification mode    : {checker.verification_mode}",
         f"array backend        : {checker.array_backend_name} "
         f"(installed: {', '.join(available_array_backends())})",
+        f"model substrate      : {'numpy' if substrate is None else substrate.device_info()}",
         f"transfer time        : {checker.transfer_seconds() * 1e3:.3f} ms",
         f"fault-free loss      : {reference:.6f}",
         f"protected faulty loss: {protected:.6f}",
@@ -124,7 +130,8 @@ def run_backends(args: argparse.Namespace) -> str:
     for matrix, error_type in combos:
         outputs, decisions = {}, {}
         for backend in CHECKER_BACKENDS:
-            model, batch = _tiny_model_and_batch(args.model, seed=args.seed)
+            model, batch = _tiny_model_and_batch(
+                args.model, seed=args.seed, array_backend=args.model_array_backend)
             model.eval()
             injector = FaultInjector(
                 [FaultSpec(matrix=matrix, error_type=error_type)],
@@ -188,7 +195,9 @@ def run_verification_modes(args: argparse.Namespace) -> str:
         critical = total = 0.0
         signatures = []
         for trial, (matrix, error_type) in enumerate(combos):
-            model, batch = _tiny_model_and_batch(args.model, batch=4, seed=args.seed)
+            model, batch = _tiny_model_and_batch(
+                args.model, batch=4, seed=args.seed,
+                array_backend=args.model_array_backend)
             model.eval()
             injector = FaultInjector(
                 [FaultSpec(matrix=matrix, error_type=error_type)],
@@ -231,6 +240,48 @@ def run_verification_modes(args: argparse.Namespace) -> str:
         ["mode", "detections", "corrections", "stale", "critical-path ms", "total ms"],
         rows,
         title=f"Verification modes — fused engine ({args.model}); {footer}",
+    )
+
+
+def run_train(args: argparse.Namespace) -> str:
+    """A short protected fine-tuning run on the chosen model substrate.
+
+    Builds the model with ``build_model(..., array_backend=args.model_array_backend)``
+    so forward, backward and the optimiser update run on that backend, attaches
+    the fused checker (following or pinned per ``--array-backend``), and trains
+    for ``--steps`` optimisation steps on synthetic MRPC.  The footer reports
+    the checker's ``xfer/*`` transfer total — exactly zero whenever model and
+    checker share a backend (the device-resident zero-copy property; the CI
+    smoke job greps for it).
+    """
+    model, batch = _tiny_model_and_batch(
+        args.model, batch=args.batch_size, seed=args.seed,
+        array_backend=args.model_array_backend,
+    )
+    from repro.training import Trainer, TrainerConfig
+
+    checker = ATTNChecker(ATTNCheckerConfig(
+        backend=args.backend, async_verification=args.async_verification,
+        array_backend=args.array_backend,
+    ))
+    trainer = Trainer(model, config=TrainerConfig(learning_rate=5e-4), checker=checker)
+    rows = []
+    for _ in range(args.steps):
+        result = trainer.train_step(batch)
+        rows.append([
+            result.step, f"{result.loss:.6f}", f"{result.step_seconds * 1e3:.1f}",
+            f"{result.abft_seconds * 1e3:.2f}", result.detections, result.corrections,
+        ])
+    trainer.drain_verifications(batch=batch)
+    xfer_ms = checker.transfer_seconds() * 1e3
+    footer = (
+        f"model substrate {trainer.model_array_backend}, checker array backend "
+        f"{trainer.array_backend}; xfer total {xfer_ms:.3f} ms"
+        + (" (zero host round-trips)" if xfer_ms == 0.0 else "")
+    )
+    return format_table(
+        ["step", "loss", "step ms", "abft ms", "det", "corr"], rows,
+        title=f"Protected training — {args.model} (tiny); {footer}",
     )
 
 
@@ -360,6 +411,7 @@ def run_fig12(args: argparse.Namespace) -> str:
 #: Registry of experiments exposed by the CLI.
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "quickstart": run_quickstart,
+    "train": run_train,
     "backends": run_backends,
     "verification_modes": run_verification_modes,
     "table2": run_table2,
@@ -414,9 +466,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "registered backend pins the fused engine to it "
                              f"(known: {', '.join(KNOWN_ARRAY_BACKENDS)}; "
                              f"installed here: {', '.join(available_array_backends())})")
+    parser.add_argument("--model-array-backend", default=None, type=_array_backend_name,
+                        metavar="{auto," + ",".join(KNOWN_ARRAY_BACKENDS) + "}",
+                        help="array library the *model substrate* lives on "
+                             "(build_model(..., array_backend=...)): parameters, "
+                             "activations, gradients and optimizer state are "
+                             "device-resident on that backend; default is the "
+                             "pure-NumPy substrate")
     parser.add_argument("--async", dest="async_verification", action="store_true",
                         help="verify boundary checksums asynchronously on a worker "
                              "thread, off the critical path (fused backend only)")
+    parser.add_argument("--steps", type=int, default=4,
+                        help="optimisation steps for the train experiment")
     parser.add_argument("--trials", type=int, default=2, help="trials per cell for campaign experiments")
     parser.add_argument("--batch-size", type=int, default=8)
     parser.add_argument("--gpus", type=int, default=1024, help="GPU count for fig12")

@@ -471,7 +471,7 @@ class ProtectionEngine:
         backend: ArrayBackend,
     ) -> Optional[SectionOutcome]:
         # Gating already happened in protect_section via _section_active.
-        xp = backend.xp
+        xp = backend.namespace_for(out)
         x, w_q, w_k = ops["x"], ops["w_q"], ops["w_k"]
         num_rows = x.shape[-2]
         outcome = SectionOutcome(section="AS", layer_index=ctx.layer_index, step=ctx.step)
@@ -521,7 +521,7 @@ class ProtectionEngine:
         # At least one of CL/O is enabled (gated via _section_active); when
         # only O is, this boundary is visited solely to derive cs_cl_col.
         cl_enabled = state.enabled.get("CL", False)
-        xp = backend.xp
+        xp = backend.namespace_for(out)
         outcome = SectionOutcome(section="CL", layer_index=ctx.layer_index, step=ctx.step)
 
         cs_v_row = None
@@ -609,7 +609,7 @@ class ProtectionEngine:
             groups.setdefault(key, []).append(item)
 
         for (section, _shape, _backend_id), group in groups.items():
-            xp = group[0].backend.xp
+            xp = group[0].backend.namespace_for(group[0].matrix)
             with self._timed(f"{timer_prefix}{section}/detect", group[0].backend):
                 stacked = xp.stack([item.matrix for item in group])
                 col_reports = row_reports = None

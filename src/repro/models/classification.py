@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.models.config import ModelConfig
 from repro.nn.attention import AttentionHooks, MultiHeadAttention
 from repro.nn.layers import Dropout, Linear, TanhActivation
@@ -44,12 +45,13 @@ class SequenceClassifierOutput:
 class ClassificationHead(Module):
     """Pooler + classifier used by the encoder models (BERT / RoBERTa)."""
 
-    def __init__(self, hidden_size: int, num_labels: int, dropout_p: float, rng: np.random.Generator) -> None:
+    def __init__(self, hidden_size: int, num_labels: int, dropout_p: float,
+                 rng: np.random.Generator, backend: Optional[ArrayBackend] = None) -> None:
         super().__init__()
-        self.dense = Linear(hidden_size, hidden_size, rng=rng)
+        self.dense = Linear(hidden_size, hidden_size, rng=rng, backend=backend)
         self.activation = TanhActivation()
         self.dropout = Dropout(dropout_p, rng=rng)
-        self.out_proj = Linear(hidden_size, num_labels, rng=rng)
+        self.out_proj = Linear(hidden_size, num_labels, rng=rng, backend=backend)
 
     def forward(self, pooled: ag.Tensor) -> ag.Tensor:
         return self.out_proj(self.dropout(self.activation(self.dense(pooled))))
@@ -64,11 +66,18 @@ class SequenceClassificationModel(Module):
 
     * :meth:`attention_layers` — every :class:`MultiHeadAttention` in order;
     * :meth:`set_attention_hooks` — attach one hook object to all of them.
+
+    ``array_backend`` is the :class:`~repro.backend.ArrayBackend` the model's
+    parameters live on (``None`` = the NumPy substrate); subclasses thread it
+    into every layer so forward, backward and the optimiser update all run on
+    that backend.
     """
 
-    def __init__(self, config: ModelConfig) -> None:
+    def __init__(self, config: ModelConfig,
+                 array_backend: Optional[ArrayBackend] = None) -> None:
         super().__init__()
         self.config = config
+        self.array_backend = array_backend
         self.loss_fn = CrossEntropyLoss()
 
     # -- attention instrumentation ------------------------------------------------
@@ -102,7 +111,16 @@ class SequenceClassificationModel(Module):
         attention_mask: Optional[np.ndarray] = None,
         labels: Optional[np.ndarray] = None,
     ) -> SequenceClassifierOutput:
-        hidden = self.encode(np.asarray(input_ids, dtype=np.int64), attention_mask)
+        backend = self.array_backend
+        if backend is not None and backend.is_backend_array(input_ids):
+            # Native token ids stay put, but must still be integer (owning the
+            # array type says nothing about the dtype).
+            if not np.issubdtype(backend.dtype_of(input_ids), np.integer):
+                xp = backend.namespace_for(input_ids)
+                input_ids = xp.astype(input_ids, xp.int64, copy=False)
+        else:
+            input_ids = np.asarray(input_ids, dtype=np.int64)
+        hidden = self.encode(input_ids, attention_mask)
         pooled = self.pool(hidden, attention_mask)
         logits = self.classify(pooled)
         loss = None

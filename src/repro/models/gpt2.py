@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.models.classification import SequenceClassificationModel
 from repro.models.config import ModelConfig
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
@@ -43,13 +44,15 @@ def last_token_pool(hidden: ag.Tensor, attention_mask: Optional[np.ndarray]) -> 
 class GPT2ForSequenceClassification(SequenceClassificationModel):
     """GPT-2 decoder with a linear classification head on the last token."""
 
-    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__(config)
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None,
+                 array_backend: Optional[ArrayBackend] = None) -> None:
+        super().__init__(config, array_backend=array_backend)
         rng = rng if rng is not None else np.random.default_rng(0)
         d = config.hidden_size
+        backend = array_backend
 
-        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng)
-        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng)
+        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng, backend=backend)
+        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng, backend=backend)
         self.embedding_dropout = Dropout(config.dropout, rng=rng)
 
         self.layers = ModuleList(
@@ -63,15 +66,16 @@ class GPT2ForSequenceClassification(SequenceClassificationModel):
                     causal=True,
                     layer_index=i,
                     rng=rng,
+                    backend=backend,
                 )
                 for i in range(config.num_layers)
             ]
         )
-        self.final_norm = LayerNorm(d)
-        self.score = Linear(d, config.num_labels, rng=rng, bias=False)
+        self.final_norm = LayerNorm(d, backend=backend)
+        self.score = Linear(d, config.num_labels, rng=rng, bias=False, backend=backend)
 
     def encode(self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
-        batch, seq_len = input_ids.shape
+        batch, seq_len = (int(s) for s in input_ids.shape)
         positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
         hidden = ag.add(self.token_embeddings(input_ids), self.position_embeddings(positions))
         hidden = self.embedding_dropout(hidden)

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.models.classification import SequenceClassificationModel
 from repro.models.config import ModelConfig
 from repro.models.gpt2 import last_token_pool
@@ -27,13 +28,15 @@ __all__ = ["GPTNeoForSequenceClassification"]
 class GPTNeoForSequenceClassification(SequenceClassificationModel):
     """GPT-Neo decoder with a linear classification head on the last token."""
 
-    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__(config)
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None,
+                 array_backend: Optional[ArrayBackend] = None) -> None:
+        super().__init__(config, array_backend=array_backend)
         rng = rng if rng is not None else np.random.default_rng(0)
         d = config.hidden_size
+        backend = array_backend
 
-        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng)
-        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng)
+        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng, backend=backend)
+        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng, backend=backend)
         self.embedding_dropout = Dropout(config.dropout, rng=rng)
 
         self.layers = ModuleList(
@@ -52,15 +55,16 @@ class GPTNeoForSequenceClassification(SequenceClassificationModel):
                     ),
                     layer_index=i,
                     rng=rng,
+                    backend=backend,
                 )
                 for i in range(config.num_layers)
             ]
         )
-        self.final_norm = LayerNorm(d)
-        self.score = Linear(d, config.num_labels, rng=rng, bias=False)
+        self.final_norm = LayerNorm(d, backend=backend)
+        self.score = Linear(d, config.num_labels, rng=rng, bias=False, backend=backend)
 
     def encode(self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
-        batch, seq_len = input_ids.shape
+        batch, seq_len = (int(s) for s in input_ids.shape)
         positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
         hidden = ag.add(self.token_embeddings(input_ids), self.position_embeddings(positions))
         hidden = self.embedding_dropout(hidden)

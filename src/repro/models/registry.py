@@ -9,10 +9,11 @@ training-loss experiments (Tables 2 & 4, Figure 6, Section 5.2).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.models.bert import BertForSequenceClassification
 from repro.models.config import ModelConfig
 from repro.models.gpt2 import GPT2ForSequenceClassification
@@ -141,6 +142,7 @@ def build_model(
     size: str = "tiny",
     rng: Optional[np.random.Generator] = None,
     num_labels: Optional[int] = None,
+    array_backend: Union[None, str, ArrayBackend] = None,
     **overrides,
 ):
     """Instantiate a model by name.
@@ -156,6 +158,14 @@ def build_model(
         Generator for weight initialisation.
     num_labels:
         Override the classification head width.
+    array_backend:
+        Array backend the model substrate lives on: a registered backend name
+        (``"numpy"``, ``"torch"``, ``"cupy"``, ``"auto"``), an
+        :class:`~repro.backend.ArrayBackend` instance, or ``None`` for the
+        historical pure-NumPy substrate.  Weights are initialised on the host
+        from ``rng`` (identical for identical seeds on every backend) and
+        adopted once; forward, backward and optimiser updates then run
+        natively on the chosen backend.
     overrides:
         Any other :class:`ModelConfig` field to replace.
     """
@@ -165,5 +175,7 @@ def build_model(
         updates["num_labels"] = num_labels
     if updates:
         config = config.scaled(**updates)
+    if isinstance(array_backend, str):
+        array_backend = get_backend(array_backend)
     model_cls = MODEL_FAMILIES[config.family]
-    return model_cls(config, rng=rng)
+    return model_cls(config, rng=rng, array_backend=array_backend)

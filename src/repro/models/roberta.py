@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.models.classification import ClassificationHead, SequenceClassificationModel
 from repro.models.config import ModelConfig
 from repro.nn.layers import Dropout, Embedding, LayerNorm
@@ -26,14 +27,16 @@ __all__ = ["RobertaForSequenceClassification"]
 class RobertaForSequenceClassification(SequenceClassificationModel):
     """RoBERTa encoder with a sequence-classification head."""
 
-    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__(config)
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None,
+                 array_backend: Optional[ArrayBackend] = None) -> None:
+        super().__init__(config, array_backend=array_backend)
         rng = rng if rng is not None else np.random.default_rng(0)
         d = config.hidden_size
+        backend = array_backend
 
-        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng)
-        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng)
-        self.embedding_norm = LayerNorm(d)
+        self.token_embeddings = Embedding(config.vocab_size, d, rng=rng, backend=backend)
+        self.position_embeddings = Embedding(config.max_seq_len, d, rng=rng, backend=backend)
+        self.embedding_norm = LayerNorm(d, backend=backend)
         self.embedding_dropout = Dropout(config.dropout, rng=rng)
 
         self.layers = ModuleList(
@@ -47,14 +50,15 @@ class RobertaForSequenceClassification(SequenceClassificationModel):
                     causal=False,
                     layer_index=i,
                     rng=rng,
+                    backend=backend,
                 )
                 for i in range(config.num_layers)
             ]
         )
-        self.head = ClassificationHead(d, config.num_labels, config.dropout, rng)
+        self.head = ClassificationHead(d, config.num_labels, config.dropout, rng, backend=backend)
 
     def encode(self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray]) -> ag.Tensor:
-        batch, seq_len = input_ids.shape
+        batch, seq_len = (int(s) for s in input_ids.shape)
         positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
         embeddings = ag.add(self.token_embeddings(input_ids), self.position_embeddings(positions))
         hidden = self.embedding_dropout(self.embedding_norm(embeddings))

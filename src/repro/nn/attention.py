@@ -257,16 +257,19 @@ class RecordingHooks(AttentionHooks):
         self.copy = copy
         self.records: Dict[int, Dict[str, np.ndarray]] = {}
 
+    def _snapshot(self, data: np.ndarray) -> np.ndarray:
+        return backend_of(data).copy(data) if self.copy else data
+
     def on_attention_start(self, layer_index: int, step: int) -> None:
         self.records.setdefault(layer_index, {})
 
     def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
         name = ctx.op.output_matrix
-        self.records.setdefault(ctx.layer_index, {})[name] = out.copy() if self.copy else out
+        self.records.setdefault(ctx.layer_index, {})[name] = self._snapshot(out)
         return out
 
     def on_matrix(self, name: str, data: np.ndarray, layer_index: int, step: int) -> None:
-        self.records.setdefault(layer_index, {})[name] = data.copy() if self.copy else data
+        self.records.setdefault(layer_index, {})[name] = self._snapshot(data)
 
     def matrices(self, layer_index: int = 0) -> Dict[str, np.ndarray]:
         """All recorded matrices of one layer."""
@@ -297,6 +300,11 @@ class MultiHeadAttention(Module):
         (GPT-Neo's local-attention layers).
     rng:
         Generator used for weight init and dropout masks.
+    backend:
+        Optional :class:`repro.backend.ArrayBackend` the projection weights
+        adopt into at construction (``None`` = the NumPy substrate).  The
+        forward pass then runs natively on that backend; host-born data
+        (attention masks, dropout masks) is adopted at the op that uses it.
     """
 
     def __init__(
@@ -309,6 +317,7 @@ class MultiHeadAttention(Module):
         local_window: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         bias: bool = True,
+        backend: Optional[ArrayBackend] = None,
     ) -> None:
         super().__init__()
         if hidden_size % num_heads:
@@ -321,11 +330,12 @@ class MultiHeadAttention(Module):
         self.causal = causal
         self.local_window = local_window
         self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.array_backend = backend
 
-        self.w_q = Linear(hidden_size, hidden_size, rng=rng, bias=bias)
-        self.w_k = Linear(hidden_size, hidden_size, rng=rng, bias=bias)
-        self.w_v = Linear(hidden_size, hidden_size, rng=rng, bias=bias)
-        self.w_o = Linear(hidden_size, hidden_size, rng=rng, bias=bias)
+        self.w_q = Linear(hidden_size, hidden_size, rng=rng, bias=bias, backend=backend)
+        self.w_k = Linear(hidden_size, hidden_size, rng=rng, bias=bias, backend=backend)
+        self.w_v = Linear(hidden_size, hidden_size, rng=rng, bias=bias, backend=backend)
+        self.w_o = Linear(hidden_size, hidden_size, rng=rng, bias=bias, backend=backend)
         self.attn_dropout = Dropout(dropout_p, rng=rng)
         self.out_dropout = Dropout(dropout_p, rng=rng)
 
@@ -381,6 +391,13 @@ class MultiHeadAttention(Module):
                 )
                 out = hooks.on_gemm_output(ctx, out)
             if section is not None:
+                # Prefer the substrate's own backend handle when it owns the
+                # boundary output: a wrapper backend (spy, pinned instance)
+                # would be lost by type-keyed resolution, which can only find
+                # the registry's canonical instance for the array type.
+                own = self.array_backend
+                if own is None or not own.is_backend_array(out):
+                    own = backend_of(out)
                 sctx = SectionContext(
                     section=section,
                     operands=section_operands or {},
@@ -389,7 +406,7 @@ class MultiHeadAttention(Module):
                     num_heads=num_heads,
                     head_dim=head_dim,
                     seq_len=out.shape[-2],
-                    backend=backend_of(out),
+                    backend=own,
                 )
                 out = hooks.on_section_output(sctx, out)
             return out

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.nn.attention import AttentionHooks, MultiHeadAttention
 from repro.nn.layers import Dropout, GELUActivation, LayerNorm, Linear
 from repro.nn.module import Module
@@ -30,12 +31,13 @@ class FeedForward(Module):
         intermediate_size: int,
         dropout_p: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        backend: Optional[ArrayBackend] = None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
-        self.fc_in = Linear(hidden_size, intermediate_size, rng=rng)
+        self.fc_in = Linear(hidden_size, intermediate_size, rng=rng, backend=backend)
         self.act = GELUActivation()
-        self.fc_out = Linear(intermediate_size, hidden_size, rng=rng)
+        self.fc_out = Linear(intermediate_size, hidden_size, rng=rng, backend=backend)
         self.dropout = Dropout(dropout_p, rng=rng)
 
     def forward(self, x: ag.Tensor) -> ag.Tensor:
@@ -64,6 +66,7 @@ class TransformerLayer(Module):
         local_window: Optional[int] = None,
         layer_index: int = 0,
         rng: Optional[np.random.Generator] = None,
+        backend: Optional[ArrayBackend] = None,
     ) -> None:
         super().__init__()
         if norm_style not in ("post_ln", "pre_ln"):
@@ -78,10 +81,11 @@ class TransformerLayer(Module):
             causal=causal,
             local_window=local_window,
             rng=rng,
+            backend=backend,
         )
-        self.attn_norm = LayerNorm(hidden_size)
-        self.ffn = FeedForward(hidden_size, intermediate_size, dropout_p=dropout_p, rng=rng)
-        self.ffn_norm = LayerNorm(hidden_size)
+        self.attn_norm = LayerNorm(hidden_size, backend=backend)
+        self.ffn = FeedForward(hidden_size, intermediate_size, dropout_p=dropout_p, rng=rng, backend=backend)
+        self.ffn_norm = LayerNorm(hidden_size, backend=backend)
         self.dropout = Dropout(dropout_p, rng=rng)
 
     def set_hooks(self, hooks: Optional[AttentionHooks]) -> None:

@@ -1,15 +1,38 @@
-"""A small reverse-mode automatic differentiation engine on NumPy.
+"""A small reverse-mode automatic differentiation engine on pluggable array backends.
 
 The engine provides everything the transformer models in :mod:`repro.models`
 need — and nothing more:
 
-* :class:`Tensor` wraps an ``ndarray`` and records the operation that produced
-  it (its parents plus a backward closure).
+* :class:`Tensor` wraps an array owned by one :class:`repro.backend.ArrayBackend`
+  (NumPy by default; CuPy / Torch when the model substrate is built on them)
+  and records the operation that produced it (its parents plus a backward
+  closure).
 * :func:`Tensor.backward` runs a topological sort of the recorded DAG and
   accumulates gradients into every tensor with ``requires_grad=True``.
 * A library of differentiable operations (GEMM, softmax, GELU, layer norm,
-  embedding lookup, dropout, reshaping) built on the pure kernels in
-  :mod:`repro.tensor.ops`.
+  embedding lookup, dropout, reshaping) built on the pure backend-generic
+  kernels in :mod:`repro.tensor.ops`.
+
+Array backends
+--------------
+Every :class:`Tensor` carries the backend that owns its array (the same seam
+:class:`repro.nn.attention.SectionContext` uses), and every operation
+dispatches through that backend's ``xp`` namespace.  The rules that keep the
+whole graph device-resident:
+
+* children inherit the owning backend of their parents, so one adoption at the
+  model boundary (parameters at init, token ids at the embedding lookup)
+  carries through forward, backward and the optimizer update without host
+  round-trips;
+* the root gradient of :func:`Tensor.backward` is seeded with the owning
+  namespace's ``ones_like`` — never host NumPy;
+* host-side data (Python scalars, freshly drawn dropout masks, attention
+  masks) is adopted into the owning backend exactly once, at the operation
+  that consumes it.
+
+On the NumPy backend every operation executes the identical op sequence of
+the historical pure-NumPy engine, so results are byte-identical to earlier
+releases (pinned by the seed-output goldens in the test suite).
 
 ABFT / fault-injection integration
 ----------------------------------
@@ -24,10 +47,11 @@ mirrors how the paper instruments the CUDA GEMMs at the operation boundary.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, backend_of, namespace_of
 from repro.tensor import ops
 
 __all__ = [
@@ -58,7 +82,7 @@ __all__ = [
     "cross_entropy_loss",
 ]
 
-ArrayLike = Union[float, int, np.ndarray, "Tensor"]
+ArrayLike = Union[float, int, np.ndarray, "Tensor", Any]
 
 _GRAD_ENABLED = True
 
@@ -81,12 +105,12 @@ def is_grad_enabled() -> bool:
 
 
 class Tensor:
-    """An ``ndarray`` with an autograd tape.
+    """A backend-owned array with an autograd tape.
 
     Parameters
     ----------
     data:
-        Array data (copied to ``float64`` unless already floating).
+        Array data.  Non-floating input is cast to ``float64``.
     requires_grad:
         Whether gradients should be accumulated into this tensor.
     parents:
@@ -97,58 +121,76 @@ class Tensor:
     name:
         Optional human-readable tag used in error messages and by the fault
         tracer to identify matrices (e.g. ``"Q"``, ``"AS"``).
+    backend:
+        The :class:`repro.backend.ArrayBackend` owning ``data``.  ``None``
+        (default) resolves it from ``data``'s type; foreign data passed with
+        an explicit backend is adopted into that backend's array type.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name", "backend")
 
     def __init__(
         self,
         data: ArrayLike,
         requires_grad: bool = False,
         parents: Sequence["Tensor"] = (),
-        backward_fn: Optional[Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]]] = None,
+        backward_fn: Optional[Callable[[Any], Tuple[Optional[Any], ...]]] = None,
         name: Optional[str] = None,
+        backend: Optional[ArrayBackend] = None,
     ) -> None:
         if isinstance(data, Tensor):
+            if backend is None:
+                backend = data.backend
             data = data.data
-        arr = np.asarray(data)
-        if not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(np.float64)
-        self.data: np.ndarray = arr
-        self.grad: Optional[np.ndarray] = None
+        if backend is None:
+            backend = backend_of(data)
+        arr = data if backend.is_backend_array(data) else backend.asarray(data)
+        if not np.issubdtype(backend.dtype_of(arr), np.floating):
+            xp = backend.namespace_for(arr)
+            arr = xp.astype(arr, xp.float64)
+        self.data: Any = arr
+        self.grad: Optional[Any] = None
         self.requires_grad = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = tuple(parents)
         self._backward_fn = backward_fn
         self.name = name
+        self.backend = backend
 
     # -- basic protocol -----------------------------------------------------
 
     @property
     def shape(self) -> Tuple[int, ...]:
-        return self.data.shape
+        return tuple(self.data.shape)
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return len(self.data.shape)
 
     @property
     def dtype(self) -> np.dtype:
-        return self.data.dtype
+        """Canonical NumPy dtype of the underlying array (on any backend)."""
+        return self.backend.dtype_of(self.data)
 
     @property
     def size(self) -> int:
-        return self.data.size
+        return int(np.prod(self.data.shape, dtype=np.int64))
+
+    @property
+    def xp(self) -> Any:
+        """The owning backend's function namespace, bound to this array."""
+        return self.backend.namespace_for(self.data)
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying array (no copy)."""
-        return self.data
+        """Export the underlying array to host NumPy (a d2h copy on device
+        backends; the array itself on the NumPy reference)."""
+        return self.backend.to_numpy(self.data)
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        return float(self.data.reshape(-1)[0]) if self.size == 1 else float(self.data)
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False, name=self.name)
+        return Tensor(self.data, requires_grad=False, name=self.name, backend=self.backend)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -160,20 +202,51 @@ class Tensor:
     # -- graph construction helpers ------------------------------------------
 
     @staticmethod
-    def _wrap(value: ArrayLike) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(np.asarray(value, dtype=np.float64))
+    def _wrap(value: ArrayLike, backend: Optional[ArrayBackend] = None) -> "Tensor":
+        """Wrap a raw operand; host data adopts into ``backend`` when given.
+
+        Scalars and host arrays meeting a device-resident tensor are adopted
+        into its backend here, once, so the binary kernels never mix array
+        libraries.  Host-resident backends recognise the NumPy wrap as already
+        native, so the NumPy path performs no adoption call at all.
+        """
+        if isinstance(value, Tensor):
+            return value
+        if backend is None:
+            return Tensor(np.asarray(value, dtype=np.float64))
+        if backend.is_backend_array(value):
+            # Raw operands wrap as float64, like the host path always did.
+            xp = backend.namespace_for(value)
+            return Tensor(xp.astype(value, xp.float64, copy=False), backend=backend)
+        host = np.asarray(value, dtype=np.float64)
+        if backend.is_backend_array(host):
+            return Tensor(host, backend=backend)
+        return Tensor(backend.asarray(host), backend=backend)
+
+    @staticmethod
+    def _wrap_pair(a: ArrayLike, b: ArrayLike) -> Tuple["Tensor", "Tensor"]:
+        """Wrap both operands of a binary op, sharing the owning backend."""
+        if isinstance(a, Tensor):
+            return a, Tensor._wrap(b, backend=a.backend)
+        if isinstance(b, Tensor):
+            return Tensor._wrap(a, backend=b.backend), b
+        return Tensor._wrap(a), Tensor._wrap(b)
 
     def _make_child(
         self,
-        data: np.ndarray,
+        data: Any,
         parents: Sequence["Tensor"],
-        backward_fn: Callable[[np.ndarray], Tuple[Optional[np.ndarray], ...]],
+        backward_fn: Callable[[Any], Tuple[Optional[Any], ...]],
         name: Optional[str] = None,
     ) -> "Tensor":
+        backend = _owning_backend(parents, data)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not requires:
-            return Tensor(data, requires_grad=False, name=name)
-        return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn, name=name)
+            return Tensor(data, requires_grad=False, name=name, backend=backend)
+        return Tensor(
+            data, requires_grad=True, parents=parents, backward_fn=backward_fn,
+            name=name, backend=backend,
+        )
 
     # -- operators -----------------------------------------------------------
 
@@ -186,7 +259,7 @@ class Tensor:
         return sub(self, other)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return sub(Tensor._wrap(other), self)
+        return sub(Tensor._wrap(other, backend=self.backend), self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         return mul(self, other)
@@ -197,7 +270,7 @@ class Tensor:
         return div(self, other)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return div(Tensor._wrap(other), self)
+        return div(Tensor._wrap(other, backend=self.backend), self)
 
     def __neg__(self) -> "Tensor":
         return mul(self, -1.0)
@@ -219,20 +292,30 @@ class Tensor:
 
     # -- backward ------------------------------------------------------------
 
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(self, grad: Optional[Any] = None) -> None:
         """Back-propagate from this tensor through the recorded graph.
 
-        ``grad`` defaults to ones (appropriate for scalar losses).  Gradients
-        accumulate (+=) into every reachable tensor with
+        ``grad`` defaults to ones (appropriate for scalar losses), seeded on
+        the owning backend so device-resident graphs stay device-resident.
+        Gradients accumulate (+=) into every reachable tensor with
         ``requires_grad=True``, matching the PyTorch convention so gradient
         accumulation across micro-batches works naturally.
         """
+        xp = self.xp
         if grad is None:
-            grad = np.ones_like(self.data, dtype=np.float64)
-        grad = np.asarray(grad, dtype=self.data.dtype if np.issubdtype(self.data.dtype, np.floating) else np.float64)
-        if grad.shape != self.data.shape:
+            grad = xp.ones_like(self.data)
+        elif not self.backend.is_backend_array(grad):
+            # Adopt through the device-bound namespace so an explicit host
+            # gradient lands beside this tensor's data, not on the backend's
+            # default device.
+            grad = xp.asarray(grad)
+        dtype = self.dtype
+        target = dtype if np.issubdtype(dtype, np.floating) else np.dtype(np.float64)
+        if self.backend.dtype_of(grad) != target:
+            grad = xp.astype(grad, getattr(xp, target.name), copy=False)
+        if tuple(grad.shape) != self.shape:
             raise ValueError(
-                f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+                f"gradient shape {tuple(grad.shape)} does not match tensor shape {self.shape}"
             )
 
         topo: List[Tensor] = []
@@ -269,11 +352,28 @@ class Tensor:
                     grads[key] = pgrad
 
 
+def _owning_backend(parents: Sequence[Tensor], data: Any) -> ArrayBackend:
+    """The backend a freshly computed array belongs to.
+
+    The first parent whose backend natively owns ``data`` wins — this is what
+    keeps a registered wrapper backend (a spy around NumPy, a pinned Torch
+    instance) attached through an operation chain, since resolving by type
+    alone would fall back to the base library's registry entry.
+    """
+    for parent in parents:
+        if parent.backend.is_backend_array(data):
+            return parent.backend
+    return backend_of(data)
+
+
 def tensor(
-    data: ArrayLike, requires_grad: bool = False, name: Optional[str] = None
+    data: ArrayLike,
+    requires_grad: bool = False,
+    name: Optional[str] = None,
+    backend: Optional[ArrayBackend] = None,
 ) -> Tensor:
     """Convenience constructor mirroring ``torch.tensor``."""
-    return Tensor(data, requires_grad=requires_grad, name=name)
+    return Tensor(data, requires_grad=requires_grad, name=name, backend=backend)
 
 
 # ---------------------------------------------------------------------------
@@ -282,10 +382,10 @@ def tensor(
 
 def add(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise addition with broadcasting."""
-    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    a, b = Tensor._wrap_pair(a, b)
     out = a.data + b.data
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return ops.unbroadcast(grad, a.shape), ops.unbroadcast(grad, b.shape)
 
     return a._make_child(out, (a, b), backward)
@@ -293,10 +393,10 @@ def add(a: ArrayLike, b: ArrayLike) -> Tensor:
 
 def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise subtraction with broadcasting."""
-    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    a, b = Tensor._wrap_pair(a, b)
     out = a.data - b.data
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return ops.unbroadcast(grad, a.shape), ops.unbroadcast(-grad, b.shape)
 
     return a._make_child(out, (a, b), backward)
@@ -304,10 +404,10 @@ def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
 
 def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise multiplication with broadcasting."""
-    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    a, b = Tensor._wrap_pair(a, b)
     out = a.data * b.data
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (
             ops.unbroadcast(grad * b.data, a.shape),
             ops.unbroadcast(grad * a.data, b.shape),
@@ -318,10 +418,10 @@ def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
 
 def div(a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise division with broadcasting."""
-    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    a, b = Tensor._wrap_pair(a, b)
     out = a.data / b.data
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (
             ops.unbroadcast(grad / b.data, a.shape),
             ops.unbroadcast(-grad * a.data / (b.data**2), b.shape),
@@ -337,7 +437,7 @@ def div(a: ArrayLike, b: ArrayLike) -> Tensor:
 def matmul(
     a: ArrayLike,
     b: ArrayLike,
-    forward_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    forward_hook: Optional[Callable[[Any], Any]] = None,
     name: Optional[str] = None,
 ) -> Tensor:
     """Batched matrix multiplication ``a @ b`` with an optional forward hook.
@@ -348,12 +448,12 @@ def matmul(
     touching gradient computation, because the matmul backward only needs the
     *inputs*.
     """
-    a, b = Tensor._wrap(a), Tensor._wrap(b)
+    a, b = Tensor._wrap_pair(a, b)
     out = ops.batched_matmul(a.data, b.data)
     if forward_hook is not None:
         out = forward_hook(out)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return ops.matmul_backward(grad, a.data, b.data)
 
     return a._make_child(out, (a, b), backward, name=name)
@@ -368,7 +468,7 @@ def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
     x = Tensor._wrap(x)
     out = ops.softmax(x.data, axis=axis)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (ops.softmax_backward(grad, out, axis=axis),)
 
     return x._make_child(out, (x,), backward)
@@ -379,7 +479,7 @@ def log_softmax(x: ArrayLike, axis: int = -1) -> Tensor:
     x = Tensor._wrap(x)
     out = ops.log_softmax(x.data, axis=axis)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (ops.log_softmax_backward(grad, out, axis=axis),)
 
     return x._make_child(out, (x,), backward)
@@ -394,7 +494,7 @@ def gelu(x: ArrayLike) -> Tensor:
     x = Tensor._wrap(x)
     out = ops.gelu(x.data)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (ops.gelu_backward(grad, x.data),)
 
     return x._make_child(out, (x,), backward)
@@ -405,7 +505,7 @@ def relu(x: ArrayLike) -> Tensor:
     x = Tensor._wrap(x)
     out = ops.relu(x.data)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (ops.relu_backward(grad, x.data),)
 
     return x._make_child(out, (x,), backward)
@@ -416,7 +516,7 @@ def tanh(x: ArrayLike) -> Tensor:
     x = Tensor._wrap(x)
     out = ops.tanh(x.data)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (ops.tanh_backward(grad, out),)
 
     return x._make_child(out, (x,), backward)
@@ -428,10 +528,12 @@ def tanh(x: ArrayLike) -> Tensor:
 
 def layer_norm(x: ArrayLike, gamma: ArrayLike, beta: ArrayLike, eps: float = 1e-5) -> Tensor:
     """Differentiable layer normalisation over the last axis."""
-    x, gamma, beta = Tensor._wrap(x), Tensor._wrap(gamma), Tensor._wrap(beta)
+    x = Tensor._wrap(x)
+    gamma = Tensor._wrap(gamma, backend=x.backend)
+    beta = Tensor._wrap(beta, backend=x.backend)
     out, x_hat, inv_std = ops.layer_norm(x.data, gamma.data, beta.data, eps=eps)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         dx, dgamma, dbeta = ops.layer_norm_backward(grad, x_hat, inv_std, gamma.data)
         return dx, dgamma, dbeta
 
@@ -442,14 +544,16 @@ def dropout(x: ArrayLike, p: float, rng: np.random.Generator, training: bool = T
     """Differentiable inverted dropout.
 
     In eval mode (``training=False``) or with ``p == 0`` this is the identity.
+    The mask is drawn on the host from ``rng`` (backend-independent
+    reproducibility) and adopted into the owning backend's array type.
     """
     x = Tensor._wrap(x)
     if not training or p == 0.0:
         return x
-    mask = ops.dropout_mask(x.shape, p, rng)
+    mask = ops.dropout_mask(x.shape, p, rng, xp=x.xp)
     out = x.data * mask
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (grad * mask,)
 
     return x._make_child(out, (x,), backward)
@@ -459,20 +563,26 @@ def dropout(x: ArrayLike, p: float, rng: np.random.Generator, training: bool = T
 # Embedding lookup
 # ---------------------------------------------------------------------------
 
-def embedding(weight: ArrayLike, indices: np.ndarray) -> Tensor:
+def embedding(weight: ArrayLike, indices: Any) -> Tensor:
     """Differentiable embedding lookup ``weight[indices]``.
 
-    ``indices`` is a plain integer array (no gradient flows into it); the
-    gradient w.r.t. ``weight`` scatters the output gradient back to the
-    looked-up rows.
+    ``indices`` is a plain integer array (no gradient flows into it), adopted
+    into the weight's backend once — the h2d crossing of the input batch on
+    device substrates.  The gradient w.r.t. ``weight`` scatters the output
+    gradient back to the looked-up rows.
     """
     weight = Tensor._wrap(weight)
-    idx = np.asarray(indices)
+    idx = indices if weight.backend.is_backend_array(indices) else np.asarray(indices)
+    if not weight.backend.is_backend_array(idx):
+        # The weight's device-bound namespace, so the ids land beside the
+        # table (not on the backend's default device).
+        idx = weight.xp.asarray(idx)
     out = weight.data[idx]
 
-    def backward(grad: np.ndarray):
-        dw = np.zeros_like(weight.data)
-        np.add.at(dw, idx.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
+    def backward(grad):
+        xp = weight.xp
+        dw = xp.zeros_like(weight.data)
+        xp.add_at(dw, idx.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
         return (dw,)
 
     return weight._make_child(out, (weight,), backward)
@@ -488,7 +598,7 @@ def reshape(x: ArrayLike, shape: Sequence[int]) -> Tensor:
     original = x.shape
     out = x.data.reshape(shape)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         return (grad.reshape(original),)
 
     return x._make_child(out, (x,), backward)
@@ -497,14 +607,14 @@ def reshape(x: ArrayLike, shape: Sequence[int]) -> Tensor:
 def transpose(x: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
     """Differentiable transpose / axis permutation."""
     x = Tensor._wrap(x)
-    out = np.transpose(x.data, axes)
+    out = x.xp.transpose(x.data, axes)
     if axes is None:
         inverse = None
     else:
-        inverse = np.argsort(axes)
+        inverse = tuple(int(i) for i in np.argsort(axes))
 
-    def backward(grad: np.ndarray):
-        return (np.transpose(grad, inverse),)
+    def backward(grad):
+        return (namespace_of(grad).transpose(grad, inverse),)
 
     return x._make_child(out, (x,), backward)
 
@@ -513,15 +623,15 @@ def concat(tensors: Iterable[ArrayLike], axis: int = -1) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     wrapped = [Tensor._wrap(t) for t in tensors]
     datas = [t.data for t in wrapped]
-    out = np.concatenate(datas, axis=axis)
-    sizes = [d.shape[axis] for d in datas]
+    out = wrapped[0].xp.concatenate(datas, axis=axis)
+    sizes = [int(d.shape[axis]) for d in datas]
     offsets = np.cumsum([0] + sizes)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         pieces = []
         for i in range(len(datas)):
-            slicer = [slice(None)] * grad.ndim
-            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            slicer = [slice(None)] * len(grad.shape)
+            slicer[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
             pieces.append(grad[tuple(slicer)])
         return tuple(pieces)
 
@@ -551,47 +661,54 @@ def merge_heads(x: ArrayLike) -> Tensor:
 def sum(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
     """Differentiable sum reduction."""
     x = Tensor._wrap(x)
-    out = x.data.sum(axis=axis, keepdims=keepdims)
+    xp = x.xp
+    out = xp.sum(x.data, axis=axis, keepdims=keepdims)
 
-    def backward(grad: np.ndarray):
-        g = np.asarray(grad)
+    def backward(grad):
+        gxp = namespace_of(grad)
+        g = grad
         if axis is not None and not keepdims:
-            g = np.expand_dims(g, axis=axis)
-        return (np.broadcast_to(g, x.shape).copy(),)
+            g = gxp.expand_dims(g, axis=axis)
+        return (gxp.copy(gxp.broadcast_to(g, x.shape)),)
 
-    return x._make_child(np.asarray(out), (x,), backward)
+    return x._make_child(xp.asarray(out), (x,), backward)
 
 
 def mean(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
     """Differentiable mean reduction."""
     x = Tensor._wrap(x)
-    out = x.data.mean(axis=axis, keepdims=keepdims)
+    xp = x.xp
+    out = xp.mean(x.data, axis=axis, keepdims=keepdims)
     if axis is None:
-        count = x.data.size
+        count = x.size
     else:
         axes = (axis,) if isinstance(axis, int) else tuple(axis)
         count = int(np.prod([x.shape[a] for a in axes]))
 
-    def backward(grad: np.ndarray):
-        g = np.asarray(grad)
+    def backward(grad):
+        gxp = namespace_of(grad)
+        g = grad
         if axis is not None and not keepdims:
-            g = np.expand_dims(g, axis=axis)
-        return (np.broadcast_to(g, x.shape).copy() / count,)
+            g = gxp.expand_dims(g, axis=axis)
+        return (gxp.copy(gxp.broadcast_to(g, x.shape)) / count,)
 
-    return x._make_child(np.asarray(out), (x,), backward)
+    return x._make_child(xp.asarray(out), (x,), backward)
 
 
-def cross_entropy_loss(logits: ArrayLike, labels: np.ndarray) -> Tensor:
+def cross_entropy_loss(logits: ArrayLike, labels: Any) -> Tensor:
     """Mean cross-entropy loss of ``logits`` (N, C) against int ``labels`` (N,).
 
     Implemented as a fused op (softmax + NLL) with the classic analytic
-    gradient ``(softmax - onehot)/N`` for numerical stability.
+    gradient ``(softmax - onehot)/N`` for numerical stability.  The loss value
+    is a host scalar (reading it is the one d2h sync of a device-resident
+    training step, as in any real training loop's ``loss.item()``).
     """
     logits = Tensor._wrap(logits)
-    labels = np.asarray(labels)
+    if not logits.backend.is_backend_array(labels):
+        labels = np.asarray(labels)
     loss_value = ops.cross_entropy(logits.data, labels)
 
-    def backward(grad: np.ndarray):
+    def backward(grad):
         g = float(np.asarray(grad))
         return (g * ops.cross_entropy_backward(logits.data, labels),)
 

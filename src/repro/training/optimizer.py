@@ -2,13 +2,20 @@
 
 AdamW is the optimiser used for the GLUE fine-tuning runs the paper evaluates;
 SGD is provided for the unit tests and as a cheaper baseline.  Both operate on
-the :class:`repro.nn.Parameter` leaves of a model and keep their state in plain
-NumPy arrays so it can be checkpointed alongside the weights.
+the :class:`repro.nn.Parameter` leaves of a model and keep their moment /
+velocity slots **on each parameter's owning array backend** — a device-resident
+model's optimiser state never round-trips through host memory, and the update
+itself runs through the backend's own array math.
+
+``state_dict`` / ``load_state_dict`` likewise move values through the owning
+backend: snapshots stay backend-native (the trainer's in-memory rollback
+window keeps device state on device), and loading adopts foreign values (host
+arrays from an on-disk checkpoint) back into each parameter's backend.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -38,11 +45,24 @@ class Optimizer:
 
     # -- checkpointing ------------------------------------------------------------
 
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def _copy_slot(self, index: int, value: Any) -> Any:
+        """A backend-native copy of one per-parameter state slot.
+
+        Values foreign to the parameter's backend (host arrays loaded from an
+        ``.npz`` checkpoint) are adopted first; native values are just deep
+        copied, so snapshot/restore of a device-resident optimiser stays on
+        the device.
+        """
+        backend = self.parameters[index].backend
+        if not backend.is_backend_array(value):
+            value = backend.asarray(value)
+        return backend.copy(value)
+
+    def state_dict(self) -> Dict[str, Any]:
         """Serialisable optimiser state (step count + per-parameter slots)."""
         return {"step_count": np.asarray(self.step_count)}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
         self.step_count = int(state.get("step_count", 0))
 
 
@@ -61,7 +81,7 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._velocity: List[Optional[Any]] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self.step_count += 1
@@ -73,23 +93,23 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * p.data
             if self.momentum:
                 if self._velocity[i] is None:
-                    self._velocity[i] = np.zeros_like(p.data)
+                    self._velocity[i] = p.xp.zeros_like(p.data)
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             p.data = p.data - self.lr * grad
 
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()
         for i, v in enumerate(self._velocity):
             if v is not None:
-                state[f"velocity.{i}"] = v.copy()
+                state[f"velocity.{i}"] = self._copy_slot(i, v)
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
         super().load_state_dict(state)
         for i in range(len(self.parameters)):
             key = f"velocity.{i}"
-            self._velocity[i] = state[key].copy() if key in state else None
+            self._velocity[i] = self._copy_slot(i, state[key]) if key in state else None
 
 
 class AdamW(Optimizer):
@@ -110,8 +130,8 @@ class AdamW(Optimizer):
         self.beta1, self.beta2 = beta1, beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m: List[Optional[np.ndarray]] = [None] * len(self.parameters)
-        self._v: List[Optional[np.ndarray]] = [None] * len(self.parameters)
+        self._m: List[Optional[Any]] = [None] * len(self.parameters)
+        self._v: List[Optional[Any]] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self.step_count += 1
@@ -123,27 +143,27 @@ class AdamW(Optimizer):
                 continue
             grad = p.grad
             if self._m[i] is None:
-                self._m[i] = np.zeros_like(p.data)
-                self._v[i] = np.zeros_like(p.data)
+                self._m[i] = p.xp.zeros_like(p.data)
+                self._v[i] = p.xp.zeros_like(p.data)
             self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
             self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
             m_hat = self._m[i] / bias_c1
             v_hat = self._v[i] / bias_c2
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            update = m_hat / (p.xp.sqrt(v_hat) + self.eps)
             if self.weight_decay:
                 update = update + self.weight_decay * p.data
             p.data = p.data - self.lr * update
 
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()
         for i in range(len(self.parameters)):
             if self._m[i] is not None:
-                state[f"m.{i}"] = self._m[i].copy()
-                state[f"v.{i}"] = self._v[i].copy()
+                state[f"m.{i}"] = self._copy_slot(i, self._m[i])
+                state[f"v.{i}"] = self._copy_slot(i, self._v[i])
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
         super().load_state_dict(state)
         for i in range(len(self.parameters)):
-            self._m[i] = state[f"m.{i}"].copy() if f"m.{i}" in state else None
-            self._v[i] = state[f"v.{i}"].copy() if f"v.{i}" in state else None
+            self._m[i] = self._copy_slot(i, state[f"m.{i}"]) if f"m.{i}" in state else None
+            self._v[i] = self._copy_slot(i, state[f"v.{i}"]) if f"v.{i}" in state else None

@@ -35,6 +35,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import backend_of, namespace_of
 from repro.core.attention_checker import ATTNChecker
 from repro.core.engine import SectionOutcome
 from repro.nn.attention import AttentionHooks, ComposedHooks
@@ -102,14 +103,17 @@ def clip_gradients(model: Module, max_norm: float) -> float:
 
     Non-finite gradients are left untouched so a genuinely corrupted backward
     pass still surfaces as a non-trainable state rather than being silently
-    zeroed — matching how real training stacks hit NaN losses.
+    zeroed — matching how real training stacks hit NaN losses.  The square
+    sums run on each gradient's owning backend; only the accumulated scalar
+    crosses to the host.
     """
     grads = [p.grad for p in model.parameters() if p.grad is not None]
     if not grads:
         return 0.0
     total = 0.0
     for g in grads:
-        total += float(np.sum(g.astype(np.float64) ** 2))
+        xp = namespace_of(g)
+        total += float(xp.sum(xp.astype(g, xp.float64) ** 2))
     norm = math.sqrt(total)
     if not math.isfinite(norm):
         return norm
@@ -233,7 +237,9 @@ class Trainer:
             )
         # Rollback window for the stale re-execution policy: in-memory
         # (step, model_state, optimizer_state) snapshots, oldest first.
-        self._stale_snapshots: Deque[Tuple[int, Dict[str, np.ndarray], Dict[str, np.ndarray]]] = deque()
+        # State dicts are backend-native, so a device-resident model's
+        # rollback window stays on the device.
+        self._stale_snapshots: Deque[Tuple[int, Dict[str, object], Dict[str, object]]] = deque()
 
     @property
     def array_backend(self) -> str:
@@ -243,12 +249,19 @@ class Trainer:
         attention layers produce (the default); a concrete name means the
         fused engine is pinned to that registered backend and any
         host/device copies it pays are visible as
-        ``checker.transfer_seconds()``.  ``"numpy"`` when no checker is
-        attached (the model substrate itself is NumPy).
+        ``checker.transfer_seconds()``.  Without a checker this is the model
+        substrate's own backend (see :attr:`model_array_backend`).
         """
         if self.checker is None:
-            return "numpy"
+            return self.model_array_backend
         return self.checker.array_backend_name
+
+    @property
+    def model_array_backend(self) -> str:
+        """Name of the array backend the model substrate's parameters live on
+        (``"numpy"`` for the historical pure-NumPy substrate)."""
+        backend = getattr(self.model, "array_backend", None)
+        return "numpy" if backend is None else backend.name
 
     def _stale_snapshot_window(self) -> int:
         """Snapshots to retain for stale rollback (0 disables snapshotting)."""
@@ -279,7 +292,9 @@ class Trainer:
         return loss_value
 
     def _weights_healthy(self) -> bool:
-        return all(np.isfinite(p.data).all() for p in self.model.parameters())
+        return all(
+            bool(p.xp.all(p.xp.isfinite(p.data))) for p in self.model.parameters()
+        )
 
     def _rollback_to_clean_state(self) -> bool:
         """Restore the oldest retained stale-window snapshot (pre-fault).
@@ -486,7 +501,10 @@ class Trainer:
                 labels=batch["labels"],
             )
             losses.append(output.loss_value)
-            predictions = np.argmax(output.logits.data, axis=-1)
+            logits = output.logits.data
+            predictions = namespace_of(logits).argmax(logits, axis=-1)
+            if not isinstance(predictions, np.ndarray):
+                predictions = backend_of(logits).to_numpy(predictions)
             correct += int((predictions == batch["labels"]).sum())
             total += len(batch["labels"])
         self.model.train()

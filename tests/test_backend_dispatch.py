@@ -202,6 +202,16 @@ class TestKernelEquivalence:
             ops.gelu_backward(g_host, x_host), rtol=1e-5, atol=1e-6,
         )
 
+    def test_full_reductions_honor_keepdims(self, name, dtype):
+        """NumPy semantics: ``axis=None, keepdims=True`` keeps every axis as 1
+        (Torch's native reductions silently drop it)."""
+        xp = get_backend(name).xp
+        _host, dev = self._pair(name, dtype, (2, 3, 4), seed=7)
+        for fn in ("sum", "mean", "var", "max", "min"):
+            assert tuple(getattr(xp, fn)(dev, keepdims=True).shape) == (1, 1, 1), fn
+        assert tuple(xp.any(dev > 0, keepdims=True).shape) == (1, 1, 1)
+        assert tuple(xp.all(xp.isfinite(dev), keepdims=True).shape) == (1, 1, 1)
+
     def test_cross_entropy_matches(self, name, dtype):
         backend = get_backend(name)
         logits_host, logits_dev = self._pair(name, dtype, (6, 3), seed=6)
@@ -548,6 +558,147 @@ def test_pinned_foreign_timer_keys_present_after_pass(sim_foreign_backend):
     assert XFER_D2H in keys          # the repaired boundary was written back
     assert checker.transfer_seconds() >= 0.0
     assert checker.stats.total_corrections > 0
+
+
+# ---------------------------------------------------------------------------
+# Creation-follows-input: per-device namespace binding
+# ---------------------------------------------------------------------------
+
+class _TaggedArray(np.ndarray):
+    """Array type of the device-tagged backend; carries a ``device`` label."""
+
+    device = "dev0"
+
+
+class _TaggedNamespace:
+    """Namespace whose creation functions record the device they allocate on."""
+
+    def __init__(self, base, device):
+        self._base = base
+        self.device = device
+
+    def zeros(self, shape, dtype=None):
+        out = np.zeros(shape, dtype=dtype).view(_TaggedArray)
+        out.device = self.device
+        return out
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
+class DeviceTaggedBackend(NumpyBackend):
+    """Simulates a multi-device library: a default device plus per-array
+    namespace binding, without needing CUDA (or even torch) installed."""
+
+    name = "devtagged"
+
+    def __init__(self, default_device="dev1"):
+        super().__init__()
+        self.default_device = default_device
+        self.xp = _TaggedNamespace(self.xp, default_device)
+        self.namespace_requests = []
+
+    def is_backend_array(self, obj):
+        return isinstance(obj, _TaggedArray)
+
+    def namespace_for(self, array):
+        device = getattr(array, "device", self.default_device)
+        self.namespace_requests.append(device)
+        return _TaggedNamespace(NumpyBackend().xp, device)
+
+
+class TestCreationFollowsInput:
+    """Regression for the ROADMAP known gap: creation functions allocating on
+    the backend's *default* device instead of the input's device."""
+
+    def test_namespace_of_binds_to_the_arrays_device(self):
+        backend = DeviceTaggedBackend(default_device="dev1")
+        register_backend("devtagged", lambda: backend)
+        clear_dispatch_cache()
+        try:
+            cpu_like = np.zeros((2, 2)).view(_TaggedArray)
+            xp = namespace_of(cpu_like)
+            # The namespace is bound to the array's own device, so a mask
+            # created inside a kernel lands beside its input — not on the
+            # backend's defaulting device.
+            assert xp.device == "dev0"
+            assert xp.zeros((1,)).device == "dev0"
+            assert backend.xp.zeros((1,)).device == "dev1"
+            assert backend.namespace_requests[-1] == "dev0"
+        finally:
+            unregister_backend("devtagged")
+            clear_dispatch_cache()
+
+    def test_default_namespace_for_is_xp(self):
+        backend = NumpyBackend()
+        assert backend.namespace_for(np.zeros(3)) is backend.xp
+
+
+@pytest.mark.skipif("torch" not in BACKENDS, reason="torch not installed")
+class TestTorchCreationDevice:
+    """The Torch adapter's creation functions must follow the input's device.
+
+    The ``meta`` device allocates without data, so a meta-defaulting backend
+    exercises the cross-device case on a CPU-only host: before the fix, a CPU
+    tensor driven through it met meta-resident checksum weights and report
+    masks; with per-device namespace binding everything stays on CPU.
+    """
+
+    def test_namespace_follows_cpu_input_through_foreign_default(self):
+        import torch
+
+        from repro.backend.torch_backend import TorchBackend
+
+        backend = TorchBackend(device="meta")
+        assert backend.xp.zeros((2,)).device.type == "meta"
+        cpu = torch.zeros(3)
+        ns = backend.namespace_for(cpu)
+        assert ns.zeros((2,)).device.type == "cpu"
+        assert ns.ones((2,)).device.type == "cpu"
+        assert ns.arange(4).device.type == "cpu"
+        assert ns.full((2,), 7.0).device.type == "cpu"
+
+    def test_namespace_instances_are_cached_per_device(self):
+        import torch
+
+        from repro.backend.torch_backend import TorchBackend
+
+        backend = TorchBackend(device="meta")
+        cpu = torch.zeros(3)
+        assert backend.namespace_for(cpu) is backend.namespace_for(torch.ones(2))
+        assert backend.namespace_for(cpu) is not backend.xp
+        meta = torch.zeros(2, device="meta")
+        assert backend.namespace_for(meta) is backend.xp
+
+    def test_embedding_indices_and_grad_seed_adopt_beside_weight(self):
+        """Host token ids and explicit host gradients adopt onto the data's
+        device (via the device-bound namespace), not the backend's default."""
+        import torch
+
+        from repro.backend.torch_backend import TorchBackend
+        from repro.tensor import autograd as ag
+        from repro.tensor.autograd import Tensor
+
+        backend = TorchBackend(device="meta")
+        weight = Tensor(torch.randn(8, 4, dtype=torch.float64),
+                        backend=backend, requires_grad=True)
+        out = ag.embedding(weight, np.array([[0, 3], [2, 1]]))
+        assert out.data.device.type == "cpu"
+        total = out.sum()
+        total.backward(np.asarray(1.0))     # host seed adopts beside the data
+        assert weight.grad.device.type == "cpu"
+
+    def test_registry_backend_checksums_stay_on_input_device(self):
+        """End to end through the generic kernels: checksum weight vectors
+        created inside ``encode_column_checksums`` land on the input's
+        device (dispatch routes through ``namespace_for``)."""
+        import torch
+
+        from repro.core.checksums import encode_column_checksums
+
+        x = get_backend("torch").from_numpy(np.random.default_rng(0).normal(size=(2, 3, 4)))
+        cs = encode_column_checksums(x)
+        assert cs.device == x.device
 
 
 # ---------------------------------------------------------------------------

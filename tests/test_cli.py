@@ -23,7 +23,7 @@ class TestParser:
         assert args.rates == [13, 20]
 
     def test_registry_covers_all_figures_and_tables(self):
-        expected = {"quickstart", "backends", "verification_modes", "table2", "table3",
+        expected = {"quickstart", "train", "backends", "verification_modes", "table2", "table3",
                     "sec52", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
         assert expected == set(EXPERIMENTS)
 
@@ -40,6 +40,15 @@ class TestParser:
         args = build_parser().parse_args(["quickstart", "--async"])
         assert args.async_verification is True
         assert build_parser().parse_args(["quickstart"]).async_verification is False
+
+    def test_model_array_backend_flag_parsed(self):
+        args = build_parser().parse_args(["train", "--model-array-backend", "numpy"])
+        assert args.model_array_backend == "numpy"
+        assert build_parser().parse_args(["train"]).model_array_backend is None
+
+    def test_unknown_model_array_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model-array-backend", "jax"])
 
 
 class TestMain:
@@ -89,6 +98,23 @@ class TestMain:
     def test_async_requires_fused_backend(self):
         with pytest.raises(ValueError):
             main(["quickstart", "--async", "--backend", "per_gemm"])
+
+    def test_train_reports_zero_transfer_on_shared_backend(self, capsys):
+        assert main(["train", "--steps", "2", "--model-array-backend", "numpy"]) == 0
+        out = capsys.readouterr().out
+        assert "model substrate numpy" in out
+        assert "xfer total 0.000 ms (zero host round-trips)" in out
+        assert len([l for l in out.splitlines() if l and l[0].isdigit()]) == 2
+
+    def test_train_with_async_verification(self, capsys):
+        assert main(["train", "--steps", "2", "--async"]) == 0
+        out = capsys.readouterr().out
+        assert "xfer total 0.000 ms" in out
+
+    def test_quickstart_reports_model_substrate(self, capsys):
+        assert main(["quickstart", "--model-array-backend", "numpy"]) == 0
+        out = capsys.readouterr().out
+        assert "model substrate      : numpy" in out
 
     def test_backends_experiment_reports_equivalence(self, capsys):
         assert main(["backends"]) == 0
