@@ -6,6 +6,12 @@ names that older NumPy releases lack as module functions (``astype``), and
 everything else resolves straight to ``numpy``.  This keeps the NumPy hot
 path byte-identical to the historical direct ``np.`` calls — the cross-backend
 equivalence tests compare every other adapter against this one.
+
+The workspace ``out=`` contract (see :mod:`repro.core.workspace`) is native
+here: ``matmul`` / ``stack`` / ``einsum`` resolve to the NumPy functions,
+which accept ``out=`` directly, and ``empty`` provides the arena's
+uninitialised buffers — computing into a reusable buffer runs the exact same
+kernel as allocating afresh, so results stay bitwise identical.
 """
 
 from __future__ import annotations

@@ -90,6 +90,10 @@ class TorchNamespace:
             start, stop = 0, start
         return self._torch.arange(start, stop, step, dtype=dtype, device=self._device)
 
+    def empty(self, shape, dtype: Any = None):
+        """Uninitialised buffer (the :class:`ChecksumWorkspace` allocator)."""
+        return self._torch.empty(shape, dtype=dtype, device=self._device)
+
     # -- dtype / copy -----------------------------------------------------------
 
     def astype(self, array, dtype, copy: bool = True):
@@ -114,8 +118,12 @@ class TorchNamespace:
     def reshape(self, array, shape):
         return array.reshape(shape)
 
-    def stack(self, arrays, axis: int = 0):
-        return self._torch.stack(list(arrays), dim=axis)
+    def stack(self, arrays, axis: int = 0, out: Any = None):
+        # out= is part of the workspace contract (see repro.core.workspace):
+        # the deferred/async batched verification stacks into reusable buffers.
+        if out is None:
+            return self._torch.stack(list(arrays), dim=axis)
+        return self._torch.stack(list(arrays), dim=axis, out=out)
 
     def concatenate(self, arrays, axis: int = 0):
         return self._torch.cat(list(arrays), dim=axis)
@@ -172,9 +180,14 @@ class TorchNamespace:
             tensors = tuple(t.to(anchor) for t in tensors)
         return tensors
 
-    def matmul(self, a, b):
+    def matmul(self, a, b, out: Any = None):
+        # out= follows the workspace contract; operands still promote first,
+        # so the buffer must be of the promoted dtype (float64 for the
+        # checksum chain, which is the only caller that passes out=).
         a, b = self._promote(a, b)
-        return self._torch.matmul(a, b)
+        if out is None:
+            return self._torch.matmul(a, b)
+        return self._torch.matmul(a, b, out=out)
 
     def einsum(self, equation, *operands):
         return self._torch.einsum(equation, *self._promote(*operands))

@@ -50,12 +50,20 @@ from repro.core.thresholds import ABFTThresholds
 from repro.core.checksums import (
     ChecksumState,
     checksum_weights,
+    clear_checksum_weight_cache,
     encode_column_checksums,
     encode_row_checksums,
     merge_head_column_checksums,
     split_head_column_checksums,
+    stacked_checksum_weights,
     update_column_checksums_through_gemm,
     update_row_checksums_through_gemm,
+)
+from repro.core.workspace import (
+    ChecksumWorkspace,
+    einsum_into,
+    matmul_into,
+    stack_into,
 )
 from repro.core.eec_abft import ColumnCheckReport, check_columns, check_rows
 from repro.core.patterns import ErrorPattern, classify_error_pattern, classify_error_types
@@ -67,7 +75,7 @@ from repro.core.protected_gemm import (
     protected_matmul,
 )
 from repro.core.sections import PROTECTION_SECTIONS, ProtectionSection, SectionCostModel
-from repro.core.engine import ProtectionEngine, SectionOutcome
+from repro.core.engine import ProtectionEngine, SectionOutcome, WeightEncodingCache
 from repro.core.attention_checker import (
     CHECKER_BACKENDS,
     VERIFICATION_MODES,
@@ -87,7 +95,14 @@ from repro.core.adaptive import (
 __all__ = [
     "ABFTThresholds",
     "ChecksumState",
+    "ChecksumWorkspace",
     "checksum_weights",
+    "stacked_checksum_weights",
+    "clear_checksum_weight_cache",
+    "matmul_into",
+    "einsum_into",
+    "stack_into",
+    "WeightEncodingCache",
     "encode_column_checksums",
     "encode_row_checksums",
     "update_column_checksums_through_gemm",

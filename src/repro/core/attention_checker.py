@@ -176,6 +176,21 @@ class ATTNCheckerConfig:
         :func:`repro.core.correction.correct_matrix`).
     collect_timing:
         Record wall-clock time per ABFT phase in :attr:`ATTNChecker.timers`.
+    fuse_sibling_gemms / cache_weight_encodings / reuse_workspace:
+        The fused engine's hot-path kernel schedule (see
+        :mod:`repro.core.engine`): carry ``cs_x`` through ``[W_Q | W_K]`` as
+        one concatenated GEMM, cache weight-derived encodings per weight
+        version, and serve checksum intermediates from a reusable
+        :class:`~repro.core.workspace.ChecksumWorkspace`.  All default on;
+        setting all three ``False`` reproduces the historical per-visit
+        schedule exactly (the baseline of the fused-kernel equivalence tests
+        and the Figure-7 dispatch benchmark).  Sibling fusion only engages
+        while the weight cache is on — the concatenated operand is
+        cache-resident, and rebuilding it per visit would cost more than the
+        dispatch it saves — so ``fuse_sibling_gemms=True`` with
+        ``cache_weight_encodings=False`` runs the per-side schedule.
+        Ignored by the per-GEMM reference backend, which always runs the
+        historical sequence.
     """
 
     thresholds: ABFTThresholds = field(default_factory=ABFTThresholds)
@@ -188,6 +203,9 @@ class ATTNCheckerConfig:
     repair_operands: bool = True
     refresh_checksums: bool = True
     collect_timing: bool = True
+    fuse_sibling_gemms: bool = True
+    cache_weight_encodings: bool = True
+    reuse_workspace: bool = True
 
     def __post_init__(self) -> None:
         for name, value in self.frequencies.items():
@@ -518,6 +536,9 @@ class ATTNChecker(AttentionHooks):
                 asynchronous=self.config.async_verification,
                 max_pending_steps=self.config.max_pending_steps,
                 array_backend=self.array_backend,
+                fuse_sibling_gemms=self.config.fuse_sibling_gemms,
+                cache_weight_encodings=self.config.cache_weight_encodings,
+                reuse_workspace=self.config.reuse_workspace,
             )
             self._reference: Optional[_PerGemmReferenceBackend] = None
         else:
@@ -540,6 +561,36 @@ class ATTNChecker(AttentionHooks):
         and a pinned engine backend (the ``xfer/*`` keys).  Exactly zero on
         the pure-NumPy path and whenever the engine follows its inputs."""
         return self.timers.total(prefix=XFER_PREFIX)
+
+    @property
+    def dispatch_counts(self) -> Dict[str, int]:
+        """Checksum GEMM / verification dispatches the fused engine issued
+        (empty for the per-GEMM reference, which has no fused schedule)."""
+        return dict(self.engine.dispatch_counts) if self.engine is not None else {}
+
+    def workspace_stats(self) -> Dict[str, int]:
+        """Allocation/reuse counters of the critical-path checksum workspace
+        (all zeros when ``reuse_workspace`` is off or backend is per-GEMM)."""
+        if self.engine is None or self.engine.workspace is None:
+            return {"slots": 0, "allocations": 0, "reuses": 0, "bytes_allocated": 0}
+        return self.engine.workspace.stats()
+
+    def weight_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the weight-encoding cache (zeros when off)."""
+        if self.engine is None or self.engine.weight_cache is None:
+            return {"entries": 0, "hits": 0, "misses": 0}
+        return self.engine.weight_cache.stats()
+
+    def invalidate_weight_cache(self) -> None:
+        """Drop cached weight-derived encodings.
+
+        Only needed after *in-place* mutation of weight storage outside
+        ``Optimizer.step`` / ``Module.load_state_dict`` (those bump the
+        global weights version themselves; rebinding ``param.data`` is
+        caught by the cache's identity check).
+        """
+        if self.engine is not None:
+            self.engine.invalidate_weight_cache()
 
     @property
     def verification_mode(self) -> str:

@@ -46,14 +46,17 @@ are always *accumulated in the backend's float64*, whatever the input dtype.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.backend import backend_of, get_backend, namespace_of
+from repro.core.workspace import matmul_into
 
 __all__ = [
     "checksum_weights",
+    "stacked_checksum_weights",
+    "clear_checksum_weight_cache",
     "encode_column_checksums",
     "encode_row_checksums",
     "recompute_column_sums",
@@ -69,6 +72,16 @@ __all__ = [
 ]
 
 
+#: (id(xp), length, dtype-key) -> (xp, (v1, v2)) — see :func:`checksum_weights`.
+#: The namespace object is stored in the entry so an ``id`` collision with a
+#: garbage-collected namespace can never serve vectors from the wrong device.
+#: Guarded by the GIL only: a benign race rebuilds identical vectors.
+_WEIGHT_VECTOR_CACHE: Dict[Tuple, Tuple[Any, Tuple[Any, Any]]] = {}
+
+#: Same cache for the stacked ``(2, m)`` / ``(n, 2)`` encoder weight blocks.
+_WEIGHT_BLOCK_CACHE: Dict[Tuple, Tuple[Any, Any]] = {}
+
+
 def checksum_weights(length: int, dtype=None, xp: Any = None) -> Tuple[Any, Any]:
     """Return the unweighted and weighted checksum vectors ``(v1, v2)``.
 
@@ -79,6 +92,11 @@ def checksum_weights(length: int, dtype=None, xp: Any = None) -> Tuple[Any, Any]
     ``xp`` selects the array namespace the vectors are built in (so they land
     on the same device as the data they will multiply); it defaults to NumPy,
     and ``dtype`` defaults to that namespace's float64.
+
+    The vectors are **cached** per (namespace, length, dtype) — every encode,
+    bias-adjust and EEC-ABFT detection pass calls this, and rebuilding two
+    ``arange``-derived vectors per call was pure dispatch overhead on the hot
+    path.  Callers must treat the returned arrays as read-only.
     """
     if length <= 0:
         raise ValueError(f"checksum length must be positive, got {length}")
@@ -86,16 +104,46 @@ def checksum_weights(length: int, dtype=None, xp: Any = None) -> Tuple[Any, Any]
         xp = get_backend("numpy").xp
     if dtype is None:
         dtype = xp.float64
+    key = (id(xp), int(length), str(dtype))
+    entry = _WEIGHT_VECTOR_CACHE.get(key)
+    if entry is not None and entry[0] is xp:
+        return entry[1]
     v1 = xp.ones(length, dtype=dtype)
     v2 = xp.arange(1, length + 1, dtype=dtype)
+    _WEIGHT_VECTOR_CACHE[key] = (xp, (v1, v2))
     return v1, v2
+
+
+def stacked_checksum_weights(length: int, axis: int, xp: Any = None) -> Any:
+    """The float64 encoder weight block ``stack([v1, v2], axis=axis)``, cached.
+
+    ``axis=0`` gives the ``(2, length)`` block of the column encoder,
+    ``axis=1`` the ``(length, 2)`` block of the row encoder.  Cached for the
+    same reason as :func:`checksum_weights`; read-only by contract.
+    """
+    if xp is None:
+        xp = get_backend("numpy").xp
+    key = (id(xp), int(length), int(axis))
+    entry = _WEIGHT_BLOCK_CACHE.get(key)
+    if entry is not None and entry[0] is xp:
+        return entry[1]
+    v1, v2 = checksum_weights(length, xp=xp)
+    block = xp.stack([v1, v2], axis=axis)
+    _WEIGHT_BLOCK_CACHE[key] = (xp, block)
+    return block
+
+
+def clear_checksum_weight_cache() -> None:
+    """Drop every cached weight vector/block (test isolation hook)."""
+    _WEIGHT_VECTOR_CACHE.clear()
+    _WEIGHT_BLOCK_CACHE.clear()
 
 
 # ---------------------------------------------------------------------------
 # Encoding
 # ---------------------------------------------------------------------------
 
-def encode_column_checksums(matrix: Any, out_dtype=None) -> Any:
+def encode_column_checksums(matrix: Any, out_dtype=None, out: Any = None) -> Any:
     """Encode column checksums of ``matrix`` (..., m, n) -> (..., 2, n).
 
     Row 0 holds the unweighted column sums, row 1 the weighted sums.  This is
@@ -107,29 +155,30 @@ def encode_column_checksums(matrix: Any, out_dtype=None) -> Any:
     dtype: encoding an fp16/fp32 matrix in its own precision loses enough of
     the Huang–Abraham weighted sum to round-off that fault-free data fails the
     default detection tolerances.  Pass ``out_dtype`` to cast the finished
-    checksums back down when a caller needs the storage format.
+    checksums back down when a caller needs the storage format, or ``out`` (a
+    float64 buffer of the result shape, exclusive with ``out_dtype``) to
+    encode into a reusable workspace buffer.
     """
     xp = namespace_of(matrix)
     matrix = xp.asarray(matrix)
     m = matrix.shape[-2]
-    v1, v2 = checksum_weights(m, xp=xp)
-    weights = xp.stack([v1, v2], axis=0)  # (2, m), float64
-    encoded = xp.matmul(weights, xp.astype(matrix, xp.float64, copy=False))
+    weights = stacked_checksum_weights(m, axis=0, xp=xp)  # (2, m), float64
+    encoded = matmul_into(xp, weights, xp.astype(matrix, xp.float64, copy=False), out)
     return encoded if out_dtype is None else xp.astype(encoded, out_dtype)
 
 
-def encode_row_checksums(matrix: Any, out_dtype=None) -> Any:
+def encode_row_checksums(matrix: Any, out_dtype=None, out: Any = None) -> Any:
     """Encode row checksums of ``matrix`` (..., m, n) -> (..., m, 2).
 
     Accumulates in float64 regardless of input dtype (see
-    :func:`encode_column_checksums`); ``out_dtype`` casts the result back.
+    :func:`encode_column_checksums`); ``out_dtype`` casts the result back and
+    ``out`` encodes into a caller-provided float64 buffer.
     """
     xp = namespace_of(matrix)
     matrix = xp.asarray(matrix)
     n = matrix.shape[-1]
-    v1, v2 = checksum_weights(n, xp=xp)
-    weights = xp.stack([v1, v2], axis=1)  # (n, 2), float64
-    encoded = xp.matmul(xp.astype(matrix, xp.float64, copy=False), weights)
+    weights = stacked_checksum_weights(n, axis=1, xp=xp)  # (n, 2), float64
+    encoded = matmul_into(xp, xp.astype(matrix, xp.float64, copy=False), weights, out)
     return encoded if out_dtype is None else xp.astype(encoded, out_dtype)
 
 
@@ -239,15 +288,26 @@ def split_head_column_checksums(col_checksums: Any, num_heads: int) -> Any:
     return xp.moveaxis(reshaped, -2, -3)  # (..., H, 2, head_dim)
 
 
-def merge_head_column_checksums(per_head: Any) -> Any:
-    """Inverse of :func:`split_head_column_checksums`: ``(B, H, 2, dh) -> (B, 2, H*dh)``."""
+def merge_head_column_checksums(per_head: Any, out: Any = None) -> Any:
+    """Inverse of :func:`split_head_column_checksums`: ``(B, H, 2, dh) -> (B, 2, H*dh)``.
+
+    ``out``, when given, must be a contiguous buffer of shape
+    ``(..., 2, H, dh)`` (the *moved* layout — what
+    ``ChecksumWorkspace.request`` hands the engine): the merge materialises
+    into it by slice assignment instead of a fresh reshape-copy, and the
+    returned array is its ``(..., 2, H*dh)`` view.  Values are identical
+    either way.
+    """
     xp = namespace_of(per_head)
     per_head = xp.asarray(per_head)
     *lead, h, two, dh = per_head.shape
     if two != 2:
         raise ValueError(f"expected a checksum axis of size 2, got {two}")
     moved = xp.moveaxis(per_head, -3, -2)  # (..., 2, H, dh)
-    return moved.reshape(*lead, 2, h * dh)
+    if out is None:
+        return moved.reshape(*lead, 2, h * dh)
+    out[...] = moved
+    return out.reshape(*lead, 2, h * dh)
 
 
 def encode_per_head_row_checksums_of_weight(weight: Any, num_heads: int) -> Any:
@@ -267,8 +327,8 @@ def encode_per_head_row_checksums_of_weight(weight: Any, num_heads: int) -> Any:
     if d_out % num_heads:
         raise ValueError(f"output dim {d_out} not divisible by num_heads {num_heads}")
     dh = d_out // num_heads
-    v1, v2 = checksum_weights(dh, xp=xp)  # float64: same dtype-safety rule as the encoders
-    weights = xp.stack([v1, v2], axis=1)  # (dh, 2)
+    # float64: same dtype-safety rule as the encoders.
+    weights = stacked_checksum_weights(dh, axis=1, xp=xp)  # (dh, 2)
     per_head = xp.astype(weight, xp.float64, copy=False).reshape(d_in, num_heads, dh)
     return xp.einsum("dhk,kw->dhw", per_head, weights)  # (D_in, H, 2)
 

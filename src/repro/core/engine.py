@@ -103,9 +103,47 @@ over the same per-step snapshots.  Worker-side wall-clock is recorded under
 timer keys prefixed ``"async/"`` so callers can split critical-path from
 total checker time.
 
-Follow-on items tracked in ROADMAP.md: porting the model/autograd substrate
-onto the array backends and layer-granular re-execution from retained
-activations.
+Hot-path kernel schedule
+------------------------
+Three dispatch/allocation optimisations (all on by default, all
+individually revertible to the historical schedule, which stays available
+for the equivalence tests and as the benchmark baseline):
+
+``fuse_sibling_gemms``
+    ``W_Q`` and ``W_K`` consume the *same* carried checksum ``cs_x``, so the
+    two per-projection checksum GEMMs of :math:`S_{AS}` fuse into one GEMM
+    against the concatenated operand ``[W_Q | W_K]`` (split back into the Q
+    and K halves afterwards — pure axis-split views, no copy), and the two
+    bias adjustments collapse into one vectorised in-place add of the
+    concatenated float64 bias row.  This is the paper's strided-batched
+    fusion argument (§4): fewer, larger launches for the same algebra.
+``cache_weight_encodings``
+    Everything derived *from weights only* — ``rowcs(W_V)``, the fused
+    ``[W_Q | W_K]`` operand, the concatenated/summed bias terms — is cached
+    per (layer, kind) and reused until the weights change.  Validity is a
+    version check against :func:`repro.utils.versioning.weights_version`
+    (bumped by ``Optimizer.step`` and ``Module.load_state_dict``) *plus* an
+    identity check on the source arrays, so weight-side encode work runs
+    once per weight version instead of once per layer visit.  Code that
+    mutates weight storage in place outside those two paths must call
+    :meth:`ProtectionEngine.invalidate_weight_cache`.
+``reuse_workspace``
+    Checksum intermediates live in a
+    :class:`~repro.core.workspace.ChecksumWorkspace` arena of named
+    shape/dtype/device-keyed buffers filled through the namespaces'
+    ``out=`` contract: after one warm-up visit the steady-state hot path
+    allocates no managed buffers.  Checksums that outlive the section visit (the
+    deferred/async queues) deliberately bypass the arena, and the batched
+    verification pass uses a second arena owned by whichever single thread
+    runs it — workspace buffers are never aliased by retained state.
+
+``dispatch_counts`` tracks the checksum GEMM/einsum launches (``"gemm"``)
+and verification passes (``"detect"``) the engine actually issued — the
+measurable side of :meth:`repro.core.sections.SectionCostModel.\
+checksum_gemm_dispatches_per_layer`.
+
+Follow-on items tracked in ROADMAP.md: layer-granular re-execution from
+retained activations.
 """
 
 from __future__ import annotations
@@ -131,10 +169,12 @@ from repro.core.correction import MatrixCorrectionReport, correct_matrix
 from repro.core.eec_abft import check_columns, check_rows
 from repro.core.sections import PROTECTION_SECTIONS
 from repro.core.thresholds import ABFTThresholds
+from repro.core.workspace import ChecksumWorkspace, matmul_into, stack_into
 from repro.nn.attention import SectionContext
 from repro.utils.timing import TimingRegistry, XFER_D2H, XFER_H2D
+from repro.utils.versioning import weights_version
 
-__all__ = ["SectionOutcome", "ProtectionEngine"]
+__all__ = ["SectionOutcome", "ProtectionEngine", "WeightEncodingCache"]
 
 #: Dataflow order of the protection sections within one attention pass (the
 #: declaration order of ``PROTECTION_SECTIONS``).  The async repair pass uses
@@ -183,6 +223,63 @@ class _LayerState:
     def __init__(self, enabled: Dict[str, bool]) -> None:
         self.enabled = enabled
         self.cs_cl_col: Optional[Any] = None
+
+
+class WeightEncodingCache:
+    """Version-keyed cache of weight-derived checksum operands.
+
+    An entry is valid only when **both** hold:
+
+    * it was built at the current global weights version
+      (:func:`repro.utils.versioning.weights_version`, bumped by every
+      optimizer step and ``load_state_dict``), and
+    * every source array it was derived from is the *identical object* the
+      caller presents now (the optimizer rebinds ``param.data`` on update,
+      so a swapped weight can never be served a stale encoding even if no
+      version bump happened).
+
+    Anything else is a miss: the builder reruns and the entry is replaced
+    in place, so the cache size stays bounded by (layers x encoding kinds).
+    Entries hold strong references to their sources, which also guarantees
+    an ``is`` comparison can never alias a freed-and-reallocated array.
+
+    Single-writer by design: only the critical-path ``protect_section``
+    thread touches it.
+    """
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, Tuple[int, tuple, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple, sources: tuple, builder) -> Any:
+        version = weights_version()
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and entry[0] == version
+            and len(entry[1]) == len(sources)
+            and all(cached is live for cached, live in zip(entry[1], sources))
+        ):
+            self.hits += 1
+            return entry[2]
+        self.misses += 1
+        value = builder()
+        self._entries[key] = (version, tuple(sources), value)
+        return value
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 class _DeferredCheck:
@@ -240,6 +337,18 @@ class ProtectionEngine:
         arrays.  An :class:`~repro.backend.ArrayBackend` instance pins the
         checksum chain to that library: foreign section outputs are adopted
         (``xfer/h2d``) and repaired values written back (``xfer/d2h``).
+    fuse_sibling_gemms:
+        Carry ``cs_x`` through ``[W_Q | W_K]`` as one concatenated GEMM and
+        apply both bias adjustments as one fused in-place add (see the
+        module docstring).  ``False`` restores the historical two-GEMM
+        schedule (the equivalence-test / benchmark baseline).
+    cache_weight_encodings:
+        Cache weight-derived encodings per (layer, kind), keyed by the
+        global weights version plus source-array identity.
+    reuse_workspace:
+        Serve checksum intermediates from a :class:`ChecksumWorkspace`
+        arena (zero steady-state hot-path allocations) instead of fresh
+        per-visit allocations.
     """
 
     def __init__(
@@ -252,6 +361,9 @@ class ProtectionEngine:
         asynchronous: bool = False,
         max_pending_steps: int = 2,
         array_backend: Optional[ArrayBackend] = None,
+        fuse_sibling_gemms: bool = True,
+        cache_weight_encodings: bool = True,
+        reuse_workspace: bool = True,
     ) -> None:
         if deferred and asynchronous:
             raise ValueError("deferred and asynchronous verification are mutually exclusive")
@@ -265,6 +377,28 @@ class ProtectionEngine:
         self.asynchronous = asynchronous
         self.max_pending_steps = max_pending_steps
         self.array_backend = array_backend
+        self.fuse_sibling_gemms = fuse_sibling_gemms
+        #: Weight-derived encoding cache (``None`` when disabled).
+        self.weight_cache: Optional[WeightEncodingCache] = (
+            WeightEncodingCache() if cache_weight_encodings else None
+        )
+        #: Critical-path intermediate arena (``None`` when disabled).
+        self.workspace: Optional[ChecksumWorkspace] = (
+            ChecksumWorkspace() if reuse_workspace else None
+        )
+        # The batched verification pass runs on exactly one thread at a time
+        # (the caller in deferred mode, the worker in async mode), but that
+        # thread is not the critical-path one — it gets its own arena so the
+        # two never share buffers.
+        self._batch_workspace: Optional[ChecksumWorkspace] = (
+            ChecksumWorkspace() if reuse_workspace else None
+        )
+        #: Checksum GEMM/einsum launches ("gemm") and verification passes
+        #: ("detect") actually dispatched.  "gemm" counts only critical-path
+        #: encode/carry launches; "detect" is also incremented by the batched
+        #: pass, so async totals are diagnostic rather than exact (the worker
+        #: increments concurrently).
+        self.dispatch_counts: Dict[str, int] = {"gemm": 0, "detect": 0}
         self._layers: Dict[int, _LayerState] = {}
         #: Front buffer of the double-buffered queue: the step in progress
         #: appends here; submit_step()/flush() swap it out wholesale.
@@ -293,7 +427,8 @@ class ProtectionEngine:
         """Drop all pass state and queued work; joins the async worker.
 
         In-flight batches are *discarded*, not verified — reset means the
-        caller no longer wants their results.
+        caller no longer wants their results.  Caches and workspaces are
+        dropped too: a reset engine holds no reference to any model array.
         """
         self._layers.clear()
         self._queue.clear()
@@ -304,6 +439,23 @@ class ProtectionEngine:
             self._inflight = 0
             self._epoch = 0
             self._failure = None
+        if self.weight_cache is not None:
+            self.weight_cache.clear()
+        if self.workspace is not None:
+            self.workspace.clear()
+        if self._batch_workspace is not None:
+            self._batch_workspace.clear()
+        self.dispatch_counts = {"gemm": 0, "detect": 0}
+
+    def invalidate_weight_cache(self) -> None:
+        """Drop cached weight-derived encodings.
+
+        Needed only after mutating weight storage *in place* outside the two
+        instrumented paths (``Optimizer.step`` / ``Module.load_state_dict``),
+        which bump the global weights version themselves.
+        """
+        if self.weight_cache is not None:
+            self.weight_cache.clear()
 
     def close(self) -> None:
         """Join the async worker thread (idempotent; engine stays usable).
@@ -343,6 +495,39 @@ class ProtectionEngine:
                 yield
             finally:
                 backend.synchronize()
+
+    # -- workspace / cache plumbing ---------------------------------------------
+
+    def _buf(self, name: str, shape: Tuple[int, ...], xp: Any, dtype: Any = None) -> Optional[Any]:
+        """A reusable float64 workspace buffer, or ``None`` with workspace off."""
+        if self.workspace is None:
+            return None
+        return self.workspace.request(name, shape, xp.float64 if dtype is None else dtype, xp)
+
+    def _transient_buf(self, name: str, shape: Tuple[int, ...], xp: Any) -> Optional[Any]:
+        """Workspace buffer for checksums that may outlive the section visit.
+
+        In deferred/async mode the boundary checksums are queued and verified
+        after later layers (and steps) have run — a reusable buffer would be
+        overwritten under the queue, so queued modes always allocate fresh.
+        """
+        if self.deferred or self.asynchronous:
+            return None
+        return self._buf(name, shape, xp)
+
+    def _cached_weight(self, key: tuple, sources: tuple, builder) -> Any:
+        if self.weight_cache is None:
+            return builder()
+        return self.weight_cache.lookup(key, sources, builder)
+
+    def _stack_batch(self, name: str, arrays: List[Any], xp: Any) -> Any:
+        """Stack a verification group, into a batch-workspace buffer if on."""
+        if self._batch_workspace is None:
+            return xp.stack(arrays)
+        first = arrays[0]
+        shape = (len(arrays),) + tuple(first.shape)
+        out = self._batch_workspace.request(name, shape, first.dtype, xp)
+        return stack_into(xp, arrays, out)
 
     @staticmethod
     def _section_active(ctx: SectionContext, state: _LayerState) -> bool:
@@ -455,6 +640,7 @@ class ProtectionEngine:
             outcome.deferred = True
             return
         with self._timed(f"{ctx.section}/detect", backend):
+            self.dispatch_counts["detect"] += 1
             outcome.report = correct_matrix(
                 out, checksums, thresholds=self.thresholds,
                 refresh_checksums=self.refresh_checksums,
@@ -473,26 +659,87 @@ class ProtectionEngine:
         # Gating already happened in protect_section via _section_active.
         xp = backend.namespace_for(out)
         x, w_q, w_k = ops["x"], ops["w_q"], ops["w_k"]
+        bias_q, bias_k = ops.get("bias_q"), ops.get("bias_k")
         num_rows = x.shape[-2]
+        lead = tuple(x.shape[:-2])
         outcome = SectionOutcome(section="AS", layer_index=ctx.layer_index, step=ctx.step)
 
         # Encode the section input once...
         with self._timed("AS/encode", backend):
-            cs_x = encode_column_checksums(x)
+            self.dispatch_counts["gemm"] += 1
+            cs_x = encode_column_checksums(
+                x, out=self._buf("AS/cs_x", lead + (2, x.shape[-1]), xp)
+            )
         # ...and carry it through every member GEMM of the section.
         with self._timed("AS/update", backend):
-            cs_q = update_column_checksums_through_gemm(cs_x, w_q)
-            if ops.get("bias_q") is not None:
-                cs_q = adjust_column_checksums_for_bias(cs_q, ops["bias_q"], num_rows)
-            cs_k = update_column_checksums_through_gemm(cs_x, w_k)
-            if ops.get("bias_k") is not None:
-                cs_k = adjust_column_checksums_for_bias(cs_k, ops["bias_k"], num_rows)
+            # Sibling fusion: W_Q and W_K consume the same carried checksum,
+            # so one GEMM against the cached concatenated operand [W_Q | W_K]
+            # replaces the two per-projection checksum GEMMs; the Q/K halves
+            # are recovered as axis-split views (no copy).  The fusion
+            # *requires* the weight cache — rebuilding the O(D^2) concatenated
+            # operand every visit would cost more than the dispatch it saves —
+            # and mixed presence of exactly one bias (never produced by
+            # MultiHeadAttention) falls back to the per-side schedule.
+            if (
+                self.fuse_sibling_gemms
+                and self.weight_cache is not None
+                and (bias_q is None) == (bias_k is None)
+            ):
+                # Cache identity keys on the *pre-adoption* producer arrays
+                # (ctx.operands): a pinned-foreign engine adopts fresh copies
+                # every visit, which would defeat an identity check on the
+                # adopted operands — the host-side originals are the stable
+                # handle.  On the native path ops IS ctx.operands.
+                w_qk = self._cached_weight(
+                    ("AS/w_qk", ctx.layer_index),
+                    (ctx.operands["w_q"], ctx.operands["w_k"]),
+                    lambda: xp.concatenate([w_q, w_k], axis=-1),
+                )
+                d_q = w_q.shape[-1]
+                self.dispatch_counts["gemm"] += 1
+                cs_qk = matmul_into(
+                    xp, cs_x, w_qk,
+                    self._buf("AS/cs_qk", lead + (2, w_qk.shape[-1]), xp),
+                )
+                if bias_q is not None:
+                    # Both bias adjustments collapse into one vectorised
+                    # in-place add of the cached concatenated float64 bias
+                    # row; cs_qk is freshly computed float64, so the values
+                    # are identical to the per-side copy-then-add.
+                    b_qk = self._cached_weight(
+                        ("AS/bias_qk", ctx.layer_index),
+                        (ctx.operands["bias_q"], ctx.operands["bias_k"]),
+                        lambda: xp.concatenate([
+                            xp.astype(xp.asarray(bias_q), xp.float64, copy=False),
+                            xp.astype(xp.asarray(bias_k), xp.float64, copy=False),
+                        ], axis=-1),
+                    )
+                    cs_qk[..., 0, :] += num_rows * b_qk
+                    cs_qk[..., 1, :] += (num_rows * (num_rows + 1) / 2.0) * b_qk
+                cs_q, cs_k = cs_qk[..., :d_q], cs_qk[..., d_q:]
+            else:
+                self.dispatch_counts["gemm"] += 2
+                cs_q = update_column_checksums_through_gemm(cs_x, w_q)
+                if bias_q is not None:
+                    cs_q = adjust_column_checksums_for_bias(cs_q, bias_q, num_rows)
+                cs_k = update_column_checksums_through_gemm(cs_x, w_k)
+                if bias_k is not None:
+                    cs_k = adjust_column_checksums_for_bias(cs_k, bias_k, num_rows)
             cs_q_ph = split_head_column_checksums(cs_q, ctx.num_heads)     # (B, H, 2, dh)
             cs_k_ph = split_head_column_checksums(cs_k, ctx.num_heads)
+            self.dispatch_counts["gemm"] += 2
             # Column side of AS: col(AS) = col(Q) K^T.
-            cs_as_col = xp.matmul(cs_q_ph, ops["k_t"])                      # (B, H, 2, S)
+            cs_as_col = matmul_into(                                        # (B, H, 2, S)
+                xp, cs_q_ph, ops["k_t"],
+                self._transient_buf(
+                    "AS/cs_as_col", tuple(cs_q_ph.shape[:-1]) + (ops["k_t"].shape[-1],), xp
+                ),
+            )
             # Row side of AS: row(AS) = Q row(K^T) = Q col(K)^T.
-            cs_as_row = xp.matmul(ops["q"], xp.swapaxes(cs_k_ph, -1, -2))   # (B, H, S, 2)
+            cs_as_row = matmul_into(                                        # (B, H, S, 2)
+                xp, ops["q"], xp.swapaxes(cs_k_ph, -1, -2),
+                self._transient_buf("AS/cs_as_row", tuple(ops["q"].shape[:-1]) + (2,), xp),
+            )
 
         self._verify(ctx, out, ChecksumState(col=cs_as_col, row=cs_as_row), outcome, backend)
         if (
@@ -527,28 +774,71 @@ class ProtectionEngine:
         cs_v_row = None
         if cl_enabled:
             # Per-head row checksums of V, derived from W_V without touching V:
-            # encode rowcs(W_V) once and carry it through the X W_V GEMM.
+            # encode rowcs(W_V) once *per weight version* and carry it through
+            # the X W_V GEMM on every visit.
             with self._timed("CL/encode", backend):
-                rowcs_wv = encode_per_head_row_checksums_of_weight(ops["w_v"], ctx.num_heads)
+                def build_rowcs() -> Any:
+                    self.dispatch_counts["gemm"] += 1
+                    return encode_per_head_row_checksums_of_weight(ops["w_v"], ctx.num_heads)
+
+                # Identity keys on the pre-adoption array (see _protect_as).
+                rowcs_wv = self._cached_weight(
+                    ("CL/rowcs_wv", ctx.layer_index), (ctx.operands["w_v"],), build_rowcs
+                )
             with self._timed("CL/update", backend):
+                self.dispatch_counts["gemm"] += 1
+                # Deliberately *not* workspace-backed: einsum with out= loses
+                # NumPy's specialised inner loops (~4x slower at attention
+                # dims) and Torch's einsum has no out= at all, so this one
+                # intermediate allocates per visit — the documented exception
+                # to the zero-allocation claim (see SectionCostModel.
+                # checksum_workspace_slots).  The contraction itself must stay
+                # an einsum: the per-GEMM reference computes it the same way,
+                # which is what keeps repaired values bitwise identical.
                 cs_v_row = xp.einsum("...sd,dhw->...hsw", ops["x"], rowcs_wv)  # (B, H, S, 2)
                 if ops.get("bias_v") is not None:
-                    bias_heads = xp.astype(
-                        xp.asarray(ops["bias_v"]), xp.float64, copy=False
-                    ).reshape(ctx.num_heads, ctx.head_dim)
-                    _, v2 = checksum_weights(ctx.head_dim, xp=xp)
-                    cs_v_row = xp.copy(cs_v_row)
-                    cs_v_row[..., 0] += xp.sum(bias_heads, axis=-1)[None, :, None]
-                    cs_v_row[..., 1] += xp.sum(bias_heads * v2, axis=-1)[None, :, None]
+                    def build_bias_terms() -> Tuple[Any, Any]:
+                        bias_heads = xp.astype(
+                            xp.asarray(ops["bias_v"]), xp.float64, copy=False
+                        ).reshape(ctx.num_heads, ctx.head_dim)
+                        _, v2 = checksum_weights(ctx.head_dim, xp=xp)
+                        return (
+                            xp.sum(bias_heads, axis=-1)[None, :, None],
+                            xp.sum(bias_heads * v2, axis=-1)[None, :, None],
+                        )
+
+                    term0, term1 = self._cached_weight(
+                        ("CL/bias_v", ctx.layer_index),
+                        (ctx.operands["bias_v"],), build_bias_terms,
+                    )
+                    # The bias shift lands straight in the freshly computed
+                    # einsum output — no defensive copy-then-mutate (the
+                    # added values are identical either way).
+                    cs_v_row[..., 0] += term0
+                    cs_v_row[..., 1] += term1
 
         with self._timed("CL/encode", backend):
-            cs_ap_col = encode_column_checksums(ops["ap"])                     # (B, H, 2, S)
+            ap = ops["ap"]
+            self.dispatch_counts["gemm"] += 1
+            cs_ap_col = encode_column_checksums(                               # (B, H, 2, S)
+                ap, out=self._buf("CL/cs_ap_col", tuple(ap.shape[:-2]) + (2, ap.shape[-1]), xp)
+            )
         with self._timed("CL/update", backend):
-            cs_cl_col = xp.matmul(cs_ap_col, ops["v"])                         # (B, H, 2, dh)
+            self.dispatch_counts["gemm"] += 1
+            cs_cl_col = matmul_into(                                           # (B, H, 2, dh)
+                xp, cs_ap_col, ops["v"],
+                self._transient_buf(
+                    "CL/cs_cl_col", tuple(cs_ap_col.shape[:-1]) + (ops["v"].shape[-1],), xp
+                ),
+            )
             cs_cl_row = None
             if cl_enabled and cs_v_row is not None:
                 # row(CL) = AP row(V): carry the row checksums of V through.
-                cs_cl_row = xp.matmul(ops["ap"], cs_v_row)                     # (B, H, S, 2)
+                self.dispatch_counts["gemm"] += 1
+                cs_cl_row = matmul_into(                                       # (B, H, S, 2)
+                    xp, ap, cs_v_row,
+                    self._transient_buf("CL/cs_cl_row", tuple(ap.shape[:-1]) + (2,), xp),
+                )
 
         checksums = ChecksumState(col=cs_cl_col, row=cs_cl_row)
         if cl_enabled:
@@ -578,10 +868,29 @@ class ProtectionEngine:
     ) -> Optional[SectionOutcome]:
         # Gating (O enabled and a CL checksum to carry) happened in
         # protect_section via _section_active.
+        xp = backend.namespace_for(out)
         outcome = SectionOutcome(section="O", layer_index=ctx.layer_index, step=ctx.step)
         with self._timed("O/update", backend):
-            cs_cl_merged = merge_head_column_checksums(state.cs_cl_col)        # (B, 2, D)
-            cs_o_col = update_column_checksums_through_gemm(cs_cl_merged, ops["w_o"])
+            merge_buffer = None
+            if self.workspace is not None:
+                # Merge through a reusable buffer of the moved layout
+                # (B, 2, H, dh): no per-visit allocation, same values as the
+                # helper's reshape-copy.
+                *lead, h, two, dh = state.cs_cl_col.shape
+                merge_buffer = self.workspace.request(
+                    "O/cs_cl_merged", tuple(lead) + (two, h, dh),
+                    getattr(state.cs_cl_col, "dtype", None), xp,
+                )
+            cs_cl_merged = merge_head_column_checksums(                        # (B, 2, D)
+                state.cs_cl_col, out=merge_buffer
+            )
+            self.dispatch_counts["gemm"] += 1
+            cs_o_col = matmul_into(
+                xp, cs_cl_merged, ops["w_o"],
+                self._transient_buf(
+                    "O/cs_o_col", tuple(cs_cl_merged.shape[:-1]) + (ops["w_o"].shape[-1],), xp
+                ),
+            )
         self._verify(ctx, out, ChecksumState(col=cs_o_col), outcome, backend)
         return outcome
 
@@ -605,21 +914,38 @@ class ProtectionEngine:
             return pairs
         groups: Dict[tuple, List[_DeferredCheck]] = {}
         for item in items:
-            key = (item.section, tuple(item.matrix.shape), id(item.backend))
+            # dtype is part of the key: stacking into a shared (reusable)
+            # buffer must never silently downcast a mixed-precision batch the
+            # way np.stack's promotion would have hidden.
+            key = (item.section, tuple(item.matrix.shape),
+                   getattr(item.matrix, "dtype", None), id(item.backend))
             groups.setdefault(key, []).append(item)
 
-        for (section, _shape, _backend_id), group in groups.items():
+        for (section, _shape, _dtype, _backend_id), group in groups.items():
             xp = group[0].backend.namespace_for(group[0].matrix)
             with self._timed(f"{timer_prefix}{section}/detect", group[0].backend):
-                stacked = xp.stack([item.matrix for item in group])
+                self.dispatch_counts["detect"] += 1
+                # Stacks go through the batch workspace: one reusable buffer
+                # per (section, group shape), so the per-step batched pass is
+                # allocation-free in steady state too.
+                stacked = self._stack_batch(
+                    f"{timer_prefix}stack/{section}/matrix",
+                    [item.matrix for item in group], xp,
+                )
                 col_reports = row_reports = None
                 if group[0].checksums.has_col():
-                    col = xp.stack([item.checksums.col for item in group])
+                    col = self._stack_batch(
+                        f"{timer_prefix}stack/{section}/col",
+                        [item.checksums.col for item in group], xp,
+                    )
                     col_reports = check_columns(
                         stacked, col, thresholds=self.thresholds, correct=False
                     )
                 if group[0].checksums.has_row():
-                    row = xp.stack([item.checksums.row for item in group])
+                    row = self._stack_batch(
+                        f"{timer_prefix}stack/{section}/row",
+                        [item.checksums.row for item in group], xp,
+                    )
                     row_reports = check_rows(
                         stacked, row, thresholds=self.thresholds, correct=False
                     )

@@ -345,6 +345,82 @@ class SectionCostModel:
         raise KeyError(f"unknown backend {backend!r}; expected 'fused' or 'per_gemm'")
 
     @staticmethod
+    def checksum_gemm_dispatches_per_layer(
+        schedule: str, steady_state: bool = True
+    ) -> Dict[str, int]:
+        """Checksum GEMM/einsum launches per attention-layer visit, by section.
+
+        Counts the encode/carry launches of the fused engine's checksum chain
+        (what ``ProtectionEngine.dispatch_counts["gemm"]`` measures), with all
+        three sections enabled — detection launches are modelled separately by
+        :meth:`verification_dispatches_per_step`.  Bias adjustments are
+        elementwise, not GEMMs, and are not counted.
+
+        * ``"unfused"`` — the historical one-GEMM-per-update schedule
+          (``fuse_sibling_gemms=False, cache_weight_encodings=False``):
+          S_AS encodes ``cs_x`` and carries it through ``W_Q`` and ``W_K``
+          separately (3) plus the two boundary-side carries (2); S_CL encodes
+          ``rowcs(W_V)`` and ``col(AP)`` (2) and carries three times (3);
+          S_O carries once.
+        * ``"fused"`` — the sibling GEMMs collapse into one launch against
+          ``[W_Q | W_K]`` (S_AS drops to 4) and, in steady state
+          (``steady_state=True``: weights unchanged since the last visit, so
+          the weight-encoding cache hits), the ``rowcs(W_V)`` encode
+          disappears from the per-visit path (S_CL drops to 4).  A cold visit
+          (``steady_state=False`` — first visit, or the first after a weight
+          update) pays the ``rowcs(W_V)`` encode once.
+
+        The totals are exact counts the fused-kernel tests compare against
+        the engine's measured counters.
+        """
+        if schedule == "unfused":
+            return {"AS": 5, "CL": 5, "O": 1}
+        if schedule == "fused":
+            return {"AS": 4, "CL": 4 if steady_state else 5, "O": 1}
+        raise KeyError(
+            f"unknown schedule {schedule!r}; expected 'fused' or 'unfused'"
+        )
+
+    @staticmethod
+    def checksum_workspace_slots(mode: str) -> int:
+        """Distinct reusable workspace buffers of the critical-path arena.
+
+        With ``reuse_workspace`` on, the fused engine's steady-state hot path
+        serves every *managed* checksum intermediate from one of these named
+        slots, shared across the homogeneous layers of a model.  Immediate
+        mode keeps the boundary checksums in the arena too (9 slots:
+        ``cs_x``/``cs_qk``/two ``AS`` sides, ``cs_ap_col``/two ``CL`` sides,
+        the merged ``CL`` checksum and the ``O`` side); deferred/async modes
+        queue the five boundary-checksum arrays past the visit, so those are
+        allocated fresh and only the four transient intermediates stay in
+        the arena.
+
+        One intermediate is deliberately unmanaged: ``cs_v_row`` (the carried
+        row checksums of V) comes from an einsum, and einsum's ``out=`` path
+        forfeits NumPy's specialised inner loops (measured ~4x slower at
+        attention dims) while Torch's einsum has no ``out=`` at all — so that
+        single buffer allocates per visit by design.
+        """
+        if mode == "immediate":
+            return 9
+        if mode in ("deferred", "async"):
+            return 4
+        raise KeyError(
+            f"unknown verification mode {mode!r}; expected 'immediate', 'deferred' or 'async'"
+        )
+
+    @staticmethod
+    def steady_state_hot_path_allocations() -> int:
+        """Workspace allocations per layer visit once warm — zero by design.
+
+        The measurable claim behind ``reuse_workspace``: after the warm-up
+        visit, ``ChecksumWorkspace.allocations`` stays flat while ``reuses``
+        grows (counter-verified by the fused-kernel tests and the Figure-7
+        perf smoke).
+        """
+        return 0
+
+    @staticmethod
     def verification_dispatches_per_step(mode: str, num_layers: int) -> Dict[str, int]:
         """Boundary-*verification* dispatches of one training step, split by
         where they land relative to the training critical path.

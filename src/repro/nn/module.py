@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.backend import ArrayBackend
 from repro.tensor.autograd import Tensor
+from repro.utils.versioning import bump_weights_version
 
 __all__ = ["Parameter", "Module", "ModuleList"]
 
@@ -147,6 +148,9 @@ class Module:
                 )
             xp = param.backend.namespace_for(value)
             param.data = xp.astype(value, getattr(xp, param.dtype.name), copy=True)
+        # Loaded weights invalidate every weight-derived checksum cache
+        # (stale-rollback restores, checkpoint loads).
+        bump_weights_version()
 
     # -- forward -----------------------------------------------------------------
 

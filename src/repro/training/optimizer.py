@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.utils.versioning import bump_weights_version
 
 __all__ = ["Optimizer", "SGD", "AdamW"]
 
@@ -41,6 +42,15 @@ class Optimizer:
             p.zero_grad()
 
     def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one update to every parameter with a gradient.
+
+        Contract for implementations: after mutating (or rebinding) any
+        ``param.data``, call
+        :func:`repro.utils.versioning.bump_weights_version` exactly once —
+        the fused checker's weight-derived encoding caches key their
+        validity on it.  An implementation that updates *in place* and
+        skips the bump would silently serve stale checksums.
+        """
         raise NotImplementedError
 
     # -- checkpointing ------------------------------------------------------------
@@ -97,6 +107,9 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             p.data = p.data - self.lr * grad
+        # Weight-derived checksum encodings (rowcs(W_V), the fused [W_Q|W_K]
+        # operand) are stale from here on.
+        bump_weights_version()
 
     def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()
@@ -153,6 +166,8 @@ class AdamW(Optimizer):
             if self.weight_decay:
                 update = update + self.weight_decay * p.data
             p.data = p.data - self.lr * update
+        # Invalidate weight-derived checksum caches (see SGD.step).
+        bump_weights_version()
 
     def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()

@@ -18,6 +18,10 @@ Modules
     the CPU-side overhead measurements.
 ``logging``
     Library logger configuration helpers.
+``versioning``
+    The process-global weights-version counter that invalidates the fused
+    checker's weight-derived encoding caches on optimizer steps and state
+    loads.
 """
 
 from repro.utils.floatbits import (
@@ -34,8 +38,11 @@ from repro.utils.floatbits import (
 )
 from repro.utils.rng import RandomState, new_rng, spawn_rngs
 from repro.utils.timing import Timer, TimingRegistry, timed
+from repro.utils.versioning import bump_weights_version, weights_version
 
 __all__ = [
+    "bump_weights_version",
+    "weights_version",
     "EXPONENT_BITS",
     "MANTISSA_BITS",
     "bits_to_float",

@@ -1,0 +1,54 @@
+"""Global weights-version counter for weight-derived checksum caches.
+
+The fused :class:`repro.core.engine.ProtectionEngine` caches encodings that
+are pure functions of model weights (the per-head row checksums of ``W_V``,
+the concatenated ``[W_Q | W_K]`` sibling-GEMM operand, bias adjustment
+terms).  Those caches are only valid while the weights they were derived
+from are unchanged, so every code path that mutates model weights bumps this
+process-global monotonic counter:
+
+* :meth:`repro.training.optimizer.SGD.step` / ``AdamW.step`` — after an
+  optimizer update;
+* :meth:`repro.nn.module.Module.load_state_dict` — after loading a
+  checkpoint or a stale-rollback snapshot.
+
+Cache entries record the version they were built at and are rebuilt on the
+next lookup after any bump.  Entries additionally pin the *identity* of
+their source arrays, so even a weight swap that nobody announced (a test
+rebinding ``param.data`` by hand) cannot serve a stale encoding; the
+version counter exists for the one case identity cannot see — *in-place*
+mutation of a weight buffer.  Code that edits weight storage in place
+outside the two paths above must call :func:`bump_weights_version` (or
+:meth:`repro.core.attention_checker.ATTNChecker.invalidate_weight_cache`)
+itself.
+
+The counter is process-global rather than per-model, and a bump invalidates
+*every* cached encoding — deliberately: treating an identity match as
+grounds to keep an entry across a version bump would make the counter blind
+to exactly the in-place mutations it exists to catch.  The cost of the
+conservative choice is that two models training in one process re-derive
+each other's weight encodings after every step; a missed invalidation, by
+contrast, would silently verify against stale checksums.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["weights_version", "bump_weights_version"]
+
+_lock = threading.Lock()
+_version = 0
+
+
+def weights_version() -> int:
+    """The current global weights version (monotonic, starts at 0)."""
+    return _version
+
+
+def bump_weights_version() -> int:
+    """Invalidate every weight-derived checksum cache; returns the new version."""
+    global _version
+    with _lock:
+        _version += 1
+        return _version
