@@ -17,6 +17,12 @@ The checksum/EEC-ABFT stack (``checksums``, ``eec_abft``, ``correction``,
 :mod:`repro.backend`, so the same code protects NumPy, CuPy or Torch arrays
 natively, and ``ATTNCheckerConfig.array_backend`` selects (or pins) the
 library per checker.
+``hooks``
+    The attention instrumentation protocol (:class:`AttentionHooks`,
+    :class:`GemmContext`, :class:`SectionContext`, the section-boundary op
+    map) — defined here, at the bottom of the stack, and re-exported by
+    :mod:`repro.nn.attention`, so checkers are importable without the model
+    layers.
 ``patterns``
     Error-pattern classification (0D / 1R / 1C / 2D) and error-type mixes,
     shared with the fault-propagation study.
@@ -47,6 +53,13 @@ library per checker.
 """
 
 from repro.core.thresholds import ABFTThresholds
+from repro.core.hooks import (
+    SECTION_BOUNDARY_OPS,
+    AttentionHooks,
+    AttentionOp,
+    GemmContext,
+    SectionContext,
+)
 from repro.core.checksums import (
     ChecksumState,
     checksum_weights,
@@ -94,6 +107,11 @@ from repro.core.adaptive import (
 
 __all__ = [
     "ABFTThresholds",
+    "AttentionHooks",
+    "AttentionOp",
+    "GemmContext",
+    "SectionContext",
+    "SECTION_BOUNDARY_OPS",
     "ChecksumState",
     "ChecksumWorkspace",
     "checksum_weights",

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.sections import PROTECTION_SECTIONS, SectionCostModel
-from repro.models.config import ModelConfig
+
+if TYPE_CHECKING:  # annotation-only: core must not import the model layer
+    from repro.models.config import ModelConfig
 
 __all__ = [
     "ERROR_TYPES",

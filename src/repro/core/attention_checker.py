@@ -61,9 +61,7 @@ Usage
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Any, Dict, List, Optional
 
 from repro.backend import (
     ArrayBackend,
@@ -84,14 +82,14 @@ from repro.core.checksums import (
 from repro.core.correction import MatrixCorrectionReport, correct_matrix
 from repro.core.eec_abft import check_columns, check_rows
 from repro.core.engine import ProtectionEngine, SectionOutcome
-from repro.core.sections import PROTECTION_SECTIONS
-from repro.core.thresholds import ABFTThresholds
-from repro.nn.attention import (
+from repro.core.hooks import (
     AttentionHooks,
     AttentionOp,
     GemmContext,
     SectionContext,
 )
+from repro.core.sections import PROTECTION_SECTIONS
+from repro.core.thresholds import ABFTThresholds
 from repro.utils.timing import TimingRegistry, XFER_PREFIX
 
 __all__ = [
@@ -322,11 +320,11 @@ class _PerGemmState:
 
     def __init__(self, enabled: Dict[str, bool]) -> None:
         self.enabled = enabled
-        self.cs_x_col: Optional[np.ndarray] = None
-        self.cs_q_col: Optional[np.ndarray] = None
-        self.cs_k_col: Optional[np.ndarray] = None
-        self.cs_v_row: Optional[np.ndarray] = None
-        self.cs_cl_col: Optional[np.ndarray] = None
+        self.cs_x_col: Optional[Any] = None
+        self.cs_q_col: Optional[Any] = None
+        self.cs_k_col: Optional[Any] = None
+        self.cs_v_row: Optional[Any] = None
+        self.cs_cl_col: Optional[Any] = None
 
 
 class _PerGemmReferenceBackend:
@@ -358,7 +356,7 @@ class _PerGemmReferenceBackend:
 
     # -- GEMM dispatch ----------------------------------------------------------
 
-    def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
+    def on_gemm_output(self, ctx: GemmContext, out: Any) -> Any:
         state = self._states.get(ctx.layer_index)
         if state is None:  # hooks attached mid-pass; nothing to do safely
             return out
@@ -397,7 +395,7 @@ class _PerGemmReferenceBackend:
         else:
             state.cs_k_col = cs
 
-    def _handle_attention_scores(self, ctx: GemmContext, state: _PerGemmState, out: np.ndarray) -> None:
+    def _handle_attention_scores(self, ctx: GemmContext, state: _PerGemmState, out: Any) -> None:
         """Q x K^T: pass checksums to AS, then detect & correct at the boundary."""
         checker = self.checker
         if not state.enabled.get("AS", False):
@@ -454,7 +452,7 @@ class _PerGemmReferenceBackend:
                 cs_v_row[..., 1] += xp.sum(bias_heads * v2, axis=-1)[None, :, None]
         state.cs_v_row = cs_v_row
 
-    def _handle_context_layer(self, ctx: GemmContext, state: _PerGemmState, out: np.ndarray) -> None:
+    def _handle_context_layer(self, ctx: GemmContext, state: _PerGemmState, out: Any) -> None:
         """AP x V: encode AP, pass checksums to CL, detect & correct at the boundary."""
         checker = self.checker
         cl_enabled = state.enabled.get("CL", False)
@@ -492,7 +490,7 @@ class _PerGemmReferenceBackend:
 
     # -- section S_O ------------------------------------------------------------
 
-    def _handle_output(self, ctx: GemmContext, state: _PerGemmState, out: np.ndarray) -> None:
+    def _handle_output(self, ctx: GemmContext, state: _PerGemmState, out: Any) -> None:
         """CL x W_O: carry column checksums through and correct the output O."""
         checker = self.checker
         if not state.enabled.get("O", False):
@@ -660,7 +658,7 @@ class ATTNChecker(AttentionHooks):
         else:
             self._reference.end_layer(layer_index)
 
-    def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
+    def on_gemm_output(self, ctx: GemmContext, out: Any) -> Any:
         if self._reference is not None:
             return self._reference.on_gemm_output(ctx, out)
         return out  # fused backend works at section boundaries only
@@ -675,7 +673,7 @@ class ATTNChecker(AttentionHooks):
         """
         return self.config.backend == "per_gemm"
 
-    def on_section_output(self, ctx: SectionContext, out: np.ndarray) -> np.ndarray:
+    def on_section_output(self, ctx: SectionContext, out: Any) -> Any:
         if self.engine is None:
             return out  # per-GEMM backend already handled the boundary GEMM
         outcome = self.engine.protect_section(ctx, out)

@@ -48,8 +48,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-import numpy as np
-
 from repro.backend import backend_of, get_backend, namespace_of
 from repro.core.workspace import matmul_into
 
@@ -258,7 +256,7 @@ def adjust_row_checksums_for_bias(row_checksums: Any, bias: Any) -> Any:
     n = bias.shape[-1]
     _, v2 = checksum_weights(n, xp=xp)
     adjusted = xp.astype(row_checksums, xp.float64, copy=True)
-    adjusted[..., 0] = adjusted[..., 0] + bias.sum()
+    adjusted[..., 0] = adjusted[..., 0] + xp.sum(bias, dtype=xp.float64)
     adjusted[..., 1] = adjusted[..., 1] + float(xp.dot(bias, v2))
     return adjusted
 

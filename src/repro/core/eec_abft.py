@@ -229,6 +229,8 @@ def check_columns(
         delta2 = cs[:, 1, :] - recomputed1
 
         extreme = thresholds.is_extreme(flat)                  # (B, m, n)
+        # Integer count of a boolean mask, not a checksum accumulation.
+        # reprolint: disable=DT001
         n_extreme = xp.sum(extreme, axis=1)                    # (B, n)
 
         tol = thresholds.detection_tolerance(cs[:, 0, :])
@@ -310,9 +312,15 @@ def check_columns(
             batch_idx, col_idx = xp.nonzero(extreme_single & ~aborted)
             if batch_idx.shape[0]:
                 rows = idx_extreme[batch_idx, col_idx]
-                # Reconstruct: true value = checksum - sum of healthy elements.
-                healthy = xp.where(extreme, 0.0, flat)
-                sum_others = xp.sum(healthy, axis=1)[batch_idx, col_idx] - xp.where(
+                # Reconstruct: true value = checksum - sum of healthy elements,
+                # accumulated in float64 like every other checksum-side sum (a
+                # low-precision healthy sum degrades the reconstructed value).
+                healthy = xp.where(
+                    extreme, 0.0, xp.astype(flat, xp.float64, copy=False)
+                )
+                sum_others = xp.sum(healthy, axis=1, dtype=xp.float64)[
+                    batch_idx, col_idx
+                ] - xp.where(
                     thresholds.is_extreme(flat[batch_idx, rows, col_idx]),
                     0.0,
                     flat[batch_idx, rows, col_idx],

@@ -169,8 +169,8 @@ from repro.core.correction import MatrixCorrectionReport, correct_matrix
 from repro.core.eec_abft import check_columns, check_rows
 from repro.core.sections import PROTECTION_SECTIONS
 from repro.core.thresholds import ABFTThresholds
+from repro.core.hooks import SectionContext
 from repro.core.workspace import ChecksumWorkspace, matmul_into, stack_into
-from repro.nn.attention import SectionContext
 from repro.utils.timing import TimingRegistry, XFER_D2H, XFER_H2D
 from repro.utils.versioning import weights_version
 
@@ -523,6 +523,8 @@ class ProtectionEngine:
     def _stack_batch(self, name: str, arrays: List[Any], xp: Any) -> Any:
         """Stack a verification group, into a batch-workspace buffer if on."""
         if self._batch_workspace is None:
+            # Allocating fallback for the workspace-off configuration.
+            # reprolint: disable=WS001
             return xp.stack(arrays)
         first = arrays[0]
         shape = (len(arrays),) + tuple(first.shape)
@@ -795,6 +797,7 @@ class ProtectionEngine:
                 # checksum_workspace_slots).  The contraction itself must stay
                 # an einsum: the per-GEMM reference computes it the same way,
                 # which is what keeps repaired values bitwise identical.
+                # reprolint: disable=WS001
                 cs_v_row = xp.einsum("...sd,dhw->...hsw", ops["x"], rowcs_wv)  # (B, H, S, 2)
                 if ops.get("bias_v") is not None:
                     def build_bias_terms() -> Tuple[Any, Any]:
@@ -1064,8 +1067,9 @@ class ProtectionEngine:
         worker.join(timeout=30.0)
         if worker.is_alive():  # pragma: no cover - only on a wedged batch
             raise RuntimeError("protection-engine verification worker did not shut down")
-        self._worker = None
-        self._shutdown = False
+        with self._cv:
+            self._worker = None
+            self._shutdown = False
 
     def _worker_main(self) -> None:
         while True:

@@ -1,0 +1,188 @@
+"""Attention instrumentation protocol — the nn ↔ core seam.
+
+These types name the six GEMMs of the paper's attention execution flow
+(Figure 1), the protection-section boundaries of Section 4.4, and the hook
+interface through which checkers and fault injectors observe GEMM outputs.
+They live in ``repro.core`` — not ``repro.nn`` — because the protection
+engine and ATTNChecker *are* hooks: the checker layer must be importable
+(and testable) without pulling in the model stack, while the nn layer
+imports downward to instrument itself.  :mod:`repro.nn.attention` re-exports
+everything here, so model-side code keeps its historical import path.
+
+Arrays are annotated ``Any`` throughout: hooks are xp-generic and receive
+whatever array type the owning backend produces (NumPy ndarray, CuPy array,
+Torch tensor).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.backend import ArrayBackend
+
+__all__ = [
+    "AttentionOp",
+    "GemmContext",
+    "SectionContext",
+    "AttentionHooks",
+    "SECTION_BOUNDARY_OPS",
+]
+
+
+class AttentionOp(str, enum.Enum):
+    """Names of the six GEMMs in the attention execution flow."""
+
+    XQ = "xq"
+    XK = "xk"
+    XV = "xv"
+    QK = "qk"
+    APV = "apv"
+    CLO = "clo"
+
+    @property
+    def output_matrix(self) -> str:
+        """Name of the matrix this GEMM produces (paper's Table 1 notation)."""
+        return _OP_TO_MATRIX[self]
+
+
+_OP_TO_MATRIX = {
+    AttentionOp.XQ: "Q",
+    AttentionOp.XK: "K",
+    AttentionOp.XV: "V",
+    AttentionOp.QK: "AS",
+    AttentionOp.APV: "CL",
+    AttentionOp.CLO: "O",
+}
+
+#: GEMMs that end a protection section (Section 4.4): the boundary matrices
+#: ``AS``, ``CL`` and ``O`` are produced by these three operations.  The
+#: section-level hook :meth:`AttentionHooks.on_section_output` fires exactly
+#: here, after the per-GEMM hooks have run on the same output.
+SECTION_BOUNDARY_OPS = {
+    AttentionOp.QK: "AS",
+    AttentionOp.APV: "CL",
+    AttentionOp.CLO: "O",
+}
+
+
+@dataclass
+class GemmContext:
+    """Everything a hook needs to know about one GEMM invocation.
+
+    Attributes
+    ----------
+    op:
+        Which of the six GEMMs is being executed.
+    a, b:
+        The operand arrays actually fed to the GEMM (post head-split for the
+        per-head operations).  Hooks must treat them as read-only.
+    layer_index:
+        Index of the attention layer inside the model.
+    step:
+        Monotonic counter of attention forward passes for this layer
+        (increments once per call, i.e. once per training micro-step).
+    num_heads, head_dim, seq_len:
+        Geometry of the attention call, needed by the checksum machinery.
+    """
+
+    op: AttentionOp
+    a: Any
+    b: Any
+    layer_index: int
+    step: int
+    num_heads: int
+    head_dim: int
+    seq_len: int
+    bias: Optional[Any] = None
+
+
+@dataclass
+class SectionContext:
+    """Everything a section-level hook needs about one protection section.
+
+    Delivered by :meth:`AttentionHooks.on_section_output` at the *boundary*
+    GEMM of each protection section (``qk`` for :math:`S_{AS}`, ``apv`` for
+    :math:`S_{CL}`, ``clo`` for :math:`S_O`), carrying every operand of the
+    whole section so a checksum-passing engine can encode the section inputs
+    once and carry the checksums through all member GEMMs in a single fused
+    dispatch, instead of one Python round-trip per GEMM.
+
+    Attributes
+    ----------
+    section:
+        Section name — ``"AS"``, ``"CL"`` or ``"O"``.
+    operands:
+        Named operand arrays of the section (read-only for hooks):
+
+        * ``"AS"``: ``x``, ``w_q``, ``w_k``, ``bias_q``, ``bias_k`` (biases
+          may be ``None``), plus the boundary GEMM operands ``q`` (split
+          heads, ``(B, H, S, dh)``) and ``k_t`` (``(B, H, dh, S)``).
+        * ``"CL"``: ``x``, ``w_v``, ``bias_v``, plus ``ap`` (attention
+          probabilities actually fed to the GEMM, i.e. post-dropout) and
+          ``v`` (split heads).
+        * ``"O"``: ``cl`` (merged heads, ``(B, S, D)``) and ``w_o``.
+    layer_index / step / num_heads / head_dim / seq_len:
+        Same geometry as :class:`GemmContext`.
+    backend:
+        The :class:`repro.backend.ArrayBackend` that owns the section's
+        arrays (resolved from the boundary output's type).  Checksum-passing
+        engines use it to run encode / carry / verify / repair natively in
+        the producing array library, so device-resident section outputs are
+        never round-tripped through host memory on the critical path.
+        ``None`` falls back to per-array dispatch.
+    """
+
+    section: str
+    operands: Dict[str, Optional[Any]]
+    layer_index: int
+    step: int
+    num_heads: int
+    head_dim: int
+    seq_len: int
+    backend: Optional[ArrayBackend] = None
+
+
+class AttentionHooks:
+    """Base class for attention instrumentation.
+
+    Subclasses override any subset of the callbacks.  The default
+    implementation is a no-op, so a hook only pays for what it uses.
+    """
+
+    def on_attention_start(self, layer_index: int, step: int) -> None:
+        """Called before any GEMM of a forward pass runs."""
+
+    def on_gemm_output(self, ctx: GemmContext, out: Any) -> Any:
+        """Called with the raw output of each GEMM; returns the output to use."""
+        return out
+
+    def on_section_output(self, ctx: SectionContext, out: Any) -> Any:
+        """Called with the boundary matrix of each protection section.
+
+        Fires after every per-GEMM :meth:`on_gemm_output` hook has processed
+        the same array (so an injector registered before a checker corrupts
+        the matrix first, exactly as in the per-GEMM protocol).  Returns the
+        output to use downstream.
+        """
+        return out
+
+    def consumes_gemm_outputs(self) -> bool:
+        """Whether this hook needs the per-GEMM :meth:`on_gemm_output` calls.
+
+        :class:`repro.nn.attention.MultiHeadAttention` skips per-GEMM dispatch
+        entirely (no :class:`GemmContext` is built) for non-boundary GEMMs
+        when no attached hook consumes them — this is what reduces a fused
+        section-level checker to three dispatches per layer instead of six.
+        The default detects an overridden :meth:`on_gemm_output`; hooks that
+        override it but do not need every GEMM (e.g. a section-level checker)
+        override this to return False.
+        """
+        return type(self).on_gemm_output is not AttentionHooks.on_gemm_output
+
+    def on_matrix(self, name: str, data: Any, layer_index: int, step: int) -> None:
+        """Observation callback for non-GEMM intermediate matrices (e.g. AP)."""
+
+    def on_attention_end(self, layer_index: int, step: int) -> None:
+        """Called after the output projection completes."""

@@ -11,16 +11,20 @@ and tracks which value classes appear (INF, NaN, near-INF or a mixture —
 Table 2 uses the symbols ∞, Θ, N and M).  This module provides the shared
 classification used by both the fault-propagation study
 (:mod:`repro.faults.propagation`) and the ABFT correction logic.
+
+All functions are xp-generic: they classify whatever array type they are
+handed (NumPy, CuPy, Torch) in that array's own namespace, so a
+device-resident matrix is classified on device.  Python sequences and
+scalars fall back to the NumPy reference backend via ``namespace_of``.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Sequence, Set
+from typing import Any, Optional
 
-import numpy as np
-
+from repro.backend import namespace_of
 from repro.core.thresholds import ABFTThresholds
 
 __all__ = [
@@ -77,12 +81,12 @@ class ErrorTypeSet:
 
 
 def error_mask(
-    observed: np.ndarray,
-    reference: Optional[np.ndarray] = None,
+    observed: Any,
+    reference: Optional[Any] = None,
     thresholds: Optional[ABFTThresholds] = None,
     rtol: float = 1e-6,
     atol: float = 1e-9,
-) -> np.ndarray:
+) -> Any:
     """Boolean mask of erroneous elements.
 
     With a ``reference`` (fault-free) matrix the mask marks every element that
@@ -90,68 +94,80 @@ def error_mask(
     back to marking extreme values only.
     """
     thresholds = thresholds or ABFTThresholds()
-    observed = np.asarray(observed)
+    xp = namespace_of(observed)
+    observed = xp.asarray(observed)
     if reference is None:
         return thresholds.is_extreme(observed)
-    reference = np.asarray(reference)
+    reference = xp.asarray(reference)
     if reference.shape != observed.shape:
         raise ValueError(
             f"reference shape {reference.shape} does not match observed shape {observed.shape}"
         )
-    with np.errstate(invalid="ignore"):
-        both_nan = np.isnan(observed) & np.isnan(reference)
-        close = np.isclose(observed, reference, rtol=rtol, atol=atol, equal_nan=False)
+    with xp.errstate(invalid="ignore"):
+        both_nan = xp.isnan(observed) & xp.isnan(reference)
+        # Element-wise isclose spelled out (equal_nan=False): not every
+        # namespace ships xp.isclose, and the open-coded form matches NumPy's
+        # definition — tolerance band on finite references, exact equality
+        # covering matching infinities.
+        close = (
+            (xp.abs(observed - reference) <= atol + rtol * xp.abs(reference))
+            & xp.isfinite(reference)
+        ) | (observed == reference)
     return ~(close | both_nan)
 
 
-def classify_error_pattern(mask: np.ndarray) -> ErrorPattern:
+def classify_error_pattern(mask: Any) -> ErrorPattern:
     """Classify the 2-D spatial pattern of ``mask`` (last two axes are the matrix).
 
     Leading batch/head axes are collapsed: the classification looks at the
     union footprint across blocks, matching how the paper reports one pattern
     per matrix.
     """
-    mask = np.asarray(mask, dtype=bool)
+    xp = namespace_of(mask)
+    mask = xp.astype(xp.asarray(mask), xp.bool_, copy=False)
     if mask.ndim < 2:
         raise ValueError("mask must have at least two dimensions")
-    collapsed = mask.reshape(-1, mask.shape[-2], mask.shape[-1]).any(axis=0)
-    if not collapsed.any():
+    blocks = mask.reshape(-1, mask.shape[-2], mask.shape[-1])
+    collapsed = xp.sum(blocks, axis=0) > 0
+    total = int(xp.sum(collapsed))
+    if total == 0:
         return ErrorPattern.NONE
-    rows = np.unique(np.nonzero(collapsed)[0])
-    cols = np.unique(np.nonzero(collapsed)[1])
-    total = int(collapsed.sum())
     if total == 1:
         return ErrorPattern.ZERO_D
-    if len(rows) == 1:
+    n_rows = int(xp.sum(xp.sum(collapsed, axis=1) > 0))
+    n_cols = int(xp.sum(xp.sum(collapsed, axis=0) > 0))
+    if n_rows == 1:
         return ErrorPattern.ONE_ROW
-    if len(cols) == 1:
+    if n_cols == 1:
         return ErrorPattern.ONE_COL
     return ErrorPattern.TWO_D
 
 
 def classify_error_types(
-    observed: np.ndarray,
-    mask: np.ndarray,
+    observed: Any,
+    mask: Any,
     thresholds: Optional[ABFTThresholds] = None,
 ) -> ErrorTypeSet:
     """Determine which value classes occur among the erroneous elements."""
     thresholds = thresholds or ABFTThresholds()
-    observed = np.asarray(observed)
-    mask = np.asarray(mask, dtype=bool)
+    xp = namespace_of(observed)
+    observed = xp.asarray(observed)
+    mask = xp.astype(xp.asarray(mask), xp.bool_, copy=False)
     if not mask.any():
         return ErrorTypeSet()
     values = observed[mask]
-    has_nan = bool(np.isnan(values).any())
-    has_inf = bool(np.isinf(values).any())
-    finite = values[np.isfinite(values)]
-    has_near = bool((np.abs(finite) > thresholds.near_inf).any()) if finite.size else False
-    has_numeric = bool((np.abs(finite) <= thresholds.near_inf).any()) if finite.size else False
+    has_nan = bool(xp.isnan(values).any())
+    has_inf = bool(xp.isinf(values).any())
+    finite = values[xp.isfinite(values)]
+    has_values = int(finite.shape[0]) > 0
+    has_near = bool((xp.abs(finite) > thresholds.near_inf).any()) if has_values else False
+    has_numeric = bool((xp.abs(finite) <= thresholds.near_inf).any()) if has_values else False
     return ErrorTypeSet(has_inf=has_inf, has_nan=has_nan, has_near_inf=has_near, has_numeric=has_numeric)
 
 
 def describe_corruption(
-    observed: np.ndarray,
-    reference: Optional[np.ndarray] = None,
+    observed: Any,
+    reference: Optional[Any] = None,
     thresholds: Optional[ABFTThresholds] = None,
 ) -> str:
     """One-token description like ``"1R-NaN"`` / ``"2D-M"`` / ``"-"``.

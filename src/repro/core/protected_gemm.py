@@ -23,10 +23,9 @@ section (Section 4.4) and the building block the fused
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
-import numpy as np
-
+from repro.backend import namespace_of
 from repro.core.checksums import (
     ChecksumState,
     encode_column_checksums,
@@ -49,7 +48,7 @@ __all__ = [
 class ProtectedGemmResult:
     """Output of one protected GEMM."""
 
-    output: np.ndarray
+    output: Any
     checksums: ChecksumState
     report: MatrixCorrectionReport
 
@@ -92,18 +91,19 @@ class ProtectedMatmul:
 
     def __call__(
         self,
-        a: np.ndarray,
-        b: np.ndarray,
-        fault_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        a: Any,
+        b: Any,
+        fault_hook: Optional[Callable[[Any], Any]] = None,
     ) -> ProtectedGemmResult:
         """Compute ``a @ b`` with checksum verification and correction.
 
         ``fault_hook`` receives the raw product and may corrupt it in place
         (returning the array to verify), emulating a transient compute fault.
         """
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
-        output = np.matmul(a, b)
+        xp = namespace_of(a)
+        a = xp.astype(xp.asarray(a), xp.float64, copy=False)
+        b = xp.astype(xp.asarray(b), xp.float64, copy=False)
+        output = xp.matmul(a, b)
         if fault_hook is not None:
             output = fault_hook(output)
 
@@ -152,9 +152,9 @@ class ProtectedGemmChain:
 
     def __call__(
         self,
-        a: np.ndarray,
-        bs: Sequence[np.ndarray],
-        fault_hook: Optional[Callable[[int, np.ndarray], np.ndarray]] = None,
+        a: Any,
+        bs: Sequence[Any],
+        fault_hook: Optional[Callable[[int, Any], Any]] = None,
     ) -> ProtectedGemmResult:
         """Compute the chained product with one verification at the end.
 
@@ -165,15 +165,16 @@ class ProtectedGemmChain:
         """
         if not bs:
             raise ValueError("chain needs at least one right-hand operand")
-        a = np.asarray(a, dtype=np.float64)
-        operands = [np.asarray(b, dtype=np.float64) for b in bs]
+        xp = namespace_of(a)
+        a = xp.astype(xp.asarray(a), xp.float64, copy=False)
+        operands = [xp.astype(xp.asarray(b), xp.float64, copy=False) for b in bs]
 
         out = a
         col = encode_column_checksums(a) if self.maintain_column else None
-        with np.errstate(invalid="ignore", over="ignore"):
+        with xp.errstate(invalid="ignore", over="ignore"):
             for stage, b in enumerate(operands):
                 penultimate = out
-                out = np.matmul(out, b)
+                out = xp.matmul(out, b)
                 if fault_hook is not None:
                     out = fault_hook(stage, out)
                 if col is not None:
@@ -195,9 +196,9 @@ class ProtectedGemmChain:
 
 
 def protected_matmul(
-    a: np.ndarray,
-    b: np.ndarray,
-    fault_hook: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    a: Any,
+    b: Any,
+    fault_hook: Optional[Callable[[Any], Any]] = None,
     thresholds: Optional[ABFTThresholds] = None,
     maintain_column: bool = True,
     maintain_row: bool = True,

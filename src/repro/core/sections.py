@@ -23,11 +23,13 @@ model used to reproduce Figures 7, 8, 10 and 12.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.backend import known_array_backends
-from repro.models.config import ModelConfig
 from repro.utils.timing import XFER_D2H, XFER_H2D
+
+if TYPE_CHECKING:  # annotation-only: core must not import the model layer
+    from repro.models.config import ModelConfig
 
 __all__ = [
     "ProtectionSection",

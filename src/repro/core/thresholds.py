@@ -23,8 +23,7 @@ thresholding runs on-device for CuPy/Torch data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
+from typing import Any
 
 from repro.backend import namespace_of
 
@@ -95,14 +94,14 @@ class ABFTThresholds:
         params.update(overrides)
         return cls(**params)
 
-    def detection_tolerance(self, reference) -> np.ndarray:
+    def detection_tolerance(self, reference) -> Any:
         """Per-comparison tolerance ``E`` scaled by the reference magnitude."""
         xp = namespace_of(reference)
         ref = xp.abs(xp.astype(xp.asarray(reference), xp.float64, copy=False))
         ref = xp.where(xp.isfinite(ref), ref, 0.0)
         return self.detect_rtol * ref + self.detect_atol
 
-    def is_extreme(self, values) -> np.ndarray:
+    def is_extreme(self, values) -> Any:
         """Mask of INF / NaN / near-INF elements."""
         xp = namespace_of(values)
         values = xp.asarray(values)

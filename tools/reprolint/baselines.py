@@ -1,0 +1,120 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is how a new rule lands green on a codebase with deliberate,
+justified exceptions: every entry carries its finding's stable fingerprint
+plus a **reason** explaining why the exception is intentional, reviewed like
+any other code.  CI fails only on findings *not* in the baseline, so the
+contract is zero-new-findings, and the file shrinks over time as exceptions
+are fixed (stale entries are reported so they cannot linger silently).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from reprolint.engine import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    symbol: str
+    detail: str
+    reason: str
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "detail": self.detail,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} (expected {_FORMAT_VERSION})"
+            )
+        return cls(
+            entries=[
+                BaselineEntry(
+                    fingerprint=entry["fingerprint"],
+                    rule=entry.get("rule", ""),
+                    path=entry.get("path", ""),
+                    symbol=entry.get("symbol", ""),
+                    detail=entry.get("detail", ""),
+                    reason=entry.get("reason", ""),
+                )
+                for entry in data.get("entries", [])
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                entry.to_json()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.fingerprint)
+                )
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- queries ---------------------------------------------------------------
+
+    def fingerprint_paths(self) -> Dict[str, str]:
+        """fingerprint -> path mapping the runner consumes."""
+        return {entry.fingerprint: entry.path for entry in self.entries}
+
+    def reason_for(self, fingerprint: str) -> Optional[str]:
+        for entry in self.entries:
+            if entry.fingerprint == fingerprint:
+                return entry.reason
+        return None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], previous: Optional["Baseline"] = None
+    ) -> "Baseline":
+        """Baseline covering ``findings``, keeping reasons already curated.
+
+        Used by ``--write-baseline``: new entries get a TODO reason that a
+        reviewer must replace; entries whose fingerprint already existed keep
+        their reviewed reason.
+        """
+        keep = {e.fingerprint: e.reason for e in previous.entries} if previous else {}
+        return cls(
+            entries=[
+                BaselineEntry(
+                    fingerprint=f.fingerprint,
+                    rule=f.rule,
+                    path=f.path,
+                    symbol=f.symbol,
+                    detail=f.detail,
+                    reason=keep.get(f.fingerprint, "TODO: justify or fix"),
+                )
+                for f in findings
+            ]
+        )

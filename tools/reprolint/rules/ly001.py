@@ -1,0 +1,113 @@
+"""LY001 — layering: core is the bottom of the model stack, backend below it.
+
+``repro.core`` (checksum math, the protection engine) must be importable
+without pulling in the model zoo, the nn layer, or training — that is what
+lets the ABFT kernels be tested and reused standalone, and what keeps the
+dependency graph acyclic when nn/models/training all import core.
+``repro.backend`` sits below everything: it abstracts arrays and must not
+know about checksums or models.  Annotation-only dependencies are fine when
+gated behind ``if TYPE_CHECKING:`` (they vanish at runtime).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from reprolint.engine import FileContext, Finding
+from reprolint.rules.base import PathScopedRule
+
+__all__ = ["LayeringRule"]
+
+
+class LayeringRule(PathScopedRule):
+    id = "LY001"
+    name = "layering"
+    invariant = (
+        "core/ must not import nn/models/training/data/cli; backend/ must "
+        "not import any repro layer above it (TYPE_CHECKING-gated imports "
+        "are exempt)."
+    )
+    rationale = (
+        "Upward imports make the checksum kernels untestable standalone and "
+        "create import cycles the moment a higher layer grows a core "
+        "dependency; the layering is the contract that keeps core reusable."
+    )
+    example = (
+        "src/repro/core/attention_checker.py:89: LY001 upward import "
+        "'repro.nn.attention' from layer core"
+    )
+
+    scope_prefixes = ("src/repro/core/", "src/repro/backend/")
+    #: layer prefix -> forbidden import prefixes (dotted module names).
+    forbidden: Dict[str, Tuple[str, ...]] = {
+        "src/repro/core/": (
+            "repro.nn",
+            "repro.models",
+            "repro.training",
+            "repro.data",
+            "repro.cli",
+        ),
+        "src/repro/backend/": (
+            "repro.core",
+            "repro.nn",
+            "repro.models",
+            "repro.training",
+            "repro.tensor",
+        ),
+    }
+
+    def _forbidden_for(self, relpath: str) -> Tuple[str, ...]:
+        for prefix, banned in self.forbidden.items():
+            if relpath.startswith(prefix):
+                return banned
+        return ()
+
+    @staticmethod
+    def _matches(module: str, banned: Tuple[str, ...]) -> bool:
+        return any(module == b or module.startswith(b + ".") for b in banned)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        banned = self._forbidden_for(ctx.relpath)
+        if not banned:
+            return iter(())
+        layer = ctx.relpath.split("/")[2] if ctx.relpath.count("/") >= 2 else "?"
+        findings = []
+        type_checking_spans = _type_checking_linenos(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            modules = ()
+            if isinstance(node, ast.Import):
+                modules = tuple(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                modules = (node.module,)
+            for module in modules:
+                if self._matches(module, banned) and node.lineno not in type_checking_spans:
+                    findings.append(
+                        self.finding(
+                            ctx, node,
+                            f"upward import '{module}' from layer {layer} — "
+                            "move the shared type down or gate it behind "
+                            "`if TYPE_CHECKING:`",
+                            detail=f"import:{module}",
+                        )
+                    )
+        return iter(findings)
+
+
+def _type_checking_linenos(tree: ast.AST) -> set:
+    """Line numbers lexically inside ``if TYPE_CHECKING:`` bodies."""
+    lines: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for child in node.body:
+                end = getattr(child, "end_lineno", child.lineno)
+                lines.update(range(child.lineno, end + 1))
+    return lines
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False

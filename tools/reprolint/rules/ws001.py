@@ -1,0 +1,74 @@
+"""WS001 — workspace ``out=`` contract on the engine hot path.
+
+The PR 5 zero-allocation checksum workspace exists because per-step array
+allocation dominated the protection overhead at small sequence lengths.  The
+engine's hot path must therefore route matmul/stack/einsum through the
+``matmul_into``/``stack_into``/``einsum_into`` helpers, which reuse
+workspace-owned output buffers.  A raw ``xp.matmul(...)`` added to
+``engine.py`` reintroduces a per-step allocation that no functional test can
+see — only the overhead benchmark drifts.  Deliberate exceptions (the
+workspace-off fallback; the one einsum whose ``out=`` form is ~4x slower in
+NumPy) carry inline suppressions explaining themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from reprolint.engine import FileContext, Finding, ScopedVisitor
+from reprolint.rules.base import PathScopedRule, unparse_short
+
+__all__ = ["WorkspaceContractRule"]
+
+
+class WorkspaceContractRule(PathScopedRule):
+    id = "WS001"
+    name = "workspace-contract"
+    invariant = (
+        "Engine hot-path matmul/stack/einsum go through the workspace "
+        "*_into helpers (out= reuse), not raw namespace calls."
+    )
+    rationale = (
+        "The zero-allocation workspace (PR 5) is what keeps protection "
+        "overhead flat at small sequence lengths; a raw xp.matmul on the hot "
+        "path reintroduces per-step allocations that only show up as "
+        "benchmark drift, never as a test failure."
+    )
+    example = (
+        "src/repro/core/engine.py:798: WS001 raw 'xp.einsum(...)' on the "
+        "engine hot path — use einsum_into (workspace out= contract)"
+    )
+
+    scope_files = ("src/repro/core/engine.py",)
+    #: Namespace calls with a workspace ``*_into`` counterpart.
+    managed_calls: Tuple[str, ...] = ("matmul", "stack", "einsum")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(_WorkspaceVisitor(self, ctx).collect())
+
+
+class _WorkspaceVisitor(ScopedVisitor):
+    def __init__(self, rule: WorkspaceContractRule, ctx: FileContext) -> None:
+        super().__init__()
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: list = []
+
+    def collect(self) -> list:
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self.rule.managed_calls:
+            self.findings.append(
+                self.rule.finding(
+                    self.ctx, node,
+                    f"raw '{unparse_short(node)}' on the engine hot path — "
+                    f"use {func.attr}_into (workspace out= contract)",
+                    detail=f"call:{func.attr}",
+                    symbol=self.symbol(),
+                )
+            )
+        self.generic_visit(node)
