@@ -60,8 +60,9 @@ Usage
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.backend import (
     ArrayBackend,
@@ -74,14 +75,20 @@ from repro.core.checksums import (
     adjust_column_checksums_for_bias,
     encode_column_checksums,
     encode_per_head_row_checksums_of_weight,
+    encode_row_checksums,
     checksum_weights,
     merge_head_column_checksums,
     split_head_column_checksums,
     update_column_checksums_through_gemm,
+    update_column_checksums_with_appended_rows,
 )
 from repro.core.correction import MatrixCorrectionReport, correct_matrix
 from repro.core.eec_abft import check_columns, check_rows
-from repro.core.engine import ProtectionEngine, SectionOutcome
+from repro.core.engine import (
+    ProtectionEngine,
+    SectionOutcome,
+    request_dirty_from_report,
+)
 from repro.core.hooks import (
     AttentionHooks,
     AttentionOp,
@@ -361,6 +368,21 @@ class _PerGemmReferenceBackend:
         if state is None:  # hooks attached mid-pass; nothing to do safely
             return out
         op = ctx.op
+        if ctx.phase == "decode":
+            # Decode is row-side only (see the engine's decode section for
+            # the algebra); XQ contributes nothing because no column
+            # checksums of Q are carried at decode.
+            if op is AttentionOp.XK:
+                self._handle_projection_decode(ctx, state)
+            elif op is AttentionOp.XV:
+                self._handle_value_projection_decode(ctx, state)
+            elif op is AttentionOp.QK:
+                self._handle_attention_scores_decode(ctx, state, out)
+            elif op is AttentionOp.APV:
+                self._handle_context_layer_decode(ctx, state, out)
+            elif op is AttentionOp.CLO:
+                self._handle_output_decode(ctx, state, out)
+            return out
         if op is AttentionOp.XQ:
             self._handle_projection(ctx, state, which="q")
         elif op is AttentionOp.XK:
@@ -386,6 +408,15 @@ class _PerGemmReferenceBackend:
         if state.cs_x_col is None:
             with checker.timers.measure("AS/encode"):
                 state.cs_x_col = encode_column_checksums(ctx.a)
+            if ctx.phase == "prefill" and ctx.kv_cache is not None:
+                # Seed the cache's incremental input checksums so decode can
+                # fold appended tokens in O(1) of the cached length.
+                cache = ctx.kv_cache
+                cs_x_buf, _ = cache.ensure_checksum_buffers(
+                    namespace_of(ctx.a), ctx.a.shape[-1]
+                )
+                cs_x_buf[...] = state.cs_x_col
+                cache.cs_x_len = num_rows
         with checker.timers.measure("AS/update"):
             cs = update_column_checksums_through_gemm(state.cs_x_col, ctx.b)
             if ctx.bias is not None:
@@ -394,6 +425,32 @@ class _PerGemmReferenceBackend:
             state.cs_q_col = cs
         else:
             state.cs_k_col = cs
+
+    def _record_report(
+        self, ctx: GemmContext, section: str, report: MatrixCorrectionReport
+    ) -> None:
+        """Record one boundary verification; surface it to serving callers.
+
+        Training callers read ``stats`` / ``last_reports``; serving callers
+        additionally drain :meth:`ATTNChecker.take_recent_outcomes`, so every
+        non-train verification is wrapped in a :class:`SectionOutcome`
+        carrying the per-request dirty mask — the same attribution the fused
+        engine computes, so both backends drive identical repair-or-evict
+        decisions.
+        """
+        checker = self.checker
+        checker.stats.sections[section].record(report)
+        checker.last_reports[section] = report
+        if ctx.phase != "train":
+            checker.recent_outcomes.append(
+                SectionOutcome(
+                    section=section,
+                    layer_index=ctx.layer_index,
+                    step=ctx.step,
+                    report=report,
+                    request_dirty=request_dirty_from_report(report),
+                )
+            )
 
     def _handle_attention_scores(self, ctx: GemmContext, state: _PerGemmState, out: Any) -> None:
         """Q x K^T: pass checksums to AS, then detect & correct at the boundary."""
@@ -418,8 +475,7 @@ class _PerGemmReferenceBackend:
                 out, checksums, thresholds=checker.thresholds,
                 refresh_checksums=checker.config.refresh_checksums,
             )
-        checker.stats.sections["AS"].record(report)
-        checker.last_reports["AS"] = report
+        self._record_report(ctx, "AS", report)
         if checker.config.repair_operands and report.corrected > 0:
             with checker.timers.measure("AS/correct"):
                 q_report = check_columns(ctx.a, cs_q_ph, thresholds=checker.thresholds)
@@ -451,6 +507,14 @@ class _PerGemmReferenceBackend:
                 cs_v_row[..., 0] += xp.sum(bias_heads, axis=-1)[None, :, None]
                 cs_v_row[..., 1] += xp.sum(bias_heads * v2, axis=-1)[None, :, None]
         state.cs_v_row = cs_v_row
+        if ctx.phase == "prefill" and ctx.kv_cache is not None:
+            # Seed the cache's per-position row checksums of V (bias folded
+            # in), ready for per-token extension at decode.
+            cache = ctx.kv_cache
+            prompt_len = ctx.a.shape[-2]
+            _, cs_v_buf = cache.ensure_checksum_buffers(xp, ctx.a.shape[-1])
+            cs_v_buf[:, :, :prompt_len, :] = cs_v_row
+            cache.cs_v_len = prompt_len
 
     def _handle_context_layer(self, ctx: GemmContext, state: _PerGemmState, out: Any) -> None:
         """AP x V: encode AP, pass checksums to CL, detect & correct at the boundary."""
@@ -477,8 +541,7 @@ class _PerGemmReferenceBackend:
                     out, checksums, thresholds=checker.thresholds,
                     refresh_checksums=checker.config.refresh_checksums,
                 )
-            checker.stats.sections["CL"].record(report)
-            checker.last_reports["CL"] = report
+            self._record_report(ctx, "CL", report)
             if checker.config.repair_operands and report.corrected > 0 and state.cs_v_row is not None:
                 with checker.timers.measure("CL/correct"):
                     v_report = check_rows(ctx.b, state.cs_v_row, thresholds=checker.thresholds)
@@ -506,8 +569,142 @@ class _PerGemmReferenceBackend:
                 out, ChecksumState(col=cs_o_col), thresholds=checker.thresholds,
                 refresh_checksums=checker.config.refresh_checksums,
             )
-        checker.stats.sections["O"].record(report)
-        checker.last_reports["O"] = report
+        self._record_report(ctx, "O", report)
+
+    # -- decode (incremental, row-side only) -------------------------------------
+    #
+    # The reference decode algebra mirrors the engine's decode section
+    # byte-for-byte: the cache's incremental input checksums ``cs_x`` fold in
+    # the new token's row in O(1) of the cached length, per-position row
+    # checksums of V extend by one slot, and each boundary verifies its row
+    # side only (the column side would be O(T) to re-encode, which is exactly
+    # what incremental decode protection avoids).
+
+    @staticmethod
+    def _decode_cache(ctx: GemmContext) -> Any:
+        cache = ctx.kv_cache
+        if cache is None:
+            raise RuntimeError(
+                f"decode GEMM {ctx.op.value!r} fired without a KV cache in context"
+            )
+        return cache
+
+    def _handle_projection_decode(self, ctx: GemmContext, state: _PerGemmState) -> None:
+        """X x W_K at decode: fold the new row into cs(X), derive col(K)."""
+        checker = self.checker
+        if not state.enabled.get("AS", False):
+            return
+        cache = self._decode_cache(ctx)
+        total_len = cache.length + 1  # this token's K row is appended later
+        if cache.cs_x is None or cache.cs_x_len != total_len - 1:
+            raise RuntimeError(
+                f"decode AS protection needs contiguous incremental checksums: "
+                f"cache covers {cache.cs_x_len} rows but the model is decoding "
+                f"token {total_len}; run a protected prefill first and keep the "
+                f"AS section enabled on every decode step"
+            )
+        with checker.timers.measure("AS/encode"):
+            update_column_checksums_with_appended_rows(cache.cs_x, ctx.a, total_len - 1)
+            cache.cs_x_len = total_len
+        with checker.timers.measure("AS/update"):
+            cs = update_column_checksums_through_gemm(cache.cs_x, ctx.b)
+            if ctx.bias is not None:
+                cs = adjust_column_checksums_for_bias(cs, ctx.bias, total_len)
+        state.cs_k_col = cs
+
+    def _handle_attention_scores_decode(
+        self, ctx: GemmContext, state: _PerGemmState, out: Any
+    ) -> None:
+        """q x K^T at decode: verify the new score row against row(AS)."""
+        checker = self.checker
+        if not state.enabled.get("AS", False):
+            checker.stats.sections["AS"].checks_skipped += 1
+            return
+        if state.cs_k_col is None:
+            return
+        xp = namespace_of(ctx.a)
+        with checker.timers.measure("AS/update"):
+            cs_k_ph = split_head_column_checksums(state.cs_k_col, ctx.num_heads)
+            cs_as_row = xp.matmul(ctx.a, xp.swapaxes(cs_k_ph, -1, -2))  # (B, H, 1, 2)
+        with checker.timers.measure("AS/detect"):
+            report = correct_matrix(
+                out, ChecksumState(row=cs_as_row), thresholds=checker.thresholds,
+                refresh_checksums=checker.config.refresh_checksums,
+            )
+        self._record_report(ctx, "AS", report)
+
+    def _handle_value_projection_decode(self, ctx: GemmContext, state: _PerGemmState) -> None:
+        """X x W_V at decode: extend the cached row checksums of V by one slot."""
+        checker = self.checker
+        if not state.enabled.get("CL", False):
+            return
+        cache = self._decode_cache(ctx)
+        total_len = cache.length + 1  # this token's V row is appended later
+        if cache.cs_v_row is None or cache.cs_v_len != total_len - 1:
+            raise RuntimeError(
+                f"decode CL protection needs contiguous incremental checksums: "
+                f"cache covers {cache.cs_v_len} rows but the model is decoding "
+                f"token {total_len}; run a protected prefill first and keep the "
+                f"CL section enabled on every decode step"
+            )
+        num_heads = ctx.num_heads
+        head_dim = ctx.head_dim
+        xp = namespace_of(ctx.a)
+        with checker.timers.measure("CL/encode"):
+            rowcs_wv = encode_per_head_row_checksums_of_weight(ctx.b, num_heads)
+        with checker.timers.measure("CL/update"):
+            cs_v_new = xp.einsum("...sd,dhw->...hsw", ctx.a, rowcs_wv)  # (B, H, 1, 2)
+            if ctx.bias is not None:
+                bias_heads = xp.astype(
+                    xp.asarray(ctx.bias), xp.float64, copy=False
+                ).reshape(num_heads, head_dim)
+                _, v2 = checksum_weights(head_dim, xp=xp)
+                cs_v_new[..., 0] += xp.sum(bias_heads, axis=-1)[None, :, None]
+                cs_v_new[..., 1] += xp.sum(bias_heads * v2, axis=-1)[None, :, None]
+            cache.cs_v_row[:, :, total_len - 1 : total_len, :] = cs_v_new
+            cache.cs_v_len = total_len
+
+    def _handle_context_layer_decode(
+        self, ctx: GemmContext, state: _PerGemmState, out: Any
+    ) -> None:
+        """ap x V at decode: verify the new context row against row(CL)."""
+        checker = self.checker
+        if not state.enabled.get("CL", False):
+            checker.stats.sections["CL"].checks_skipped += 1
+            return
+        cache = self._decode_cache(ctx)
+        total_len = cache.length  # APV fires after the append
+        if cache.cs_v_row is None or cache.cs_v_len != total_len:
+            raise RuntimeError(
+                f"decode CL protection needs contiguous incremental checksums: "
+                f"cache covers {cache.cs_v_len} of {total_len} rows"
+            )
+        xp = namespace_of(ctx.a)
+        with checker.timers.measure("CL/update"):
+            cs_cl_row = xp.matmul(ctx.a, cache.cs_v_row[:, :, :total_len, :])
+        with checker.timers.measure("CL/detect"):
+            report = correct_matrix(
+                out, ChecksumState(row=cs_cl_row), thresholds=checker.thresholds,
+                refresh_checksums=checker.config.refresh_checksums,
+            )
+        self._record_report(ctx, "CL", report)
+
+    def _handle_output_decode(self, ctx: GemmContext, state: _PerGemmState, out: Any) -> None:
+        """cl x W_O at decode: verify the new output row against row(O)."""
+        checker = self.checker
+        if not state.enabled.get("O", False):
+            checker.stats.sections["O"].checks_skipped += 1
+            return
+        xp = namespace_of(ctx.a)
+        with checker.timers.measure("O/update"):
+            rowcs_wo = encode_row_checksums(ctx.b)                  # (D, 2)
+            cs_o_row = xp.matmul(ctx.a, rowcs_wo)                   # (B, 1, 2)
+        with checker.timers.measure("O/detect"):
+            report = correct_matrix(
+                out, ChecksumState(row=cs_o_row), thresholds=checker.thresholds,
+                refresh_checksums=checker.config.refresh_checksums,
+            )
+        self._record_report(ctx, "O", report)
 
 
 class ATTNChecker(AttentionHooks):
@@ -518,6 +715,10 @@ class ATTNChecker(AttentionHooks):
         self.stats = CheckerStats()
         self.timers = TimingRegistry()
         self.last_reports: Dict[str, MatrixCorrectionReport] = {}
+        #: Bounded ring of recently verified section outcomes, drained by
+        #: :meth:`take_recent_outcomes` (the serving engine reads per-request
+        #: fault attribution from here after each prefill/decode step).
+        self.recent_outcomes: Deque[SectionOutcome] = deque(maxlen=1024)
         self._freq_accumulators: Dict[str, float] = {name: 0.0 for name in PROTECTION_SECTIONS}
         #: Resolved array-backend pin; ``None`` = follow the section's arrays.
         self.array_backend: Optional[ArrayBackend] = (
@@ -622,6 +823,7 @@ class ATTNChecker(AttentionHooks):
         self.stats.reset()
         self.timers.reset()
         self.last_reports.clear()
+        self.recent_outcomes.clear()
 
     # -- frequency gating (policy) ----------------------------------------------
 
@@ -754,6 +956,7 @@ class ATTNChecker(AttentionHooks):
             if outcome.stale and report.detected:
                 stats.stale_detections += 1
             self.last_reports[outcome.section] = report
+            self.recent_outcomes.append(outcome)
 
     # -- stats plumbing -----------------------------------------------------------
 
@@ -772,6 +975,21 @@ class ATTNChecker(AttentionHooks):
         stats.record(outcome.report)
         self.last_reports[section] = outcome.report
         stats.operand_repairs += outcome.operand_repairs
+        self.recent_outcomes.append(outcome)
+
+    def take_recent_outcomes(self) -> List[SectionOutcome]:
+        """Drain and return the bounded ring of verified section outcomes.
+
+        Serving callers read :attr:`SectionOutcome.request_dirty` off the
+        drained outcomes to attribute detections to individual requests of a
+        batch.  The ring holds at most its ``maxlen`` most recent outcomes,
+        so a caller that drains once per step never loses any (one step
+        produces at most sections x layers outcomes); a caller that never
+        drains pays bounded memory instead of a leak.
+        """
+        outcomes = list(self.recent_outcomes)
+        self.recent_outcomes.clear()
+        return outcomes
 
     # -- reporting ----------------------------------------------------------------
 

@@ -61,6 +61,7 @@ __all__ = [
     "recompute_row_sums",
     "update_column_checksums_through_gemm",
     "update_row_checksums_through_gemm",
+    "update_column_checksums_with_appended_rows",
     "adjust_column_checksums_for_bias",
     "adjust_row_checksums_for_bias",
     "split_head_column_checksums",
@@ -225,6 +226,42 @@ def update_column_checksums_through_gemm(col_checksums_a: Any, b: Any) -> Any:
 def update_row_checksums_through_gemm(a: Any, row_checksums_b: Any) -> Any:
     """Propagate row checksums through ``C = A B``:  ``row(C) = A row(B)``."""
     return namespace_of(a).matmul(a, row_checksums_b)
+
+
+def update_column_checksums_with_appended_rows(
+    col_checksums: Any, new_rows: Any, first_row_index: int
+) -> Any:
+    """Fold rows appended to a growing matrix into its column checksums, in place.
+
+    For a matrix that grows along its row axis — the KV-cache view of the
+    attention input, one row per decoded token — the Huang–Abraham column
+    checksums update incrementally: appending row ``x`` at (0-based) position
+    ``p`` shifts the unweighted sums by ``x`` and the weighted sums by
+    ``(p + 1) * x``, because ``v2`` weights row ``p`` with ``p + 1``.  The
+    update is O(rows appended), independent of how many rows the matrix
+    already holds — this is what makes per-token decode protection O(1) in
+    the cached sequence length.
+
+    ``col_checksums`` must be a float64 ``(..., 2, n)`` buffer (it is mutated
+    in place and returned); ``new_rows`` is ``(..., t, n)`` with
+    ``first_row_index`` the 0-based position of its first row in the grown
+    matrix.  Accumulation is in float64 like the encoders.
+    """
+    xp = namespace_of(col_checksums)
+    new64 = xp.astype(xp.asarray(new_rows), xp.float64, copy=False)
+    t = new64.shape[-2]
+    if t == 1:
+        # Single-token decode hot path: two elementwise AXPYs, no reductions.
+        row = new64[..., 0, :]
+        col_checksums[..., 0, :] += row
+        col_checksums[..., 1, :] += float(first_row_index + 1) * row
+        return col_checksums
+    unweighted = xp.sum(new64, axis=-2, dtype=xp.float64)
+    _, v2 = checksum_weights(t, xp=xp)
+    weighted = xp.einsum("i,...ij->...j", v2, new64)
+    col_checksums[..., 0, :] += unweighted
+    col_checksums[..., 1, :] += weighted + float(first_row_index) * unweighted
+    return col_checksums
 
 
 def adjust_column_checksums_for_bias(

@@ -161,9 +161,11 @@ from repro.core.checksums import (
     checksum_weights,
     encode_column_checksums,
     encode_per_head_row_checksums_of_weight,
+    encode_row_checksums,
     merge_head_column_checksums,
     split_head_column_checksums,
     update_column_checksums_through_gemm,
+    update_column_checksums_with_appended_rows,
 )
 from repro.core.correction import MatrixCorrectionReport, correct_matrix
 from repro.core.eec_abft import check_columns, check_rows
@@ -174,7 +176,40 @@ from repro.core.workspace import ChecksumWorkspace, matmul_into, stack_into
 from repro.utils.timing import TimingRegistry, XFER_D2H, XFER_H2D
 from repro.utils.versioning import weights_version
 
-__all__ = ["SectionOutcome", "ProtectionEngine", "WeightEncodingCache"]
+__all__ = [
+    "SectionOutcome",
+    "ProtectionEngine",
+    "WeightEncodingCache",
+    "fold_request_dirty",
+    "request_dirty_from_report",
+]
+
+
+def fold_request_dirty(dirty: Optional[Any], mask: Any) -> Optional[Any]:
+    """OR a per-vector dirty mask into a per-request (batch-axis) mask.
+
+    ``mask`` keeps the boundary matrix's leading axes; reducing over
+    every non-leading axis attributes the verdict to the batch entries
+    (requests) whose slice it touched.  Leaves ``dirty`` unchanged for
+    masks without a batch axis to reduce over.
+    """
+    if mask.ndim < 2:
+        return dirty
+    flat = mask.reshape(mask.shape[0], -1).any(-1)
+    return flat if dirty is None else (dirty | flat)
+
+
+def request_dirty_from_report(report: MatrixCorrectionReport) -> Optional[Any]:
+    """Per-request boolean dirty mask from one verification's sub-reports.
+
+    Shared by the fused engine and the per-GEMM reference backend so both
+    attribute serving-time detections to batch entries the same way.
+    """
+    dirty = None
+    for sub in (report.column_report, report.row_report):
+        if sub is not None:
+            dirty = fold_request_dirty(dirty, sub.detected | sub.aborted)
+    return dirty
 
 #: Dataflow order of the protection sections within one attention pass (the
 #: declaration order of ``PROTECTION_SECTIONS``).  The async repair pass uses
@@ -213,6 +248,13 @@ class SectionOutcome:
     #: Bounded-staleness repair of the retained boundary matrix (async mode,
     #: earliest dirty boundary of its pass only).
     repair: Optional[MatrixCorrectionReport] = None
+    #: Per-request dirty mask: boolean array over the leading batch axis,
+    #: True where detection/abort touched that request's slice of the
+    #: boundary matrix.  Populated on serving (prefill/decode) verifications
+    #: and by the batched pass; ``None`` when no verification ran or the
+    #: boundary had no batch axis.  Sound for attention boundaries because
+    #: every attention GEMM is row-independent across the batch axis.
+    request_dirty: Optional[Any] = None
 
 
 class _LayerState:
@@ -542,8 +584,14 @@ class ProtectionEngine:
         if ctx.section == "AS":
             return state.enabled.get("AS", False)
         if ctx.section == "CL":
+            if ctx.phase == "decode":
+                # Decode CL is row-side only and feeds nothing into S_O
+                # (decode S_O carries rowcs(W_O) instead of cs_cl_col).
+                return state.enabled.get("CL", False)
             return state.enabled.get("CL", False) or state.enabled.get("O", False)
         if ctx.section == "O":
+            if ctx.phase == "decode":
+                return state.enabled.get("O", False)
             return state.enabled.get("O", False) and state.cs_cl_col is not None
         raise KeyError(f"unknown protection section {ctx.section!r}")
 
@@ -565,7 +613,10 @@ class ProtectionEngine:
             return (pinned or owner), ctx.operands, out, False
         with self._timed(XFER_H2D, pinned):
             ops = {
-                key: None if value is None else pinned.asarray(value)
+                # The KV cache is a plain Python object riding along in the
+                # operand dict, not an array — never adopt it.
+                key: value if key == "kv_cache" or value is None
+                else pinned.asarray(value)
                 for key, value in ctx.operands.items()
             }
             work = pinned.asarray(out)
@@ -612,6 +663,23 @@ class ProtectionEngine:
             return None
         if not self._section_active(ctx, state):
             return None
+        if ctx.phase == "decode":
+            # Decode always runs natively: the incremental checksum state
+            # lives beside the KV cache on the model's own backend, so a
+            # pinned-foreign adoption round-trip would desynchronise it.
+            if self.array_backend is not None and not self.array_backend.is_backend_array(out):
+                raise RuntimeError(
+                    "decode protection does not support a pinned-foreign engine; "
+                    "run the engine on the model's array backend"
+                )
+            backend = ctx.backend if ctx.backend is not None else backend_of(out)
+            if ctx.section == "AS":
+                return self._protect_as_decode(ctx, state, ctx.operands, out, backend)
+            if ctx.section == "CL":
+                return self._protect_cl_decode(ctx, state, ctx.operands, out, backend)
+            if ctx.section == "O":
+                return self._protect_o_decode(ctx, state, ctx.operands, out, backend)
+            raise KeyError(f"unknown protection section {ctx.section!r}")
         backend, ops, work, adopted = self._adopt_section(ctx, out)
         if ctx.section == "AS":
             outcome = self._protect_as(ctx, state, ops, work, backend)
@@ -647,6 +715,10 @@ class ProtectionEngine:
                 out, checksums, thresholds=self.thresholds,
                 refresh_checksums=self.refresh_checksums,
             )
+        if ctx.phase != "train":
+            outcome.request_dirty = request_dirty_from_report(outcome.report)
+
+    _fold_request_dirty = staticmethod(fold_request_dirty)
 
     # -- section S_AS -----------------------------------------------------------
 
@@ -672,6 +744,14 @@ class ProtectionEngine:
             cs_x = encode_column_checksums(
                 x, out=self._buf("AS/cs_x", lead + (2, x.shape[-1]), xp)
             )
+            if ctx.phase == "prefill" and ops.get("kv_cache") is not None:
+                # Seed the cache's incremental input checksums.  Copy, not
+                # alias: cs_x may live in a workspace slot shared across
+                # layer visits.
+                cache = ops["kv_cache"]
+                cs_x_buf, _ = cache.ensure_checksum_buffers(xp, x.shape[-1])
+                cs_x_buf[...] = cs_x
+                cache.cs_x_len = num_rows
         # ...and carry it through every member GEMM of the section.
         with self._timed("AS/update", backend):
             # Sibling fusion: W_Q and W_K consume the same carried checksum,
@@ -757,6 +837,188 @@ class ProtectionEngine:
             outcome.operand_repairs = q_report.num_corrected + kt_report.num_corrected
         return outcome
 
+    # -- decode sections (serving) ----------------------------------------------
+    #
+    # A decode step appends one row to the attention input, so every decode
+    # boundary matrix has a single query row — the column checksums degenerate
+    # (a sum over one row detects nothing the row itself doesn't show), and
+    # the decode chain therefore carries *row* checksums only:
+    #
+    # * S_AS: fold the new input row into the cache's incremental cs(X)
+    #   (elementwise, O(1) in the cached length), re-derive col(K) through
+    #   W_K, and row(AS) = Q col(K)^T exactly as in training.
+    # * S_CL: derive the new V row's checksum from the cached rowcs(W_V)
+    #   carry, write it into its cache slot, and row(CL) = AP row(V).
+    # * S_O: carry the per-weight-version rowcs(W_O) through the output
+    #   projection — row(O) = CL row(W_O).
+    #
+    # Steady-state checksum GEMM dispatches per layer per token: AS 2, CL 2,
+    # O 1 — constant in the cached length (SectionCostModel's serving entry).
+
+    def _decode_cache(self, ops: Dict[str, Optional[Any]], section: str):
+        cache = ops.get("kv_cache")
+        if cache is None:
+            raise RuntimeError(
+                f"decode {section} protection requires the KV cache in the "
+                "section operands"
+            )
+        return cache
+
+    def _protect_as_decode(
+        self,
+        ctx: SectionContext,
+        state: _LayerState,
+        ops: Dict[str, Optional[Any]],
+        out: Any,
+        backend: ArrayBackend,
+    ) -> Optional[SectionOutcome]:
+        xp = backend.namespace_for(out)
+        cache = self._decode_cache(ops, "AS")
+        x = ops["x"]                      # (B, 1, D) — the new input row
+        total_len = cache.length          # post-append cache length T
+        lead = tuple(x.shape[:-2])
+        outcome = SectionOutcome(section="AS", layer_index=ctx.layer_index, step=ctx.step)
+        if cache.cs_x is None or cache.cs_x_len != total_len - 1:
+            raise RuntimeError(
+                "decode AS protection needs contiguous incremental checksums: "
+                f"cache covers {cache.cs_x_len if cache.cs_x is not None else 'no'} "
+                f"of {total_len - 1} prior positions — run a protected prefill "
+                "and keep the AS section enabled on every decode step"
+            )
+
+        with self._timed("AS/encode", backend):
+            # O(1) incremental fold of the new row — elementwise AXPYs, not a
+            # checksum GEMM dispatch.
+            update_column_checksums_with_appended_rows(cache.cs_x, x, total_len - 1)
+            cache.cs_x_len = total_len
+        with self._timed("AS/update", backend):
+            w_k = ops["w_k"]
+            bias_k = ops.get("bias_k")
+            self.dispatch_counts["gemm"] += 1
+            cs_k = matmul_into(
+                xp, cache.cs_x, w_k,
+                self._buf("AS/decode_cs_k", lead + (2, w_k.shape[-1]), xp),
+            )
+            if bias_k is not None:
+                b_k = self._cached_weight(
+                    ("AS/decode_bias_k", ctx.layer_index),
+                    (ctx.operands["bias_k"],),
+                    lambda: xp.astype(xp.asarray(bias_k), xp.float64, copy=False),
+                )
+                # Fresh float64 GEMM output: in-place adds are value-identical
+                # to adjust_column_checksums_for_bias's copy-then-add.
+                cs_k[..., 0, :] += total_len * b_k
+                cs_k[..., 1, :] += (total_len * (total_len + 1) / 2.0) * b_k
+            cs_k_ph = split_head_column_checksums(cs_k, ctx.num_heads)  # (B, H, 2, dh)
+            self.dispatch_counts["gemm"] += 1
+            cs_as_row = matmul_into(                                    # (B, H, 1, 2)
+                xp, ops["q"], xp.swapaxes(cs_k_ph, -1, -2),
+                self._transient_buf(
+                    "AS/decode_cs_as_row", tuple(ops["q"].shape[:-1]) + (2,), xp
+                ),
+            )
+
+        self._verify(ctx, out, ChecksumState(row=cs_as_row), outcome, backend)
+        return outcome
+
+    def _protect_cl_decode(
+        self,
+        ctx: SectionContext,
+        state: _LayerState,
+        ops: Dict[str, Optional[Any]],
+        out: Any,
+        backend: ArrayBackend,
+    ) -> Optional[SectionOutcome]:
+        xp = backend.namespace_for(out)
+        cache = self._decode_cache(ops, "CL")
+        x = ops["x"]
+        ap = ops["ap"]                    # (B, H, 1, T)
+        total_len = cache.length
+        outcome = SectionOutcome(section="CL", layer_index=ctx.layer_index, step=ctx.step)
+        if cache.cs_v_row is None or cache.cs_v_len != total_len - 1:
+            raise RuntimeError(
+                "decode CL protection needs contiguous incremental checksums: "
+                f"cache covers {cache.cs_v_len if cache.cs_v_row is not None else 'no'} "
+                f"of {total_len - 1} prior positions — run a protected prefill "
+                "and keep the CL section enabled on every decode step"
+            )
+
+        with self._timed("CL/encode", backend):
+            def build_rowcs() -> Any:
+                self.dispatch_counts["gemm"] += 1
+                return encode_per_head_row_checksums_of_weight(ops["w_v"], ctx.num_heads)
+
+            rowcs_wv = self._cached_weight(
+                ("CL/rowcs_wv", ctx.layer_index), (ctx.operands["w_v"],), build_rowcs
+            )
+        with self._timed("CL/update", backend):
+            self.dispatch_counts["gemm"] += 1
+            # Same einsum as the full-sequence chain, over one row — the
+            # documented allocating exception (see _protect_cl).
+            # reprolint: disable=WS001
+            cs_v_new = xp.einsum("...sd,dhw->...hsw", x, rowcs_wv)  # (B, H, 1, 2)
+            if ops.get("bias_v") is not None:
+                def build_bias_terms() -> Tuple[Any, Any]:
+                    bias_heads = xp.astype(
+                        xp.asarray(ops["bias_v"]), xp.float64, copy=False
+                    ).reshape(ctx.num_heads, ctx.head_dim)
+                    _, v2 = checksum_weights(ctx.head_dim, xp=xp)
+                    return (
+                        xp.sum(bias_heads, axis=-1)[None, :, None],
+                        xp.sum(bias_heads * v2, axis=-1)[None, :, None],
+                    )
+
+                term0, term1 = self._cached_weight(
+                    ("CL/bias_v", ctx.layer_index),
+                    (ctx.operands["bias_v"],), build_bias_terms,
+                )
+                cs_v_new[..., 0] += term0
+                cs_v_new[..., 1] += term1
+            # Slot the new row's checksum into its preallocated cache
+            # position and carry the populated prefix through AP.
+            cache.cs_v_row[:, :, total_len - 1:total_len, :] = cs_v_new
+            cache.cs_v_len = total_len
+            self.dispatch_counts["gemm"] += 1
+            cs_cl_row = matmul_into(                                   # (B, H, 1, 2)
+                xp, ap, cache.cs_v_row[:, :, :total_len, :],
+                self._transient_buf(
+                    "CL/decode_cs_cl_row", tuple(ap.shape[:-1]) + (2,), xp
+                ),
+            )
+
+        self._verify(ctx, out, ChecksumState(row=cs_cl_row), outcome, backend)
+        # Decode S_O carries rowcs(W_O) directly; nothing flows via cs_cl_col.
+        state.cs_cl_col = None
+        return outcome
+
+    def _protect_o_decode(
+        self,
+        ctx: SectionContext,
+        state: _LayerState,
+        ops: Dict[str, Optional[Any]],
+        out: Any,
+        backend: ArrayBackend,
+    ) -> Optional[SectionOutcome]:
+        xp = backend.namespace_for(out)
+        outcome = SectionOutcome(section="O", layer_index=ctx.layer_index, step=ctx.step)
+        with self._timed("O/update", backend):
+            def build_rowcs_wo() -> Any:
+                self.dispatch_counts["gemm"] += 1
+                return encode_row_checksums(ops["w_o"])                # (D, 2)
+
+            rowcs_wo = self._cached_weight(
+                ("O/rowcs_wo", ctx.layer_index), (ctx.operands["w_o"],), build_rowcs_wo
+            )
+            self.dispatch_counts["gemm"] += 1
+            cs_o_row = matmul_into(                                    # (B, 1, 2)
+                xp, ops["cl"], rowcs_wo,
+                self._transient_buf(
+                    "O/decode_cs_o_row", tuple(ops["cl"].shape[:-1]) + (2,), xp
+                ),
+            )
+        self._verify(ctx, out, ChecksumState(row=cs_o_row), outcome, backend)
+        return outcome
+
     # -- section S_CL -----------------------------------------------------------
 
     def _protect_cl(
@@ -819,6 +1081,14 @@ class ProtectionEngine:
                     # added values are identical either way).
                     cs_v_row[..., 0] += term0
                     cs_v_row[..., 1] += term1
+                if ctx.phase == "prefill" and ops.get("kv_cache") is not None:
+                    # Seed the cache's per-position V row checksums (bias
+                    # included, matching what decode folds in per token).
+                    cache = ops["kv_cache"]
+                    prompt_len = cs_v_row.shape[-2]
+                    _, cs_v_buf = cache.ensure_checksum_buffers(xp, ops["x"].shape[-1])
+                    cs_v_buf[:, :, :prompt_len, :] = cs_v_row
+                    cache.cs_v_len = prompt_len
 
         with self._timed("CL/encode", backend):
             ap = ops["ap"]
@@ -954,14 +1224,21 @@ class ProtectionEngine:
                     )
             for index, item in enumerate(group):
                 report = MatrixCorrectionReport()
+                dirty = None
                 if col_reports is not None:
                     report.used_column_side = True
                     report.detected += int(col_reports.detected[index].sum())
                     report.aborted += int(col_reports.aborted[index].sum())
+                    dirty = self._fold_request_dirty(
+                        dirty, col_reports.detected[index] | col_reports.aborted[index]
+                    )
                 if row_reports is not None:
                     report.used_row_side = True
                     report.detected += int(row_reports.detected[index].sum())
                     report.aborted += int(row_reports.aborted[index].sum())
+                    dirty = self._fold_request_dirty(
+                        dirty, row_reports.detected[index] | row_reports.aborted[index]
+                    )
                 report.residual_extreme = int(self.thresholds.is_extreme(item.matrix).sum())
                 pairs.append((
                     item,
@@ -971,6 +1248,7 @@ class ProtectionEngine:
                         step=item.step,
                         report=report,
                         deferred=True,
+                        request_dirty=dirty,
                     ),
                 ))
         return pairs

@@ -85,6 +85,15 @@ class GemmContext:
         (increments once per call, i.e. once per training micro-step).
     num_heads, head_dim, seq_len:
         Geometry of the attention call, needed by the checksum machinery.
+    phase:
+        ``"train"`` (the default — full-sequence forward), ``"prefill"``
+        (full-sequence forward that also seeds a KV cache) or ``"decode"``
+        (single-token forward against a populated KV cache).  Checkers use
+        this to select between the full-sequence and incremental checksum
+        algebra.
+    kv_cache:
+        The per-layer KV cache object for prefill/decode calls (duck-typed —
+        core never imports ``repro.nn``), ``None`` for training forwards.
     """
 
     op: AttentionOp
@@ -96,6 +105,8 @@ class GemmContext:
     head_dim: int
     seq_len: int
     bias: Optional[Any] = None
+    phase: str = "train"
+    kv_cache: Optional[Any] = None
 
 
 @dataclass
@@ -132,6 +143,10 @@ class SectionContext:
         the producing array library, so device-resident section outputs are
         never round-tripped through host memory on the critical path.
         ``None`` falls back to per-array dispatch.
+    phase:
+        ``"train"``, ``"prefill"`` or ``"decode"`` — see
+        :attr:`GemmContext.phase`.  Prefill/decode sections additionally carry
+        the layer's KV cache in ``operands["kv_cache"]``.
     """
 
     section: str
@@ -142,6 +157,7 @@ class SectionContext:
     head_dim: int
     seq_len: int
     backend: Optional[ArrayBackend] = None
+    phase: str = "train"
 
 
 class AttentionHooks:

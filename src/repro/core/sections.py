@@ -384,6 +384,34 @@ class SectionCostModel:
         )
 
     @staticmethod
+    def serving_decode_checksum_gemm_dispatches_per_layer(
+        steady_state: bool = True,
+    ) -> Dict[str, int]:
+        """Checksum GEMM/einsum launches per *decoded token* per layer.
+
+        The serving decode path is row-side only and incremental: the KV
+        cache carries ``cs(X)`` (folded forward per token — an elementwise
+        AXPY, not a GEMM) and the per-position row checksums of V, so every
+        count here is **constant in the cached sequence length** — the O(1)
+        property the serving benchmark counter-verifies at two different
+        cache lengths.
+
+        * ``S_AS`` — carry ``cs(X)`` through ``W_K`` (1) and the boundary
+          row carry ``q @ row(K)^T`` (1): 2.
+        * ``S_CL`` — the new token's ``cs_v`` einsum (1) and the boundary row
+          carry ``ap @ row(V)`` (1): 2.  A cold visit (first decode after a
+          weight update) additionally encodes ``rowcs(W_V)`` (+1).
+        * ``S_O`` — the boundary row carry ``cl @ rowcs(W_O)`` (1): 1.  A
+          cold visit additionally encodes ``rowcs(W_O)`` (+1).
+
+        Exact counts, compared against ``ProtectionEngine.dispatch_counts``
+        deltas by the serving tests and ``benchmarks/bench_serving.py``.
+        """
+        if steady_state:
+            return {"AS": 2, "CL": 2, "O": 1}
+        return {"AS": 2, "CL": 3, "O": 2}
+
+    @staticmethod
     def checksum_workspace_slots(mode: str) -> int:
         """Distinct reusable workspace buffers of the critical-path arena.
 

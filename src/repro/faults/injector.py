@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import enum
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -106,6 +107,10 @@ class InjectionRecord:
     position: Tuple[int, ...]
     original_value: float
     injected_value: float
+    #: Serving attribution: the request (batch/trial) identifier announced by
+    #: the most recent :meth:`FaultInjector.begin_request`, ``None`` outside
+    #: a request scope.
+    request_id: Optional[object] = None
 
 
 class FaultInjector(AttentionHooks):
@@ -121,6 +126,12 @@ class FaultInjector(AttentionHooks):
         Random generator for position selection.
     enabled:
         Start armed or disarmed.
+    max_records:
+        Retention bound on :attr:`records`.  The injector keeps the most
+        recent ``max_records`` :class:`InjectionRecord` entries (older ones
+        are evicted FIFO), so a long serving campaign that never resets the
+        injector holds bounded memory; :attr:`num_injections` stays the
+        *total* performed count regardless of eviction.
     """
 
     def __init__(
@@ -130,18 +141,24 @@ class FaultInjector(AttentionHooks):
         max_injections_per_spec: int = 1,
         enabled: bool = True,
         value_dtype: Optional[np.dtype] = None,
+        max_records: int = 1024,
     ) -> None:
         """``value_dtype`` overrides the floating format whose exponent layout
         the near-INF bit flip uses; by default the output array's own dtype is
         used.  Set it to ``numpy.float32`` when combining the injector with
         :class:`repro.faults.PrecisionSimulationHooks` so the injected
         magnitude matches the simulated training precision."""
+        if not isinstance(max_records, int) or max_records < 1:
+            raise ValueError(f"max_records must be a positive integer, got {max_records!r}")
         self.specs: List[FaultSpec] = list(specs)
         self.rng = rng if rng is not None else new_rng()
         self.max_injections_per_spec = max_injections_per_spec
         self.enabled = enabled
         self.value_dtype = np.dtype(value_dtype) if value_dtype is not None else None
-        self.records: List[InjectionRecord] = []
+        self.max_records = max_records
+        self.records: Deque[InjectionRecord] = deque(maxlen=max_records)
+        self.total_injections = 0
+        self._request_id: Optional[object] = None
         self._fired_count: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
 
     # -- control ---------------------------------------------------------------------
@@ -154,13 +171,30 @@ class FaultInjector(AttentionHooks):
     def disarm(self) -> None:
         self.enabled = False
 
+    def begin_request(self, request_id: Optional[object] = None) -> None:
+        """Open a per-request injection scope (the serving lifecycle seam).
+
+        Re-arms the per-spec firing counters — so a spec configured to fire
+        once does so once *per request*, instead of carrying a stale
+        already-fired state (or a half-spent budget) from the previous
+        request — and tags every subsequent :class:`InjectionRecord` with
+        ``request_id`` for per-request fault attribution.  Retained records
+        and the armed/disarmed state are left untouched.
+        """
+        self._request_id = request_id
+        self._fired_count = {i: 0 for i in range(len(self.specs))}
+
     def reset(self) -> None:
         self.records.clear()
+        self.total_injections = 0
+        self._request_id = None
         self.arm()
 
     @property
     def num_injections(self) -> int:
-        return len(self.records)
+        """Total injections performed — monotonic, unaffected by the
+        ``max_records`` eviction of old :attr:`records` entries."""
+        return self.total_injections
 
     # -- corruption --------------------------------------------------------------------
 
@@ -237,6 +271,7 @@ class FaultInjector(AttentionHooks):
                 injected = self._corrupt_value(spec, original, dtype)
                 out[position] = injected
             self._fired_count[index] += 1
+            self.total_injections += 1
             self.records.append(
                 InjectionRecord(
                     spec=spec,
@@ -245,6 +280,7 @@ class FaultInjector(AttentionHooks):
                     position=position,
                     original_value=original,
                     injected_value=injected,
+                    request_id=self._request_id,
                 )
             )
         return out

@@ -9,13 +9,18 @@ import numpy as np
 
 from repro.backend import ArrayBackend
 from repro.models.config import ModelConfig
-from repro.nn.attention import AttentionHooks, MultiHeadAttention
+from repro.nn.attention import AttentionHooks, LayerKVCache, MultiHeadAttention
 from repro.nn.layers import Dropout, Linear, TanhActivation
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.tensor import autograd as ag
 
-__all__ = ["SequenceClassifierOutput", "ClassificationHead", "SequenceClassificationModel"]
+__all__ = [
+    "SequenceClassifierOutput",
+    "ClassificationHead",
+    "SequenceClassificationModel",
+    "CausalDecodingMixin",
+]
 
 
 @dataclass
@@ -55,6 +60,85 @@ class ClassificationHead(Module):
 
     def forward(self, pooled: ag.Tensor) -> ag.Tensor:
         return self.out_proj(self.dropout(self.activation(self.dense(pooled))))
+
+
+class CausalDecodingMixin:
+    """KV-cached autoregressive decoding for the causal decoder models.
+
+    Mixed into GPT-2 / GPT-Neo (pre-LN decoders exposing
+    ``token_embeddings`` / ``position_embeddings`` / ``embedding_dropout`` /
+    ``layers`` / ``final_norm`` / ``score``).  The serving path treats the
+    ``score`` head as the generation head: greedy argmax over its
+    ``num_labels`` outputs, which are valid next-token ids whenever
+    ``num_labels <= vocab_size`` (the serving harness builds its models that
+    way).  Position ids are absolute indices into the (left-)padded batch
+    layout — exactly the ``arange`` positions the full-sequence
+    :meth:`SequenceClassificationModel.encode` uses, so a decode of token
+    ``t`` is numerically identical to re-running the full prefix forward.
+    """
+
+    def new_kv_caches(self, batch_size: int, max_len: Optional[int] = None) -> List[LayerKVCache]:
+        """One empty per-layer KV cache, allocated on the model's backend."""
+        config = self.config
+        length = int(max_len) if max_len is not None else config.max_seq_len
+        backend = self.array_backend
+        xp = backend.xp if backend is not None else np
+        return [
+            LayerKVCache(batch_size, config.num_heads, config.head_dim, length, xp)
+            for _ in self.layers
+        ]
+
+    def _embed(self, input_ids: np.ndarray, positions: np.ndarray) -> ag.Tensor:
+        hidden = ag.add(self.token_embeddings(input_ids), self.position_embeddings(positions))
+        return self.embedding_dropout(hidden)
+
+    def prefill(
+        self,
+        input_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray],
+        kv_caches: List[LayerKVCache],
+    ) -> ag.Tensor:
+        """Full-prompt forward that seeds ``kv_caches``; returns ``(B, S, D)``."""
+        if len(kv_caches) != len(self.layers):
+            raise ValueError(
+                f"got {len(kv_caches)} KV caches for {len(self.layers)} layers"
+            )
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        batch, seq_len = (int(s) for s in input_ids.shape)
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        hidden = self._embed(input_ids, positions)
+        for layer, cache in zip(self.layers, kv_caches):
+            hidden = layer(hidden, attention_mask=attention_mask, kv_cache=cache)
+        return self.final_norm(hidden)
+
+    def decode_step(
+        self,
+        input_ids: np.ndarray,
+        kv_caches: List[LayerKVCache],
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> ag.Tensor:
+        """Decode one token per sequence against populated caches.
+
+        ``input_ids`` is ``(B, 1)``; ``attention_mask`` covers the whole
+        padded layout (``(B, max_len)``, 1s for positions not yet decoded)
+        and must be the *same array object* every step so the attention
+        layer's decode-mask cache hits.  Returns final hidden states
+        ``(B, 1, D)``.
+        """
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim != 2 or input_ids.shape[-1] != 1:
+            raise ValueError(f"decode_step expects (batch, 1) ids, got {input_ids.shape}")
+        batch = int(input_ids.shape[0])
+        position = kv_caches[0].length  # 0-based index of the token being decoded
+        positions = np.full((batch, 1), position, dtype=np.int64)
+        hidden = self._embed(input_ids, positions)
+        for layer, cache in zip(self.layers, kv_caches):
+            hidden = layer.forward_step(hidden, cache, attention_mask=attention_mask)
+        return self.final_norm(hidden)
+
+    def lm_logits(self, hidden: ag.Tensor) -> ag.Tensor:
+        """Generation logits of the ``score`` head over ``hidden`` states."""
+        return self.score(hidden)
 
 
 class SequenceClassificationModel(Module):

@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.backend import ArrayBackend
-from repro.models.classification import SequenceClassificationModel
+from repro.models.classification import CausalDecodingMixin, SequenceClassificationModel
 from repro.models.config import ModelConfig
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
 from repro.nn.module import ModuleList
@@ -41,7 +41,7 @@ def last_token_pool(hidden: ag.Tensor, attention_mask: Optional[np.ndarray]) -> 
     return ag.reshape(picked, (batch, d))
 
 
-class GPT2ForSequenceClassification(SequenceClassificationModel):
+class GPT2ForSequenceClassification(CausalDecodingMixin, SequenceClassificationModel):
     """GPT-2 decoder with a linear classification head on the last token."""
 
     def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None,

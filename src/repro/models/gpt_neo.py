@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.backend import ArrayBackend
-from repro.models.classification import SequenceClassificationModel
+from repro.models.classification import CausalDecodingMixin, SequenceClassificationModel
 from repro.models.config import ModelConfig
 from repro.models.gpt2 import last_token_pool
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
@@ -25,7 +25,7 @@ from repro.tensor import autograd as ag
 __all__ = ["GPTNeoForSequenceClassification"]
 
 
-class GPTNeoForSequenceClassification(SequenceClassificationModel):
+class GPTNeoForSequenceClassification(CausalDecodingMixin, SequenceClassificationModel):
     """GPT-Neo decoder with a linear classification head on the last token."""
 
     def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None,

@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.backend import ArrayBackend, backend_of
+from repro.backend import ArrayBackend, backend_of, get_backend
 from repro.core.hooks import (
     SECTION_BOUNDARY_OPS,
     AttentionHooks,
@@ -52,6 +52,7 @@ __all__ = [
     "AttentionHooks",
     "ComposedHooks",
     "RecordingHooks",
+    "LayerKVCache",
     "MultiHeadAttention",
     "ATTENTION_MATRIX_NAMES",
     "SECTION_BOUNDARY_OPS",
@@ -59,6 +60,100 @@ __all__ = [
 
 #: All matrices observable during one attention forward pass, in dataflow order.
 ATTENTION_MATRIX_NAMES = ("Q", "K", "V", "AS", "AP", "CL", "O")
+
+#: Upper bound on cached additive-mask entries per attention layer.  Serving
+#: alternates between a handful of geometries (one prefill shape plus one
+#: decode shape per cached length bucket); training reuses a single entry.
+_MASK_CACHE_MAX = 8
+
+
+class LayerKVCache:
+    """Preallocated per-layer KV cache with incremental checksum side-state.
+
+    The cache owns ``(B, H, max_len, dh)`` key/value buffers written by slice
+    assignment, so steady-state decode appends allocate nothing — the
+    workspace-counter CI gate depends on this.  ``length`` tracks how many
+    positions are populated; :meth:`keys` / :meth:`values` return zero-copy
+    views of the populated prefix.
+
+    Checksum side-state (owned here, *maintained by whichever checker is
+    attached* — exactly one at a time):
+
+    ``cs_x``
+        ``(B, 2, D)`` float64 — incremental Huang–Abraham column checksums of
+        the attention *input* rows seen so far (prompt + decoded tokens).
+        Updating them per token is O(1) in the cached length
+        (:func:`repro.core.checksums.update_column_checksums_with_appended_rows`),
+        which is what lets decode-side protection re-derive the K-side
+        checksums without re-encoding the whole cache.
+    ``cs_v_row``
+        ``(B, H, max_len, 2)`` float64 — per-head row checksums of the cached
+        ``V`` rows, one slot per position, written incrementally.
+
+    Both are ``None`` until :meth:`ensure_checksum_buffers` seeds them at
+    prefill; an unprotected serving run never allocates them.
+    """
+
+    def __init__(self, batch_size: int, num_heads: int, head_dim: int,
+                 max_len: int, xp, dtype=None) -> None:
+        if max_len <= 0:
+            raise ValueError(f"max_len must be positive, got {max_len}")
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.max_len = int(max_len)
+        self.length = 0
+        self.xp = xp
+        dtype = dtype if dtype is not None else xp.float64
+        shape = (batch_size, num_heads, self.max_len, head_dim)
+        self.k = xp.zeros(shape, dtype=dtype)
+        self.v = xp.zeros(shape, dtype=dtype)
+        self.cs_x = None
+        self.cs_v_row = None
+        #: Positions covered by cs_x / cs_v_row — the checker uses these to
+        #: detect (and refuse) gaps: incremental checksums are only sound when
+        #: every appended token was folded in.
+        self.cs_x_len = 0
+        self.cs_v_len = 0
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.k.shape[0])
+
+    def append(self, k_new, v_new) -> None:
+        """Append ``(B, H, t, dh)`` key/value blocks at the populated end."""
+        t = int(k_new.shape[-2])
+        if self.length + t > self.max_len:
+            raise ValueError(
+                f"KV cache overflow: {self.length} + {t} > max_len {self.max_len}"
+            )
+        self.k[:, :, self.length:self.length + t, :] = k_new
+        self.v[:, :, self.length:self.length + t, :] = v_new
+        self.length += t
+
+    def keys(self):
+        """View of the populated key prefix, ``(B, H, length, dh)``."""
+        return self.k[:, :, :self.length, :]
+
+    def values(self):
+        """View of the populated value prefix, ``(B, H, length, dh)``."""
+        return self.v[:, :, :self.length, :]
+
+    def ensure_checksum_buffers(self, xp, hidden_size: int):
+        """Allocate the float64 checksum buffers once (prefill warm-up)."""
+        if self.cs_x is None:
+            self.cs_x = xp.zeros((self.batch_size, 2, hidden_size), dtype=xp.float64)
+        if self.cs_v_row is None:
+            self.cs_v_row = xp.zeros(
+                (self.batch_size, self.num_heads, self.max_len, 2), dtype=xp.float64
+            )
+        return self.cs_x, self.cs_v_row
+
+    def reset(self) -> None:
+        """Empty the cache for reuse; buffers (data and checksum) are kept
+        and fully overwritten by the next prefill."""
+        self.length = 0
+        self.cs_x_len = 0
+        self.cs_v_len = 0
 
 
 class ComposedHooks(AttentionHooks):
@@ -190,6 +285,10 @@ class MultiHeadAttention(Module):
 
         self.hooks: Optional[AttentionHooks] = None
         self._step = 0
+        #: geometry -> (xp, mask); see :meth:`_causal_mask`.
+        self._causal_mask_cache: Dict = {}
+        #: geometry + mask identity -> (mask_ref, xp, mask, keep).
+        self._combined_mask_cache: Dict = {}
 
     # -- instrumentation -------------------------------------------------------
 
@@ -202,6 +301,8 @@ class MultiHeadAttention(Module):
         op: AttentionOp,
         bias: Optional[np.ndarray] = None,
         section_operands: Optional[Dict[str, Optional[np.ndarray]]] = None,
+        phase: str = "train",
+        kv_cache: Optional[LayerKVCache] = None,
     ) -> Optional[Callable]:
         """Build the ``forward_hook`` closure for one named GEMM.
 
@@ -237,6 +338,8 @@ class MultiHeadAttention(Module):
                     head_dim=head_dim,
                     seq_len=out.shape[-2],
                     bias=bias,
+                    phase=phase,
+                    kv_cache=kv_cache,
                 )
                 out = hooks.on_gemm_output(ctx, out)
             if section is not None:
@@ -256,6 +359,7 @@ class MultiHeadAttention(Module):
                     head_dim=head_dim,
                     seq_len=out.shape[-2],
                     backend=own,
+                    phase=phase,
                 )
                 out = hooks.on_section_output(sctx, out)
             return out
@@ -269,9 +373,14 @@ class MultiHeadAttention(Module):
         op: AttentionOp,
         bias: Optional[np.ndarray] = None,
         section_operands: Optional[Dict[str, Optional[np.ndarray]]] = None,
+        phase: str = "train",
+        kv_cache: Optional[LayerKVCache] = None,
     ) -> ag.Tensor:
         """Matmul whose raw output is routed through the hooks."""
-        hook_with_ctx = self._gemm_hook(op, bias=bias, section_operands=section_operands)
+        hook_with_ctx = self._gemm_hook(
+            op, bias=bias, section_operands=section_operands,
+            phase=phase, kv_cache=kv_cache,
+        )
         if hook_with_ctx is None:
             return ag.matmul(a, b, name=op.output_matrix)
         a_data, b_data = a.data, b.data
@@ -284,31 +393,150 @@ class MultiHeadAttention(Module):
 
     # -- masking ----------------------------------------------------------------
 
+    def _mask_namespace(self):
+        own = self.array_backend
+        return own.xp if own is not None else get_backend("numpy").xp
+
+    def _adopt_mask(self, host_array: np.ndarray):
+        """Adopt a host-built mask into the owning backend, once per cache fill.
+
+        Host-resident backends that operate on ndarrays natively (NumPy and
+        its spies) skip the call entirely — a mask adoption there would be a
+        counted conversion, violating the zero-round-trip substrate invariant.
+        """
+        own = self.array_backend
+        if own is None or own.is_backend_array(host_array):
+            return host_array
+        return own.from_numpy(host_array)
+
+    def _causal_disallowed(self, seq_len: int, query_offset: int, query_len: int) -> np.ndarray:
+        """Host boolean block: query row ``i`` may not see key column ``j``."""
+        i = np.arange(query_offset, query_offset + query_len)[:, None]
+        j = np.arange(seq_len)[None, :]
+        disallowed = j > i
+        if self.local_window is not None and self.local_window < seq_len:
+            disallowed = disallowed | (j <= i - self.local_window)
+        return disallowed
+
+    def _additive_mask(
+        self,
+        seq_len: int,
+        attention_mask: Optional[np.ndarray],
+        query_offset: int = 0,
+        query_len: Optional[int] = None,
+    ):
+        """Cached ``(mask, keep)`` pair for one attention geometry.
+
+        ``mask`` is the additive ``-1e9`` mask (broadcastable against
+        ``(B, H, query_len, seq_len)`` scores), resident on the owning
+        backend; ``keep`` is a ``(B, 1, query_len, 1)`` float64 multiplier
+        that zeroes *fully-masked* query rows after the softmax, or ``None``
+        when every row attends to at least one position.  Masked positions
+        get ``-1e9`` rather than ``-inf`` so no NaN contaminates the
+        fault-propagation study — but the softmax of an all ``-1e9`` row is
+        *uniform*, silently averaging every cached V row into downstream
+        (checksummed) sections, so fully-masked rows must be zeroed
+        explicitly rather than left to "degrade gracefully".
+
+        Both arrays are cached per geometry — the causal part keyed by
+        ``(seq_len, query_offset, query_len, local_window, namespace)``, the
+        pad-combined part additionally by the identity of ``attention_mask``
+        — so decode steps stop paying a per-token host build, O(S²)
+        allocation and H2D transfer.
+        """
+        query_len = seq_len if query_len is None else query_len
+        if attention_mask is None:
+            if not self.causal:
+                return None, None
+            return self._causal_mask(seq_len, query_offset, query_len), None
+        xp = self._mask_namespace()
+        key = (seq_len, query_offset, query_len, self.local_window, id(xp),
+               id(attention_mask))
+        entry = self._combined_mask_cache.get(key)
+        if entry is not None and entry[0] is attention_mask and entry[1] is xp:
+            return entry[2], entry[3]
+        pad = np.asarray(attention_mask, dtype=np.float64)
+        # attention_mask is (B, S) with 1 = attend, 0 = padding.
+        pad = (1.0 - pad)[:, None, None, :] * -1e9
+        if self.causal:
+            disallowed = self._causal_disallowed(seq_len, query_offset, query_len)
+            combined = np.where(disallowed, -1e9, 0.0)[None, None, :, :] + pad
+        else:
+            combined = pad  # (B, 1, 1, S) broadcasts over query rows
+        keep_host = combined.max(axis=-1, keepdims=True) > -1e8
+        keep = None
+        if not keep_host.all():
+            keep = self._adopt_mask(keep_host.astype(np.float64))
+        mask = self._adopt_mask(combined)
+        if len(self._combined_mask_cache) >= _MASK_CACHE_MAX:
+            self._combined_mask_cache.pop(next(iter(self._combined_mask_cache)))
+        self._combined_mask_cache[key] = (attention_mask, xp, mask, keep)
+        return mask, keep
+
+    def _causal_mask(self, seq_len: int, query_offset: int, query_len: int):
+        xp = self._mask_namespace()
+        key = (seq_len, query_offset, query_len, self.local_window, id(xp))
+        entry = self._causal_mask_cache.get(key)
+        if entry is not None and entry[0] is xp:
+            return entry[1]
+        disallowed = self._causal_disallowed(seq_len, query_offset, query_len)
+        mask = self._adopt_mask(np.where(disallowed, -1e9, 0.0)[None, None, :, :])
+        if len(self._causal_mask_cache) >= _MASK_CACHE_MAX:
+            self._causal_mask_cache.pop(next(iter(self._causal_mask_cache)))
+        self._causal_mask_cache[key] = (xp, mask)
+        return mask
+
+    def _decode_pad_mask(self, attention_mask: np.ndarray):
+        """Static additive pad mask for decode, ``(B, 1, 1, M)``.
+
+        Built and adopted onto the backend **once per mask object** and
+        sliced to the live cache length each step, so steady-state decode
+        pays no host mask build and no H2D transfer.  The mask must span the
+        whole cache capacity (1 = attend for every not-yet-generated
+        position); the causal structure needs no mask at decode because the
+        query is the last position.
+        """
+        xp = self._mask_namespace()
+        key = ("decode-pad", id(xp), id(attention_mask))
+        entry = self._combined_mask_cache.get(key)
+        if entry is not None and entry[0] is attention_mask and entry[1] is xp:
+            return entry[2]
+        pad = np.asarray(attention_mask, dtype=np.float64)
+        pad = self._adopt_mask((1.0 - pad)[:, None, None, :] * -1e9)
+        if len(self._combined_mask_cache) >= _MASK_CACHE_MAX:
+            self._combined_mask_cache.pop(next(iter(self._combined_mask_cache)))
+        self._combined_mask_cache[key] = (attention_mask, xp, pad, None)
+        return pad
+
     def build_mask(self, seq_len: int, attention_mask: Optional[np.ndarray]) -> Optional[np.ndarray]:
         """Combine padding, causal and local-window masks into one additive mask.
 
         Masked positions receive a large negative value (-1e9) rather than
-        -inf so a fully-masked row degrades gracefully instead of producing
-        spurious NaN that would contaminate the fault-propagation study.
+        -inf so no spurious NaN contaminates the fault-propagation study;
+        fully-masked query rows are additionally *zeroed after the softmax*
+        in the forward pass (see :meth:`_additive_mask`), since their softmax
+        would otherwise be uniform rather than empty.  The mask is built once
+        per geometry through the owning backend and cached.
         """
-        mask = None
-        if self.causal:
-            causal = np.triu(np.full((seq_len, seq_len), -1e9), k=1)
-            if self.local_window is not None and self.local_window < seq_len:
-                too_far = np.tril(np.full((seq_len, seq_len), -1e9), k=-self.local_window)
-                causal = causal + too_far
-            mask = causal[None, None, :, :]
-        if attention_mask is not None:
-            pad = np.asarray(attention_mask, dtype=np.float64)
-            # attention_mask is (B, S) with 1 = attend, 0 = padding.
-            pad = (1.0 - pad)[:, None, None, :] * -1e9
-            mask = pad if mask is None else mask + pad
+        mask, _ = self._additive_mask(seq_len, attention_mask)
         return mask
 
     # -- forward -----------------------------------------------------------------
 
-    def forward(self, x: ag.Tensor, attention_mask: Optional[np.ndarray] = None) -> ag.Tensor:
-        """Run multi-head self-attention on ``x`` of shape ``(B, S, D)``."""
+    def forward(
+        self,
+        x: ag.Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+        kv_cache: Optional[LayerKVCache] = None,
+    ) -> ag.Tensor:
+        """Run multi-head self-attention on ``x`` of shape ``(B, S, D)``.
+
+        With ``kv_cache`` (which must be empty), this is the serving
+        *prefill* pass: identical arithmetic to training, plus the split-head
+        K/V blocks are appended to the cache and hooks fire with
+        ``phase="prefill"`` so a checksum engine can seed the cache's
+        incremental checksum state.
+        """
         hooks = self.hooks
         self._step += 1
         step = self._step
@@ -316,15 +544,28 @@ class MultiHeadAttention(Module):
             hooks.on_attention_start(self.layer_index, step)
 
         batch, seq_len, _ = x.shape
+        phase = "train"
+        if kv_cache is not None:
+            if kv_cache.length:
+                raise ValueError(
+                    "forward() with a non-empty KV cache — use forward_step() to decode"
+                )
+            phase = "prefill"
 
         bias_q = self.w_q.bias.data if self.w_q.bias is not None else None
         bias_k = self.w_k.bias.data if self.w_k.bias is not None else None
         bias_v = self.w_v.bias.data if self.w_v.bias is not None else None
         bias_o = self.w_o.bias.data if self.w_o.bias is not None else None
 
-        q_proj = self._instrumented_matmul(x, self.w_q.weight, AttentionOp.XQ, bias=bias_q)
-        k_proj = self._instrumented_matmul(x, self.w_k.weight, AttentionOp.XK, bias=bias_k)
-        v_proj = self._instrumented_matmul(x, self.w_v.weight, AttentionOp.XV, bias=bias_v)
+        q_proj = self._instrumented_matmul(
+            x, self.w_q.weight, AttentionOp.XQ, bias=bias_q,
+            phase=phase, kv_cache=kv_cache)
+        k_proj = self._instrumented_matmul(
+            x, self.w_k.weight, AttentionOp.XK, bias=bias_k,
+            phase=phase, kv_cache=kv_cache)
+        v_proj = self._instrumented_matmul(
+            x, self.w_v.weight, AttentionOp.XV, bias=bias_v,
+            phase=phase, kv_cache=kv_cache)
         if self.w_q.bias is not None:
             q_proj = ag.add(q_proj, self.w_q.bias)
         if self.w_k.bias is not None:
@@ -335,6 +576,8 @@ class MultiHeadAttention(Module):
         q = ag.split_heads(q_proj, self.num_heads)  # (B, H, S, dh)
         k = ag.split_heads(k_proj, self.num_heads)
         v = ag.split_heads(v_proj, self.num_heads)
+        if kv_cache is not None:
+            kv_cache.append(k.data, v.data)
 
         k_t = ag.transpose(k, (0, 1, 3, 2))
         attention_scores = self._instrumented_matmul(
@@ -347,15 +590,22 @@ class MultiHeadAttention(Module):
                 "bias_k": bias_k,
                 "q": q.data,
                 "k_t": k_t.data,
+                "kv_cache": kv_cache,
             },
+            phase=phase, kv_cache=kv_cache,
         )
 
         scaled = ag.mul(attention_scores, self.scale)
-        mask = self.build_mask(seq_len, attention_mask)
+        mask, keep = self._additive_mask(seq_len, attention_mask)
         if mask is not None:
             scaled = ag.add(scaled, mask)
 
         attention_probs = ag.softmax(scaled, axis=-1)
+        if keep is not None:
+            # Zero fully-masked query rows: their softmax is uniform (all
+            # logits sit at the -1e9 floor), which would leak an average of
+            # every V row into the checksummed CL/O sections.
+            attention_probs = ag.mul(attention_probs, keep)
         if hooks is not None:
             hooks.on_matrix("AP", attention_probs.data, self.layer_index, step)
         attention_probs = self.attn_dropout(attention_probs)
@@ -368,7 +618,9 @@ class MultiHeadAttention(Module):
                 "bias_v": bias_v,
                 "ap": attention_probs.data,
                 "v": v.data,
+                "kv_cache": kv_cache,
             },
+            phase=phase, kv_cache=kv_cache,
         )
         context_merged = ag.merge_heads(context)
         if hooks is not None:
@@ -376,7 +628,137 @@ class MultiHeadAttention(Module):
 
         output = self._instrumented_matmul(
             context_merged, self.w_o.weight, AttentionOp.CLO, bias=bias_o,
-            section_operands={"cl": context_merged.data, "w_o": self.w_o.weight.data},
+            section_operands={
+                "cl": context_merged.data,
+                "w_o": self.w_o.weight.data,
+                "kv_cache": kv_cache,
+            },
+            phase=phase, kv_cache=kv_cache,
+        )
+        if self.w_o.bias is not None:
+            output = ag.add(output, self.w_o.bias)
+        output = self.out_dropout(output)
+
+        if hooks is not None:
+            hooks.on_attention_end(self.layer_index, step)
+        return output
+
+    def forward_step(
+        self,
+        x: ag.Tensor,
+        kv_cache: LayerKVCache,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> ag.Tensor:
+        """Decode one token against a populated KV cache.
+
+        ``x`` is ``(B, 1, D)``.  The new K/V rows are appended to the cache
+        and attention runs against the full cached prefix; hooks fire with
+        ``phase="decode"`` and the cache in context, so a checksum engine can
+        update the cache's incremental checksums in O(1) of the cached
+        length.  ``attention_mask`` covers the *whole* cached sequence
+        (``(B, kv_cache.length)`` after this token), e.g. left-padding of a
+        batched prompt.
+        """
+        hooks = self.hooks
+        self._step += 1
+        step = self._step
+        if hooks is not None:
+            hooks.on_attention_start(self.layer_index, step)
+
+        bias_q = self.w_q.bias.data if self.w_q.bias is not None else None
+        bias_k = self.w_k.bias.data if self.w_k.bias is not None else None
+        bias_v = self.w_v.bias.data if self.w_v.bias is not None else None
+        bias_o = self.w_o.bias.data if self.w_o.bias is not None else None
+
+        q_proj = self._instrumented_matmul(
+            x, self.w_q.weight, AttentionOp.XQ, bias=bias_q,
+            phase="decode", kv_cache=kv_cache)
+        k_proj = self._instrumented_matmul(
+            x, self.w_k.weight, AttentionOp.XK, bias=bias_k,
+            phase="decode", kv_cache=kv_cache)
+        v_proj = self._instrumented_matmul(
+            x, self.w_v.weight, AttentionOp.XV, bias=bias_v,
+            phase="decode", kv_cache=kv_cache)
+        if self.w_q.bias is not None:
+            q_proj = ag.add(q_proj, self.w_q.bias)
+        if self.w_k.bias is not None:
+            k_proj = ag.add(k_proj, self.w_k.bias)
+        if self.w_v.bias is not None:
+            v_proj = ag.add(v_proj, self.w_v.bias)
+
+        q = ag.split_heads(q_proj, self.num_heads)      # (B, H, 1, dh)
+        k_new = ag.split_heads(k_proj, self.num_heads)
+        v_new = ag.split_heads(v_proj, self.num_heads)
+        kv_cache.append(k_new.data, v_new.data)
+        total_len = kv_cache.length
+
+        backend = self.array_backend
+        k_all = ag.Tensor(kv_cache.keys(), backend=backend)    # (B, H, T, dh)
+        v_all = ag.Tensor(kv_cache.values(), backend=backend)
+        k_t = ag.transpose(k_all, (0, 1, 3, 2))
+
+        attention_scores = self._instrumented_matmul(
+            q, k_t, AttentionOp.QK,
+            section_operands={
+                "x": x.data,
+                "w_q": self.w_q.weight.data,
+                "w_k": self.w_k.weight.data,
+                "bias_q": bias_q,
+                "bias_k": bias_k,
+                "q": q.data,
+                "k_t": k_t.data,
+                "kv_cache": kv_cache,
+            },
+            phase="decode", kv_cache=kv_cache,
+        )
+
+        scaled = ag.mul(attention_scores, self.scale)
+        mask = None
+        if attention_mask is not None:
+            pad_full = self._decode_pad_mask(attention_mask)  # (B, 1, 1, M)
+            if pad_full.shape[-1] < total_len:
+                raise ValueError(
+                    f"decode attention_mask covers {pad_full.shape[-1]} positions "
+                    f"but the KV cache holds {total_len}"
+                )
+            mask = pad_full[:, :, :, :total_len]
+        if self.local_window is not None and self.local_window < total_len:
+            local = self._causal_mask(total_len, total_len - 1, 1)
+            mask = local if mask is None else mask + local
+        if mask is not None:
+            scaled = ag.add(scaled, mask)
+
+        # No fully-masked-row handling here: the decode query is the token
+        # just appended, which by contract is attendable (mask 1) itself.
+        attention_probs = ag.softmax(scaled, axis=-1)
+        if hooks is not None:
+            hooks.on_matrix("AP", attention_probs.data, self.layer_index, step)
+        attention_probs = self.attn_dropout(attention_probs)
+
+        context = self._instrumented_matmul(
+            attention_probs, v_all, AttentionOp.APV,
+            section_operands={
+                "x": x.data,
+                "w_v": self.w_v.weight.data,
+                "bias_v": bias_v,
+                "ap": attention_probs.data,
+                "v": v_all.data,
+                "kv_cache": kv_cache,
+            },
+            phase="decode", kv_cache=kv_cache,
+        )
+        context_merged = ag.merge_heads(context)
+        if hooks is not None:
+            hooks.on_matrix("CL_merged", context_merged.data, self.layer_index, step)
+
+        output = self._instrumented_matmul(
+            context_merged, self.w_o.weight, AttentionOp.CLO, bias=bias_o,
+            section_operands={
+                "cl": context_merged.data,
+                "w_o": self.w_o.weight.data,
+                "kv_cache": kv_cache,
+            },
+            phase="decode", kv_cache=kv_cache,
         )
         if self.w_o.bias is not None:
             output = ag.add(output, self.w_o.bias)

@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.backend import ArrayBackend
-from repro.nn.attention import AttentionHooks, MultiHeadAttention
+from repro.nn.attention import AttentionHooks, LayerKVCache, MultiHeadAttention
 from repro.nn.layers import Dropout, GELUActivation, LayerNorm, Linear
 from repro.nn.module import Module
 from repro.tensor import autograd as ag
@@ -92,15 +92,47 @@ class TransformerLayer(Module):
         """Attach attention instrumentation hooks to this layer."""
         self.attention.set_hooks(hooks)
 
-    def forward(self, x: ag.Tensor, attention_mask: Optional[np.ndarray] = None) -> ag.Tensor:
+    def forward(
+        self,
+        x: ag.Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+        kv_cache: Optional[LayerKVCache] = None,
+    ) -> ag.Tensor:
         if self.norm_style == "post_ln":
+            if kv_cache is not None:
+                raise ValueError(
+                    "KV-cached decoding requires a causal (pre-LN) layer; "
+                    "post-LN encoder layers have no decode path"
+                )
             attn_out = self.attention(x, attention_mask=attention_mask)
             x = self.attn_norm(ag.add(x, self.dropout(attn_out)))
             ffn_out = self.ffn(x)
             x = self.ffn_norm(ag.add(x, ffn_out))
             return x
         # pre-LN (GPT-2 / GPT-Neo)
-        attn_out = self.attention(self.attn_norm(x), attention_mask=attention_mask)
+        attn_out = self.attention(
+            self.attn_norm(x), attention_mask=attention_mask, kv_cache=kv_cache
+        )
+        x = ag.add(x, self.dropout(attn_out))
+        ffn_out = self.ffn(self.ffn_norm(x))
+        x = ag.add(x, ffn_out)
+        return x
+
+    def forward_step(
+        self,
+        x: ag.Tensor,
+        kv_cache: LayerKVCache,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> ag.Tensor:
+        """Decode one token (``x`` is ``(B, 1, D)``) against a populated cache."""
+        if self.norm_style != "pre_ln":
+            raise ValueError(
+                "KV-cached decoding requires a causal (pre-LN) layer; "
+                "post-LN encoder layers have no decode path"
+            )
+        attn_out = self.attention.forward_step(
+            self.attn_norm(x), kv_cache, attention_mask=attention_mask
+        )
         x = ag.add(x, self.dropout(attn_out))
         ffn_out = self.ffn(self.ffn_norm(x))
         x = ag.add(x, ffn_out)

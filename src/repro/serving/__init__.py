@@ -1,0 +1,30 @@
+"""Protected inference serving: batched prefill+decode with fault isolation.
+
+The serving path is where the ROADMAP's north star (fault-tolerant attention
+under real traffic) meets the ABFT machinery: requests are batched, prompts
+run one protected *prefill* that seeds per-layer KV caches — including the
+caches' incremental checksums — and every decoded token updates the section
+checksums in O(1) of the cached length.  Detections are attributed to
+individual requests (``SectionOutcome.request_dirty``) so a corrupted request
+is repaired or evicted without poisoning its batch-mates.
+
+* :mod:`repro.serving.workload` — deterministic synthetic request generator.
+* :mod:`repro.serving.engine` — the batched serving engine and its report.
+"""
+
+from repro.serving.engine import (
+    RequestResult,
+    ServingConfig,
+    ServingEngine,
+    ServingReport,
+)
+from repro.serving.workload import RequestGenerator, ServingRequest
+
+__all__ = [
+    "RequestGenerator",
+    "RequestResult",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingReport",
+    "ServingRequest",
+]

@@ -1,0 +1,346 @@
+"""Batched protected-inference serving engine.
+
+Scheduling is static left-padded batching: requests are admitted in arrival
+order into batches of ``max_batch_size``, each batch runs one prefill over
+the padded prompts and then decodes greedily (argmax over the model's
+``score`` head) until every member's generation budget is spent.  Left
+padding keeps the last position of the padded layout a *real* token for every
+request, so one logits slice serves the whole batch.
+
+Protection is per-request: after every prefill/decode step the engine drains
+the attached :class:`~repro.core.ATTNChecker`'s recent section outcomes and
+reads their ``request_dirty`` masks (the per-request fault attribution the
+``ProtectionEngine`` computes from the detected/aborted vectors of each
+boundary check).  A dirty request whose boundary was fully corrected is
+counted ``repaired`` and keeps decoding; one with uncorrectable damage (or
+non-finite logits, which would poison the argmax) is *evicted* — its slot
+keeps its shape in the batch (the checksum chain needs every slot to keep
+stepping) but its outputs are discarded, so batch-mates are unaffected.
+
+Timer keys (see the README glossary): ``serve/schedule`` (padding + cache
+allocation), ``serve/prefill``, ``serve/decode`` and ``serve/verify`` (the
+outcome drain / eviction bookkeeping).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.attention_checker import ATTNChecker
+from repro.faults.injector import FaultInjector
+from repro.serving.workload import PAD_TOKEN_ID, ServingRequest
+from repro.utils.timing import TimingRegistry
+
+__all__ = ["ServingConfig", "RequestResult", "ServingReport", "ServingEngine"]
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of the serving engine.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Requests admitted per batch (static batching).
+    evict_uncorrected:
+        Evict a request whose boundary check detected damage the corrector
+        could not fully repair (aborted vectors, or corrected < detected).
+        When ``False`` such requests are only counted, mirroring a
+        detection-only deployment.
+    """
+
+    max_batch_size: int = 4
+    evict_uncorrected: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one served request."""
+
+    request_id: int
+    status: str  # "completed" | "evicted"
+    tokens: List[int] = field(default_factory=list)
+    latency_seconds: float = 0.0
+    #: Boundary checks that flagged this request dirty and were fully
+    #: repaired in place (the request kept decoding).
+    repaired_detections: int = 0
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass
+class ServingReport:
+    """Aggregate serving metrics, JSON-serialisable for the benchmark gate."""
+
+    protection: bool
+    results: List[RequestResult]
+    wall_seconds: float
+    timer_seconds: Dict[str, float]
+    checker_stats: Dict[str, int]
+
+    @property
+    def num_completed(self) -> int:
+        return sum(1 for r in self.results if r.status == "completed")
+
+    @property
+    def num_evicted(self) -> int:
+        return sum(1 for r in self.results if r.status == "evicted")
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(r.num_tokens for r in self.results if r.status == "completed")
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.total_new_tokens / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        latencies = [r.latency_seconds * 1e3 for r in self.results]
+        return float(np.percentile(latencies, percentile)) if latencies else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protection": self.protection,
+            "num_requests": len(self.results),
+            "num_completed": self.num_completed,
+            "num_evicted": self.num_evicted,
+            "repaired_detections": sum(r.repaired_detections for r in self.results),
+            "total_new_tokens": self.total_new_tokens,
+            "wall_seconds": self.wall_seconds,
+            "tokens_per_second": self.tokens_per_second,
+            "latency_p50_ms": self.latency_percentile_ms(50.0),
+            "latency_p99_ms": self.latency_percentile_ms(99.0),
+            "timer_seconds": dict(self.timer_seconds),
+            "checker_stats": dict(self.checker_stats),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class _BatchState:
+    """Mutable per-batch serving state (one slot per admitted request)."""
+
+    def __init__(self, requests: List[ServingRequest], start_time: float) -> None:
+        self.requests = requests
+        self.start_time = start_time
+        size = len(requests)
+        self.active = np.ones(size, dtype=bool)      # still producing tokens
+        self.alive = np.ones(size, dtype=bool)       # not evicted
+        self.results = [
+            RequestResult(request_id=r.request_id, status="completed") for r in requests
+        ]
+
+    def evict(self, index: int) -> None:
+        if not self.alive[index]:
+            return
+        self.alive[index] = False
+        self.active[index] = False
+        result = self.results[index]
+        result.status = "evicted"
+        result.latency_seconds = time.perf_counter() - self.start_time
+
+    def complete(self, index: int) -> None:
+        if self.active[index]:
+            self.active[index] = False
+            self.results[index].latency_seconds = time.perf_counter() - self.start_time
+
+
+class ServingEngine:
+    """Serve requests through a causal decoder model, optionally protected.
+
+    Parameters
+    ----------
+    model:
+        A causal decoder exposing the
+        :class:`~repro.models.classification.CausalDecodingMixin` interface
+        (``new_kv_caches`` / ``prefill`` / ``decode_step`` / ``lm_logits``).
+        Put the model in ``eval()`` mode is handled here — dropout must be
+        off for the KV-cached decode to equal the full forward.
+    checker:
+        Optional :class:`~repro.core.ATTNChecker` already attached to the
+        model via ``set_attention_hooks`` (protection on); ``None`` serves
+        unprotected.  The decode path requires every section frequency at
+        1.0 (the incremental checksums must stay contiguous).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector` composed with the
+        checker; the engine opens a per-request injection scope
+        (:meth:`~repro.faults.FaultInjector.begin_request`) at each batch.
+    """
+
+    def __init__(
+        self,
+        model: Any,
+        checker: Optional[ATTNChecker] = None,
+        injector: Optional[FaultInjector] = None,
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        for method in ("new_kv_caches", "prefill", "decode_step", "lm_logits"):
+            if not hasattr(model, method):
+                raise TypeError(
+                    f"model {type(model).__name__} has no {method!r}; serving needs "
+                    "a causal decoder with the CausalDecodingMixin interface"
+                )
+        if model.config.num_labels > model.config.vocab_size:
+            raise ValueError(
+                f"generation head width num_labels={model.config.num_labels} exceeds "
+                f"vocab_size={model.config.vocab_size}; greedy tokens would not be "
+                "valid input ids"
+            )
+        self.model = model
+        self.checker = checker
+        self.injector = injector
+        self.config = config or ServingConfig()
+        self.timers = TimingRegistry()
+        model.eval()
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, requests: List[ServingRequest]) -> ServingReport:
+        """Serve ``requests`` to completion and return the aggregate report."""
+        start = time.perf_counter()
+        results: List[RequestResult] = []
+        batch_size = self.config.max_batch_size
+        for batch_start in range(0, len(requests), batch_size):
+            batch = requests[batch_start : batch_start + batch_size]
+            results.extend(self._run_batch(batch_start // batch_size, batch))
+        wall = time.perf_counter() - start
+        checker_stats: Dict[str, int] = {}
+        if self.checker is not None:
+            stats = self.checker.stats
+            checker_stats = {
+                "checks": stats.total_checks,
+                "detections": stats.total_detections,
+                "corrections": stats.total_corrections,
+            }
+        return ServingReport(
+            protection=self.checker is not None,
+            results=results,
+            wall_seconds=wall,
+            timer_seconds=self.timers.as_dict(),
+            checker_stats=checker_stats,
+        )
+
+    # -- batch execution ------------------------------------------------------------
+
+    def _run_batch(self, batch_index: int, batch: List[ServingRequest]) -> List[RequestResult]:
+        model = self.model
+        size = len(batch)
+        with self.timers.measure("serve/schedule"):
+            prompt_len = max(r.prompt_len for r in batch)
+            budget = max(r.max_new_tokens for r in batch)
+            total_len = prompt_len + budget
+            if total_len > model.config.max_seq_len:
+                raise ValueError(
+                    f"batch needs {total_len} positions but the model supports "
+                    f"max_seq_len={model.config.max_seq_len}"
+                )
+            ids = np.full((size, prompt_len), PAD_TOKEN_ID, dtype=np.int64)
+            # One mask over the whole padded layout, ones for every position
+            # that is (or will become) a real token.  Decode steps slice it,
+            # and its *identity* keys the attention decode-mask cache — so it
+            # is built once here and passed unchanged every step.
+            mask = np.zeros((size, total_len), dtype=np.float64)
+            for i, request in enumerate(batch):
+                ids[i, prompt_len - request.prompt_len :] = request.prompt_array()
+                mask[i, prompt_len - request.prompt_len :] = 1.0
+            caches = model.new_kv_caches(size, max_len=total_len)
+        state = _BatchState(batch, start_time=time.perf_counter())
+        if self.injector is not None:
+            self.injector.begin_request(batch_index)
+
+        with self.timers.measure("serve/prefill"):
+            hidden = model.prefill(ids, mask[:, :prompt_len], caches)
+            # Left padding makes the last position a real token for every
+            # request, so one slice serves the whole batch.
+            logits = self._last_logits(hidden, position=-1)
+        self._absorb_outcomes(state)
+        self._check_logits(state, logits)
+        next_ids = np.argmax(logits, axis=-1).astype(np.int64)
+
+        remaining = np.array([r.max_new_tokens for r in batch], dtype=np.int64)
+        self._record_tokens(state, next_ids, remaining)
+        for _ in range(int(budget) - 1):
+            if remaining.max() <= 0:
+                break
+            with self.timers.measure("serve/decode"):
+                hidden = model.decode_step(next_ids[:, None], caches, attention_mask=mask)
+                logits = self._last_logits(hidden, position=0)
+            self._absorb_outcomes(state)
+            self._check_logits(state, logits)
+            next_ids = np.argmax(logits, axis=-1).astype(np.int64)
+            self._record_tokens(state, next_ids, remaining)
+        if self.checker is not None:
+            # Flush any deferred/async verification work attributable to this
+            # batch before its slots are retired.
+            with self.timers.measure("serve/verify"):
+                self.checker.drain()
+            self._absorb_outcomes(state)
+        for i in range(size):
+            state.complete(i)
+        return state.results
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _last_logits(self, hidden: Any, position: int) -> np.ndarray:
+        logits = self.model.lm_logits(hidden).data[:, position, :]
+        # Host view for the greedy argmax; a no-op copy on the NumPy
+        # substrate the serving path runs on.
+        return np.asarray(logits)
+
+    def _record_tokens(
+        self, state: _BatchState, next_ids: np.ndarray, remaining: np.ndarray
+    ) -> None:
+        for i in np.flatnonzero(state.active):
+            if remaining[i] <= 0:
+                continue
+            state.results[i].tokens.append(int(next_ids[i]))
+            remaining[i] -= 1
+            if remaining[i] == 0:
+                state.complete(int(i))
+
+    def _check_logits(self, state: _BatchState, logits: np.ndarray) -> None:
+        """Evict slots whose generation logits went non-finite.
+
+        The ABFT sections cover the attention GEMMs; a fault that slipped
+        into the FFN/embedding path (or an uncorrected extreme) still must
+        not drive the argmax of a live request.
+        """
+        finite = np.isfinite(logits).all(axis=-1)
+        for i in np.flatnonzero(~finite & state.alive):
+            state.evict(int(i))
+
+    def _absorb_outcomes(self, state: _BatchState) -> None:
+        """Fold the checker's recent outcomes into per-request dispositions."""
+        checker = self.checker
+        if checker is None:
+            return
+        with self.timers.measure("serve/verify"):
+            if checker.verification_mode != "immediate":
+                checker.end_step()
+            for outcome in checker.take_recent_outcomes():
+                report = outcome.report
+                if report is None or outcome.request_dirty is None:
+                    continue
+                # Host view of the per-request dirty mask (already host-side
+                # on the NumPy substrate the serving path runs on).
+                dirty = np.asarray(outcome.request_dirty).astype(bool).reshape(-1)
+                if dirty.shape[0] != len(state.results) or not dirty.any():
+                    continue
+                uncorrected = report.aborted > 0 or report.corrected < report.detected
+                for i in np.flatnonzero(dirty & state.alive):
+                    if uncorrected and self.config.evict_uncorrected:
+                        state.evict(int(i))
+                    else:
+                        state.results[int(i)].repaired_detections += 1

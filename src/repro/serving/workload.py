@@ -1,0 +1,96 @@
+"""Synthetic serving workload: deterministic request streams.
+
+Real serving traces mix prompt lengths and generation budgets; the generator
+reproduces that shape deterministically (seeded) so benchmark runs and the
+protection-on/off comparison see the *same* token stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["ServingRequest", "RequestGenerator"]
+
+#: Token id reserved for left-padding; masked out of attention, so its value
+#: never reaches a protected GEMM.
+PAD_TOKEN_ID = 0
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One inference request: a prompt and a generation budget."""
+
+    request_id: int
+    prompt: Tuple[int, ...]
+    max_new_tokens: int
+
+    def __post_init__(self) -> None:
+        if len(self.prompt) < 1:
+            raise ValueError(f"request {self.request_id}: empty prompt")
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"request {self.request_id}: max_new_tokens must be >= 1, "
+                f"got {self.max_new_tokens}"
+            )
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt)
+
+    def prompt_array(self) -> np.ndarray:
+        return np.asarray(self.prompt, dtype=np.int64)
+
+
+class RequestGenerator:
+    """Deterministic stream of :class:`ServingRequest` objects.
+
+    Prompt tokens are drawn uniformly from ``[1, vocab_size)`` (0 is the pad
+    id), prompt lengths and generation budgets uniformly from the given
+    inclusive ranges.  Two generators with the same arguments produce the
+    same stream, which is what lets the benchmark run protection on and off
+    over identical traffic.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        prompt_len_range: Tuple[int, int] = (4, 12),
+        new_tokens_range: Tuple[int, int] = (2, 8),
+        seed: Optional[int] = 0,
+    ) -> None:
+        if vocab_size < 2:
+            raise ValueError(f"vocab_size must be >= 2, got {vocab_size}")
+        for name, (lo, hi) in (
+            ("prompt_len_range", prompt_len_range),
+            ("new_tokens_range", new_tokens_range),
+        ):
+            if lo < 1 or hi < lo:
+                raise ValueError(f"{name} must satisfy 1 <= lo <= hi, got ({lo}, {hi})")
+        self.vocab_size = vocab_size
+        self.prompt_len_range = prompt_len_range
+        self.new_tokens_range = new_tokens_range
+        self.rng = new_rng(seed)
+
+    def generate(self, num_requests: int) -> List[ServingRequest]:
+        requests = []
+        for request_id in range(num_requests):
+            prompt_len = int(
+                self.rng.integers(self.prompt_len_range[0], self.prompt_len_range[1] + 1)
+            )
+            new_tokens = int(
+                self.rng.integers(self.new_tokens_range[0], self.new_tokens_range[1] + 1)
+            )
+            prompt = tuple(
+                int(t) for t in self.rng.integers(1, self.vocab_size, size=prompt_len)
+            )
+            requests.append(
+                ServingRequest(
+                    request_id=request_id, prompt=prompt, max_new_tokens=new_tokens
+                )
+            )
+        return requests

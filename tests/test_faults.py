@@ -250,3 +250,64 @@ class TestDetectionCorrectionCampaign:
         assert result.trials == 8
         assert result.benign_masked + result.detected >= result.trials - result.benign_masked
         assert result.recovery_rate == 1.0
+
+
+class TestInjectorLifecycle:
+    """Bounded record retention and the per-request serving seam."""
+
+    def _attn(self, rng):
+        return MultiHeadAttention(hidden_size=16, num_heads=4, dropout_p=0.0, rng=rng)
+
+    def test_records_bounded_by_max_records(self, rng):
+        attention = self._attn(rng)
+        injector = FaultInjector(
+            [FaultSpec(matrix="Q", error_type="numeric")], rng=rng, max_records=3
+        )
+        attention.set_hooks(injector)
+        for _ in range(6):
+            injector.arm()
+            attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert len(injector.records) == 3
+        assert injector.num_injections == 6  # monotonic despite eviction
+
+    def test_max_records_validated(self, rng):
+        with pytest.raises(ValueError, match="max_records"):
+            FaultInjector([FaultSpec(matrix="Q", error_type="inf")], rng=rng, max_records=0)
+
+    def test_begin_request_rearms_and_tags_records(self, rng):
+        attention = self._attn(rng)
+        injector = FaultInjector([FaultSpec(matrix="Q", error_type="inf")], rng=rng)
+        attention.set_hooks(injector)
+        injector.begin_request("req-a")
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention(Tensor(rng.normal(size=(1, 5, 16))))  # spec already spent
+        injector.begin_request("req-b")
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.num_injections == 2  # once per request, not once ever
+        assert [r.request_id for r in injector.records] == ["req-a", "req-b"]
+
+    def test_begin_request_preserves_disarmed_state(self, rng):
+        attention = self._attn(rng)
+        injector = FaultInjector(
+            [FaultSpec(matrix="Q", error_type="inf")], rng=rng, enabled=False
+        )
+        attention.set_hooks(injector)
+        injector.begin_request("req-a")
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.num_injections == 0
+
+    def test_reset_clears_everything(self, rng):
+        attention = self._attn(rng)
+        injector = FaultInjector([FaultSpec(matrix="Q", error_type="inf")], rng=rng)
+        attention.set_hooks(injector)
+        injector.begin_request("req-a")
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        injector.reset()
+        attention(Tensor(rng.normal(size=(1, 5, 16))))
+        attention.set_hooks(None)
+        assert injector.num_injections == 1  # post-reset injection only
+        assert len(injector.records) == 1
+        assert injector.records[0].request_id is None

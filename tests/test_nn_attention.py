@@ -190,3 +190,102 @@ class TestHooks:
         attention(Tensor(x))
         for name in ("Q", "AS", "O"):
             assert np.allclose(rec1.matrices(0)[name], rec2.matrices(0)[name])
+
+
+class TestMaskCache:
+    """Regressions for the bounded, identity-keyed combined-mask cache."""
+
+    def _attn(self, rng):
+        return MultiHeadAttention(
+            hidden_size=8, num_heads=2, dropout_p=0.0, causal=True, rng=rng
+        )
+
+    def test_same_mask_object_is_served_from_cache(self, rng):
+        attn = self._attn(rng)
+        mask = np.ones((1, 5))
+        mask[0, :2] = 0.0
+        first = attn.build_mask(5, mask)
+        second = attn.build_mask(5, mask)
+        assert first is second
+
+    def test_stale_id_entry_is_not_served(self, rng):
+        # The cache key includes id(attention_mask); ids are recycled after
+        # garbage collection, so a hit must also verify the *stored object*
+        # is the caller's mask.  Poison an entry to simulate the collision.
+        attn = self._attn(rng)
+        old_mask = np.ones((1, 4))
+        old_mask[0, 0] = 0.0
+        poisoned = attn.build_mask(4, old_mask)
+        new_mask = np.ones((1, 4))
+        for key, entry in list(attn._combined_mask_cache.items()):
+            attn._combined_mask_cache[
+                key[:-1] + (id(new_mask),)
+            ] = entry
+        rebuilt = attn.build_mask(4, new_mask)
+        assert rebuilt is not poisoned
+        # And the rebuilt mask reflects the new (unpadded) values.
+        host = np.asarray(rebuilt)
+        assert host[0, 0, -1, :].max() == 0.0
+
+    def test_cache_is_bounded_fifo(self, rng):
+        from repro.nn.attention import _MASK_CACHE_MAX
+
+        attn = self._attn(rng)
+        masks = []
+        for i in range(_MASK_CACHE_MAX + 4):
+            mask = np.ones((1, 5))
+            mask[0, : 1 + i % 4] = 0.0
+            masks.append(mask)  # keep alive so ids stay distinct
+            attn.build_mask(5, mask)
+        assert len(attn._combined_mask_cache) <= _MASK_CACHE_MAX
+
+
+class TestFullyMaskedRows:
+    """Fully-masked query rows are zeroed after the softmax (left padding)."""
+
+    def test_fully_masked_query_rows_have_zero_probs(self, rng):
+        attn = MultiHeadAttention(
+            hidden_size=8, num_heads=2, dropout_p=0.0, causal=True, rng=rng
+        )
+        recorder = RecordingHooks()
+        attn.set_hooks(recorder)
+        x = rng.normal(size=(2, 5, 8))
+        mask = np.ones((2, 5))
+        mask[1, :3] = 0.0  # left padding: rows 0..2 of member 1 see no keys
+        attn(Tensor(x), attention_mask=mask)
+        ap = recorder.matrices(0)["AP"]
+        assert np.array_equal(ap[1, :, :3, :], np.zeros_like(ap[1, :, :3, :]))
+        # Live rows are still proper distributions.
+        assert np.allclose(ap[1, :, 3:, :].sum(axis=-1), 1.0)
+        assert np.allclose(ap[0].sum(axis=-1), 1.0)
+
+    def test_padded_member_does_not_perturb_batch_mates(self, rng):
+        attn = MultiHeadAttention(
+            hidden_size=8, num_heads=2, dropout_p=0.0, causal=True, rng=rng
+        )
+        attn.eval()
+        x = rng.normal(size=(2, 5, 8))
+        mask = np.ones((2, 5))
+        mask[1, :4] = 0.0
+        batched = attn(Tensor(x), attention_mask=mask).data[0]
+        solo = attn(Tensor(x[:1]), attention_mask=np.ones((1, 5))).data[0]
+        assert np.allclose(batched, solo, rtol=0.0, atol=1e-15)
+
+
+class TestDecodeMaskCache:
+    """The decode pad mask is built once per mask object and sliced per step."""
+
+    def test_decode_pad_mask_cached_by_identity(self, rng):
+        from repro.nn.attention import LayerKVCache
+
+        attn = MultiHeadAttention(
+            hidden_size=8, num_heads=2, dropout_p=0.0, causal=True, rng=rng
+        )
+        attn.eval()
+        cache = LayerKVCache(1, 2, 4, max_len=6, xp=np)
+        mask = np.ones((1, 6))
+        attn(Tensor(rng.normal(size=(1, 3, 8))), attention_mask=mask[:, :3], kv_cache=cache)
+        attn.forward_step(Tensor(rng.normal(size=(1, 1, 8))), cache, attention_mask=mask)
+        first = attn._decode_pad_mask(mask)
+        attn.forward_step(Tensor(rng.normal(size=(1, 1, 8))), cache, attention_mask=mask)
+        assert attn._decode_pad_mask(mask) is first
