@@ -9,6 +9,8 @@ for quick looks and for users who do not want pytest in the loop::
     python -m repro fig7  --batch-size 8
     python -m repro fig10 --rates 13 16 20
     python -m repro quickstart           # inject + correct one fault
+    python -m repro train_parallel --workers 4 --shards 4
+
 
 Each experiment prints the same plain-text table the corresponding benchmark
 prints and returns a process exit code of 0 on success.
@@ -285,6 +287,71 @@ def run_train(args: argparse.Namespace) -> str:
     )
 
 
+def run_train_parallel(args: argparse.Namespace) -> str:
+    """Data-parallel protected fine-tuning with the checksummed all-reduce.
+
+    Shards each global batch over ``--shards`` model replicas driven by
+    ``--workers`` workers (``--executor`` picks the serial / thread / process
+    backend), synchronises gradients through the checksum-protected
+    collective, then repeats the run with a single serial worker on the same
+    shard count and compares the trained weights byte-for-byte.  The footer
+    states the equivalence verdict and the collective dispatch counters — the
+    CI smoke job greps for ``byte-identical to 1-worker reference``.
+    """
+    from repro.training import DataParallelConfig, DataParallelTrainer, ReplicaSpec
+
+    shards = args.shards if args.shards else max(args.workers, 1)
+    global_batch = ((args.batch_size + shards - 1) // shards) * shards
+    spec = ReplicaSpec(name=args.model, size="tiny", seed=args.seed, num_labels=2)
+    probe = spec.build()
+    data = SyntheticMRPC(
+        num_examples=max(16, args.steps * global_batch),
+        max_seq_len=probe.config.max_seq_len,
+        vocab_size=probe.config.vocab_size,
+    )
+    batches = []
+    for i in range(args.steps):
+        batch = dict(data.encode(range(i * global_batch, (i + 1) * global_batch)))
+        batch["attention_mask"] = np.ones_like(batch["attention_mask"])
+        batches.append(batch)
+
+    def run(workers: int, executor: str):
+        config = DataParallelConfig(workers=workers, shards=shards, executor=executor)
+        trainer = DataParallelTrainer(model_spec=spec, config=config)
+        try:
+            results = [trainer.train_step(batch) for batch in batches]
+            state = trainer.state_dict()
+            return results, state, trainer.timers.as_dict(), trainer.collective_counters()
+        finally:
+            trainer.close()
+
+    results, state, timers, counters = run(args.workers, args.executor)
+    reference_state = run(1, "serial")[1] if args.workers > 1 else state
+    identical = set(state) == set(reference_state) and all(
+        np.array_equal(np.asarray(state[k]), np.asarray(reference_state[k]))
+        for k in state
+    )
+    rows = [
+        [r.step, f"{r.loss:.6f}", f"{r.step_seconds * 1e3:.1f}",
+         r.dirty_reductions, r.reduction_reexecutions, r.detections, r.corrections]
+        for r in results
+    ]
+    footer = (
+        ("weights byte-identical to 1-worker reference" if identical
+         else "WEIGHTS DIVERGED FROM 1-WORKER REFERENCE")
+        + f"; {counters['checksum_encodes']} checksum encodes, "
+        f"{counters['checksum_verifies']} verifies, "
+        f"{counters['mismatches']} mismatches; "
+        f"all-reduce {timers.get('comm/allreduce', 0.0) * 1e3:.1f} ms, "
+        f"verify {timers.get('comm/verify', 0.0) * 1e3:.1f} ms"
+    )
+    return format_table(
+        ["step", "mean loss", "step ms", "dirty", "retries", "det", "corr"], rows,
+        title=f"Data-parallel protected training — {args.model} (tiny), "
+              f"{args.workers} workers, {shards} shards, {args.executor} executor; {footer}",
+    )
+
+
 def run_serve(args: argparse.Namespace) -> str:
     """Protected inference serving on a tiny causal decoder.
 
@@ -474,6 +541,7 @@ def run_fig12(args: argparse.Namespace) -> str:
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "quickstart": run_quickstart,
     "train": run_train,
+    "train_parallel": run_train_parallel,
     "serve": run_serve,
     "backends": run_backends,
     "verification_modes": run_verification_modes,
@@ -540,7 +608,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify boundary checksums asynchronously on a worker "
                              "thread, off the critical path (fused backend only)")
     parser.add_argument("--steps", type=int, default=4,
-                        help="optimisation steps for the train experiment")
+                        help="optimisation steps for the train experiments")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count for the train_parallel experiment")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="data-parallel shard (replica) count for "
+                             "train_parallel; defaults to --workers")
+    parser.add_argument("--executor", default="thread",
+                        choices=["serial", "thread", "process"],
+                        help="execution backend for the train_parallel workers")
     parser.add_argument("--trials", type=int, default=2, help="trials per cell for campaign experiments")
     parser.add_argument("--requests", type=int, default=8,
                         help="request count for the serve experiment")

@@ -1,0 +1,244 @@
+"""In-process collectives with a deterministic rank-ordered reduction.
+
+The :class:`Collective` interface deliberately splits every collective into a
+non-blocking *contribute* phase and a blocking *finish* phase.  The split is
+what lets one OS thread own several virtual ranks: it deposits every rank's
+contribution first and only then blocks for the reduction, so a world of R
+ranks runs correctly on any number of worker threads from 1 to R.  The
+convenience :meth:`Collective.all_reduce` is just ``contribute`` + ``finish``
+and is what a one-rank-per-thread worker calls.
+
+Determinism contract: the reduction is a left fold in ascending rank order
+over the deposited contributions, performed exactly once per key by whichever
+caller observes the rendezvous complete.  Identical contributions therefore
+produce bit-identical reductions regardless of thread count or arrival order
+— the property the N-worker vs 1-worker byte-equivalence test pins.
+
+Thread-safety / lock discipline: all worker-shared state of
+:class:`ThreadCollective` (``_entries``, ``_results``, ``_fetched``,
+``_failure``, ``_closed``) is only touched while holding ``self._cv`` —
+the same ``with self._cv`` discipline the async verification engine uses,
+and reprolint's TH001 rule now checks this file too.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.backend import namespace_of
+
+__all__ = ["Collective", "CollectiveError", "CollectiveClosed", "ThreadCollective"]
+
+#: Reduction operators: both fold in ascending rank order; ``mean`` divides
+#: the rank-ordered sum by the world size afterwards (``* (1/world)``, which
+#: is bit-exact identity for a world of one).
+REDUCE_OPS = ("sum", "mean")
+
+
+class CollectiveError(RuntimeError):
+    """A peer rank failed mid-collective; the rendezvous was poisoned."""
+
+
+class CollectiveClosed(CollectiveError):
+    """The collective was closed while ranks were still blocked in it."""
+
+
+def _validate_rank(rank: int, world_size: int) -> None:
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range for world size {world_size}")
+
+
+class Collective:
+    """Abstract collective over ``world_size`` virtual ranks.
+
+    Payloads are *sequences* of arrays (one entry per gradient tensor), so a
+    training step pays one rendezvous per step rather than one per parameter.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = int(world_size)
+
+    # -- two-phase interface ---------------------------------------------------------
+
+    def contribute(self, key: str, rank: int, arrays: Sequence[Any]) -> None:
+        """Deposit ``rank``'s contribution for collective ``key`` (non-blocking)."""
+        raise NotImplementedError
+
+    def finish(self, key: str, rank: int) -> List[Any]:
+        """Block until every rank contributed to ``key``; return the reduction."""
+        raise NotImplementedError
+
+    # -- convenience collectives -----------------------------------------------------
+
+    def all_reduce(self, key: str, rank: int, arrays: Sequence[Any]) -> List[Any]:
+        """Reduce ``arrays`` across all ranks; every rank gets the same result."""
+        self.contribute(key, rank, arrays)
+        return self.finish(key, rank)
+
+    def broadcast(
+        self, key: str, rank: int, arrays: Optional[Sequence[Any]] = None, root: int = 0
+    ) -> List[Any]:
+        """Distribute ``root``'s arrays to every rank (one deposit, R fetches)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any blocked ranks with :class:`CollectiveClosed`."""
+
+    def poison(self, exc: BaseException) -> None:
+        """Fail every pending and future rendezvous with ``exc`` as the cause."""
+
+
+def _reduce_rank_ordered(
+    contributions: List[Sequence[Any]], op: str, copy: Callable[[Any], Any]
+) -> List[Any]:
+    """Left-fold the per-rank contributions in ascending rank order."""
+    widths = {len(c) for c in contributions}
+    if len(widths) != 1:
+        raise CollectiveError(f"ranks contributed different array counts: {sorted(widths)}")
+    reduced: List[Any] = [copy(a) for a in contributions[0]]
+    for contribution in contributions[1:]:
+        for i, array in enumerate(contribution):
+            reduced[i] += array
+    if op == "mean":
+        world = len(contributions)
+        scale = 1.0 / world
+        for i, array in enumerate(reduced):
+            reduced[i] = array * scale
+    return reduced
+
+
+class ThreadCollective(Collective):
+    """Shared-memory rendezvous collective for thread (or serial) workers.
+
+    Contributions are copied on deposit — the deposited buffer models the
+    "send buffer" handed to a communication library, which is exactly where
+    the collective fault injector strikes — and the reduction runs once,
+    under the condition variable, in ascending rank order.
+
+    Parameters
+    ----------
+    world_size:
+        Number of virtual ranks that must contribute to each key.
+    op:
+        ``"sum"`` or ``"mean"`` (rank-ordered sum scaled by ``1/world``).
+    fault_hook:
+        Optional ``hook(key, rank, arrays)`` invoked on the deposited copy of
+        each contribution (after any caller-side checksumming): the seam the
+        per-rank deterministic collective fault injector plugs into.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        op: str = "mean",
+        fault_hook: Optional[Callable[[str, int, List[Any]], None]] = None,
+    ) -> None:
+        super().__init__(world_size)
+        if op not in REDUCE_OPS:
+            raise ValueError(f"op must be one of {REDUCE_OPS}, got {op!r}")
+        self.op = op
+        self.fault_hook = fault_hook
+        self._cv = threading.Condition()
+        # Worker-shared state below: touch only under ``with self._cv``.
+        self._entries: Dict[str, Dict[int, List[Any]]] = {}
+        self._results: Dict[str, List[Any]] = {}
+        self._fetched: Dict[str, int] = {}
+        self._failure: Optional[BaseException] = None
+        self._closed = False
+
+    # -- deposit / reduce ------------------------------------------------------------
+
+    @staticmethod
+    def _copy(array: Any) -> Any:
+        xp = namespace_of(array)
+        return xp.array(array, copy=True)
+
+    def contribute(self, key: str, rank: int, arrays: Sequence[Any]) -> None:
+        _validate_rank(rank, self.world_size)
+        deposited = [self._copy(a) for a in arrays]
+        if self.fault_hook is not None:
+            self.fault_hook(key, rank, deposited)
+        with self._cv:
+            self._raise_if_failed_locked()
+            slots = self._entries.setdefault(key, {})
+            if rank in slots:
+                raise CollectiveError(f"rank {rank} contributed twice to {key!r}")
+            slots[rank] = deposited
+            if len(slots) == self.world_size:
+                self._cv.notify_all()
+
+    def finish(self, key: str, rank: int) -> List[Any]:
+        _validate_rank(rank, self.world_size)
+        with self._cv:
+            while True:
+                self._raise_if_failed_locked()
+                if key in self._results:
+                    return self._take_result_locked(key)
+                slots = self._entries.get(key)
+                if slots is not None and len(slots) == self.world_size:
+                    # First rank to observe the full rendezvous reduces, in
+                    # ascending rank order; peers pick the result up below.
+                    contributions = [slots[r] for r in sorted(slots)]
+                    self._results[key] = _reduce_rank_ordered(
+                        contributions, self.op, self._copy
+                    )
+                    self._fetched[key] = 0
+                    del self._entries[key]
+                    self._cv.notify_all()
+                    return self._take_result_locked(key)
+                self._cv.wait()
+
+    def _take_result_locked(self, key: str) -> List[Any]:
+        result = self._results[key]
+        self._fetched[key] += 1
+        if self._fetched[key] == self.world_size:
+            del self._results[key]
+            del self._fetched[key]
+        return result
+
+    # -- broadcast -------------------------------------------------------------------
+
+    def broadcast(
+        self, key: str, rank: int, arrays: Optional[Sequence[Any]] = None, root: int = 0
+    ) -> List[Any]:
+        _validate_rank(rank, self.world_size)
+        _validate_rank(root, self.world_size)
+        key = f"{key}@bcast"
+        with self._cv:
+            self._raise_if_failed_locked()
+            if rank == root:
+                if arrays is None:
+                    raise ValueError(f"root rank {root} must supply arrays to broadcast")
+                if key not in self._results:
+                    self._results[key] = [self._copy(a) for a in arrays]
+                    self._fetched[key] = 0
+                    self._cv.notify_all()
+            while key not in self._results:
+                self._raise_if_failed_locked()
+                self._cv.wait()
+            return self._take_result_locked(key)
+
+    # -- failure propagation ---------------------------------------------------------
+
+    def _raise_if_failed_locked(self) -> None:
+        if self._failure is not None:
+            raise CollectiveError("a peer rank failed") from self._failure
+        if self._closed:
+            raise CollectiveClosed("collective is closed")
+
+    def poison(self, exc: BaseException) -> None:
+        with self._cv:
+            if self._failure is None:
+                self._failure = exc
+            self._cv.notify_all()
+
+    def close(self) -> None:
+        with self._cv:
+            self._closed = True
+            self._entries.clear()
+            self._results.clear()
+            self._fetched.clear()
+            self._cv.notify_all()

@@ -440,6 +440,34 @@ class SectionCostModel:
         )
 
     @staticmethod
+    def collective_checksum_dispatches_per_step(
+        num_gradients: int, world_size: int
+    ) -> Dict[str, int]:
+        """Checksum dispatches of one protected gradient all-reduce.
+
+        The collective protection of :class:`repro.comm.ProtectedCollective`
+        is linear-checksum ABFT over the reduction: every rank encodes each
+        contributed tensor once (``encode`` = tensors x ranks), while the
+        *verification* recomputes the checksum of the shared reduced result
+        exactly once per tensor regardless of the world size (``verify`` =
+        tensors) — the first rank through ``finish`` verifies, its peers
+        pick the cached verdict up.  ``num_gradients`` counts the payload
+        tensors of the contribution (the trainer ships one loss scalar
+        alongside the parameter gradients, so pass ``len(params) + 1``).
+
+        Exact counts, compared against ``ProtectedCollective.counters()``
+        deltas by the parallel-training tests and ``BENCH_fig12.json``.
+        """
+        if num_gradients < 1:
+            raise ValueError(f"num_gradients must be >= 1, got {num_gradients}")
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        return {
+            "encode": num_gradients * world_size,
+            "verify": num_gradients,
+        }
+
+    @staticmethod
     def steady_state_hot_path_allocations() -> int:
         """Workspace allocations per layer visit once warm — zero by design.
 

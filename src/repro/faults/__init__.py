@@ -19,10 +19,14 @@
 
 from repro.faults.injector import (
     ERROR_TYPES,
+    CollectiveFaultInjector,
+    CollectiveFaultSpec,
+    CollectiveInjectionRecord,
     FaultInjector,
     FaultSpec,
     InjectionRecord,
     TARGET_MATRICES,
+    corrupt_scalar,
 )
 from repro.faults.precision import PRECISION_FORMATS, PrecisionFormat, PrecisionSimulationHooks
 from repro.faults.propagation import PropagationResult, PropagationStudy
@@ -35,6 +39,10 @@ __all__ = [
     "FaultSpec",
     "FaultInjector",
     "InjectionRecord",
+    "corrupt_scalar",
+    "CollectiveFaultSpec",
+    "CollectiveFaultInjector",
+    "CollectiveInjectionRecord",
     "PRECISION_FORMATS",
     "PrecisionFormat",
     "PrecisionSimulationHooks",

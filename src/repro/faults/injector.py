@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import enum
 import math
+import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +42,17 @@ from repro.utils.floatbits import (
 )
 from repro.utils.rng import new_rng
 
-__all__ = ["ERROR_TYPES", "TARGET_MATRICES", "FaultSpec", "InjectionRecord", "FaultInjector"]
+__all__ = [
+    "ERROR_TYPES",
+    "TARGET_MATRICES",
+    "FaultSpec",
+    "InjectionRecord",
+    "FaultInjector",
+    "corrupt_scalar",
+    "CollectiveFaultSpec",
+    "CollectiveInjectionRecord",
+    "CollectiveFaultInjector",
+]
 
 #: Error classes supported by the injector.
 ERROR_TYPES: Tuple[str, ...] = ("inf", "nan", "near_inf", "numeric")
@@ -97,6 +108,38 @@ class FaultSpec:
         return TARGET_MATRICES[self.matrix]
 
 
+def corrupt_scalar(
+    error_type: str,
+    original: float,
+    dtype: np.dtype,
+    sign: int = 1,
+    numeric_delta: float = 10.0,
+) -> float:
+    """The corrupted replacement value for one scalar, per the paper's method.
+
+    Shared by the attention-GEMM injector (host-scalar path) and the
+    collective injector, so both campaigns inject identically-shaped errors.
+    """
+    if error_type == "inf":
+        return float(np.inf if sign >= 0 else -np.inf)
+    if error_type == "nan":
+        return float(np.nan)
+    if error_type == "near_inf":
+        # Flip the most significant exponent bit in the arithmetic the
+        # computation uses (see the near-INF discussion on FaultInjector).
+        flip_dtype = (
+            dtype
+            if np.dtype(dtype) in (np.dtype(np.float32), np.dtype(np.float64))
+            else np.float64
+        )
+        base = original if original != 0.0 and np.isfinite(original) else 1.0
+        value = float(np.asarray(make_near_inf(base, dtype=flip_dtype)))
+        return float(sign) * abs(value) if sign < 0 else value
+    if error_type == "numeric":
+        return float(original + sign * numeric_delta)
+    raise KeyError(error_type)
+
+
 @dataclass
 class InjectionRecord:
     """Book-keeping of one performed injection."""
@@ -111,6 +154,9 @@ class InjectionRecord:
     #: the most recent :meth:`FaultInjector.begin_request`, ``None`` outside
     #: a request scope.
     request_id: Optional[object] = None
+    #: Data-parallel attribution: the worker rank this injector was spawned
+    #: for (:meth:`FaultInjector.spawn`), ``None`` on an unspawned injector.
+    rank: Optional[int] = None
 
 
 class FaultInjector(AttentionHooks):
@@ -142,16 +188,30 @@ class FaultInjector(AttentionHooks):
         enabled: bool = True,
         value_dtype: Optional[np.dtype] = None,
         max_records: int = 1024,
+        seed: Optional[int] = None,
+        rank: Optional[int] = None,
     ) -> None:
         """``value_dtype`` overrides the floating format whose exponent layout
         the near-INF bit flip uses; by default the output array's own dtype is
         used.  Set it to ``numpy.float32`` when combining the injector with
         :class:`repro.faults.PrecisionSimulationHooks` so the injected
-        magnitude matches the simulated training precision."""
+        magnitude matches the simulated training precision.
+
+        ``seed`` makes the injector *spawnable*: :meth:`spawn` derives
+        per-rank children whose position streams come from
+        ``SeedSequence(seed, spawn_key=(rank,))`` — deterministic and
+        rank-attributable no matter how worker threads interleave.  ``rng``
+        and ``seed`` are mutually exclusive."""
         if not isinstance(max_records, int) or max_records < 1:
             raise ValueError(f"max_records must be a positive integer, got {max_records!r}")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if rng is None:
+            rng = new_rng() if seed is None else np.random.default_rng(np.random.SeedSequence(seed))
         self.specs: List[FaultSpec] = list(specs)
-        self.rng = rng if rng is not None else new_rng()
+        self.rng = rng
+        self.seed = seed
+        self.rank = rank
         self.max_injections_per_spec = max_injections_per_spec
         self.enabled = enabled
         self.value_dtype = np.dtype(value_dtype) if value_dtype is not None else None
@@ -160,6 +220,32 @@ class FaultInjector(AttentionHooks):
         self.total_injections = 0
         self._request_id: Optional[object] = None
         self._fired_count: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+
+    def spawn(self, rank: int) -> "FaultInjector":
+        """Derive the deterministic per-rank child injector for ``rank``.
+
+        The child shares this injector's specs and knobs but owns a private
+        position stream derived via ``SeedSequence(seed, spawn_key=(rank,))``,
+        and tags every record with ``rank`` — identical campaigns replay
+        identically for any worker count, and every injection is
+        rank-attributable.  Requires a ``seed``-constructed parent.
+        """
+        if self.seed is None:
+            raise ValueError(
+                "spawn() needs a seed-constructed injector (FaultInjector(..., seed=...)); "
+                "an explicit-rng injector has no derivable per-rank streams"
+            )
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        return FaultInjector(
+            self.specs,
+            rng=np.random.default_rng(np.random.SeedSequence(self.seed, spawn_key=(rank,))),
+            max_injections_per_spec=self.max_injections_per_spec,
+            enabled=self.enabled,
+            value_dtype=self.value_dtype,
+            max_records=self.max_records,
+            rank=rank,
+        )
 
     # -- control ---------------------------------------------------------------------
 
@@ -199,25 +285,16 @@ class FaultInjector(AttentionHooks):
     # -- corruption --------------------------------------------------------------------
 
     def _corrupt_value(self, spec: FaultSpec, original: float, dtype: np.dtype) -> float:
-        if spec.error_type == "inf":
-            return float(np.inf if spec.sign >= 0 else -np.inf)
-        if spec.error_type == "nan":
-            return float(np.nan)
-        if spec.error_type == "near_inf":
-            # The paper's method: flip the most significant exponent bit of the
-            # selected element, *in the arithmetic the computation uses*.  On
-            # the paper's fp32 GPU training that lands a value within a couple
-            # of orders of magnitude of the overflow threshold, which is what
-            # makes near-INF faults accumulate into INF/NaN downstream; the
-            # same relationship is preserved here by flipping in the output's
-            # own dtype (float64 for the NumPy substrate).
-            flip_dtype = dtype if np.dtype(dtype) in (np.dtype(np.float32), np.dtype(np.float64)) else np.float64
-            base = original if original != 0.0 and np.isfinite(original) else 1.0
-            value = float(np.asarray(make_near_inf(base, dtype=flip_dtype)))
-            return float(spec.sign) * abs(value) if spec.sign < 0 else value
-        if spec.error_type == "numeric":
-            return float(original + spec.sign * spec.numeric_delta)
-        raise KeyError(spec.error_type)
+        # The paper's method for near-INF: flip the most significant exponent
+        # bit of the selected element, *in the arithmetic the computation
+        # uses*.  On the paper's fp32 GPU training that lands a value within a
+        # couple of orders of magnitude of the overflow threshold, which is
+        # what makes near-INF faults accumulate into INF/NaN downstream; the
+        # same relationship is preserved here by flipping in the output's own
+        # dtype (float64 for the NumPy substrate).
+        return corrupt_scalar(
+            spec.error_type, original, dtype, sign=spec.sign, numeric_delta=spec.numeric_delta
+        )
 
     def _inject_near_inf_inplace(self, spec: FaultSpec, out, position, original: float) -> Optional[float]:
         """Flip the exponent MSB of ``out[position]`` on its own buffer.
@@ -281,6 +358,151 @@ class FaultInjector(AttentionHooks):
                     original_value=original,
                     injected_value=injected,
                     request_id=self._request_id,
+                    rank=self.rank,
                 )
             )
         return out
+
+
+@dataclass
+class CollectiveFaultSpec:
+    """One fault to inject into a rank's all-reduce contribution.
+
+    The corruption strikes the deposited *send buffer* of the targeted rank —
+    after the sender computed its gradient checksums, before the reduction —
+    which is exactly the in-or-between-collective-steps window the
+    checksum-linearity invariant of
+    :class:`repro.comm.ProtectedCollective` covers.
+
+    Attributes
+    ----------
+    step:
+        Training step (1-based, as announced by
+        :meth:`CollectiveFaultInjector.begin_step`) at which to strike.
+    rank:
+        Contributing rank whose deposited payload is corrupted.
+    array_index:
+        Which gradient tensor of the contribution (``None`` = random).
+    position:
+        Flat index into the chosen tensor (``None`` = random).
+    error_type / sign / numeric_delta:
+        Same error classes as :class:`FaultSpec`.
+    """
+
+    step: int
+    rank: int
+    array_index: Optional[int] = None
+    position: Optional[int] = None
+    error_type: str = "near_inf"
+    sign: int = 1
+    numeric_delta: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.error_type not in ERROR_TYPES:
+            raise KeyError(
+                f"unknown error type {self.error_type!r}; expected one of {ERROR_TYPES}"
+            )
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+
+
+@dataclass
+class CollectiveInjectionRecord:
+    """Book-keeping of one performed collective injection."""
+
+    spec: CollectiveFaultSpec
+    step: int
+    rank: int
+    key: str
+    array_index: int
+    position: Tuple[int, ...]
+    original_value: float
+    injected_value: float
+
+
+class CollectiveFaultInjector:
+    """Deterministic per-rank fault injection into collective contributions.
+
+    Plugs into :class:`repro.comm.ThreadCollective`'s ``fault_hook`` seam
+    (``hook(key, rank, arrays)``, invoked on the deposited copy of each
+    contribution).  Each rank draws positions from its own generator, derived
+    via ``SeedSequence(seed, spawn_key=(rank,))`` — the same spawning scheme
+    as :meth:`FaultInjector.spawn` — so a campaign replays identically for
+    any worker count and every record is rank-attributed.
+
+    Each spec fires at most once, and only on the primary attempt of its step
+    (re-executed reductions use ``...#retryN`` keys and are left clean,
+    modelling a transient fault).
+    """
+
+    def __init__(self, specs: Sequence[CollectiveFaultSpec], seed: int = 0,
+                 enabled: bool = True) -> None:
+        self.specs: List[CollectiveFaultSpec] = list(specs)
+        self.seed = int(seed)
+        self.enabled = enabled
+        self.records: List[CollectiveInjectionRecord] = []
+        self._rngs: Dict[int, np.random.Generator] = {}
+        self._lock = threading.Lock()
+        # Guarded by _lock: hooks run concurrently on worker threads.
+        self._step = 0
+        self._fired: Dict[int, bool] = {i: False for i in range(len(self.specs))}
+
+    def begin_step(self, step: int) -> None:
+        """Announce the training step the next contributions belong to."""
+        with self._lock:
+            self._step = int(step)
+
+    def _rng_for(self, rank: int) -> np.random.Generator:
+        rng = self._rngs.get(rank)
+        if rng is None:
+            rng = np.random.default_rng(np.random.SeedSequence(self.seed, spawn_key=(rank,)))
+            self._rngs[rank] = rng
+        return rng
+
+    @property
+    def num_injections(self) -> int:
+        return len(self.records)
+
+    def __call__(self, key: str, rank: int, arrays: List[Any]) -> None:
+        if not self.enabled or "#retry" in key:
+            return
+        with self._lock:
+            step = self._step
+            due = [
+                (i, spec)
+                for i, spec in enumerate(self.specs)
+                if not self._fired[i] and spec.step == step and spec.rank == rank
+            ]
+            for i, _ in due:
+                self._fired[i] = True
+        for _, spec in due:
+            rng = self._rng_for(rank)
+            array_index = (
+                spec.array_index
+                if spec.array_index is not None
+                else int(rng.integers(0, len(arrays)))
+            )
+            target = arrays[array_index]
+            size = math.prod(target.shape)
+            flat = (
+                spec.position
+                if spec.position is not None
+                else int(rng.integers(0, size))
+            )
+            position = tuple(int(i) for i in np.unravel_index(flat, tuple(target.shape)))
+            original = float(target[position])
+            dtype = backend_of(target).dtype_of(target)
+            injected = corrupt_scalar(
+                spec.error_type, original, dtype,
+                sign=spec.sign, numeric_delta=spec.numeric_delta,
+            )
+            target[position] = injected
+            record = CollectiveInjectionRecord(
+                spec=spec, step=step, rank=rank, key=key,
+                array_index=array_index, position=position,
+                original_value=original, injected_value=injected,
+            )
+            with self._lock:
+                self.records.append(record)

@@ -148,6 +148,28 @@ class LayerKVCache:
             )
         return self.cs_x, self.cs_v_row
 
+    def compact(self, indices) -> None:
+        """Shrink the batch axis to ``indices`` (serving slot compaction).
+
+        Every buffer — K/V data *and* the checksum side-state — is sliced
+        along the batch axis in one place, so the per-slot incremental
+        checksums stay aligned with their slots.  This is sound because the
+        checksum state is per-slot-independent: ``cs_x`` is one column
+        checksum per sequence and ``cs_v_row`` one row checksum per cached
+        position, neither mixes batch rows.  ``length`` and the covered
+        prefixes are untouched (compaction never drops positions, only
+        slots).
+        """
+        indices = self.xp.asarray(indices)
+        if int(indices.shape[0]) < 1:
+            raise ValueError("compact needs at least one slot to keep")
+        self.k = self.k[indices]
+        self.v = self.v[indices]
+        if self.cs_x is not None:
+            self.cs_x = self.cs_x[indices]
+        if self.cs_v_row is not None:
+            self.cs_v_row = self.cs_v_row[indices]
+
     def reset(self) -> None:
         """Empty the cache for reuse; buffers (data and checksum) are kept
         and fully overwritten by the next prefill."""

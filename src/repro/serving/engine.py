@@ -13,9 +13,24 @@ reads their ``request_dirty`` masks (the per-request fault attribution the
 ``ProtectionEngine`` computes from the detected/aborted vectors of each
 boundary check).  A dirty request whose boundary was fully corrected is
 counted ``repaired`` and keeps decoding; one with uncorrectable damage (or
-non-finite logits, which would poison the argmax) is *evicted* — its slot
-keeps its shape in the batch (the checksum chain needs every slot to keep
-stepping) but its outputs are discarded, so batch-mates are unaffected.
+non-finite logits, which would poison the argmax) is *evicted* and its
+outputs discarded, so batch-mates are unaffected.
+
+Dead slots do not keep stepping: the decode loop *compacts* the physical
+batch down to the slots that still produce tokens (``slot_map`` tracks
+physical → original indices), which is sound because the KV checksum
+side-state is per-slot-independent — ``cs_x`` and ``cs_v_row`` never mix
+batch rows, so :meth:`~repro.nn.attention.LayerKVCache.compact` slices them
+together with K/V.  The physical batch is floored at two slots (a
+single-row GEMM takes the gemv path, whose low bits can differ from the
+batched rows — the surviving request's token stream must stay bitwise
+identical to its full-batch run), padding with a completed slot in
+preference to an evicted one.  Compaction is disabled under async
+verification, whose late-draining dirty masks carry historical batch
+widths that could no longer be attributed to slots.  The decode loop also
+exits as soon as no slot is active, so decode cost tracks live requests —
+``decode_steps`` / ``decode_slot_steps`` on the report counter-verify both
+effects.
 
 Timer keys (see the README glossary): ``serve/schedule`` (padding + cache
 allocation), ``serve/prefill``, ``serve/decode`` and ``serve/verify`` (the
@@ -88,6 +103,11 @@ class ServingReport:
     wall_seconds: float
     timer_seconds: Dict[str, float]
     checker_stats: Dict[str, int]
+    #: Decode-loop iterations across all batches of the run.
+    decode_steps: int = 0
+    #: Physical slots stepped, summed over decode iterations — with slot
+    #: compaction this tracks live requests rather than batch size x budget.
+    decode_slot_steps: int = 0
 
     @property
     def num_completed(self) -> int:
@@ -123,6 +143,8 @@ class ServingReport:
             "latency_p99_ms": self.latency_percentile_ms(99.0),
             "timer_seconds": dict(self.timer_seconds),
             "checker_stats": dict(self.checker_stats),
+            "decode_steps": self.decode_steps,
+            "decode_slot_steps": self.decode_slot_steps,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -203,6 +225,8 @@ class ServingEngine:
         self.injector = injector
         self.config = config or ServingConfig()
         self.timers = TimingRegistry()
+        self.decode_steps = 0
+        self.decode_slot_steps = 0
         model.eval()
 
     # -- public API -----------------------------------------------------------------
@@ -211,6 +235,8 @@ class ServingEngine:
         """Serve ``requests`` to completion and return the aggregate report."""
         start = time.perf_counter()
         results: List[RequestResult] = []
+        self.decode_steps = 0
+        self.decode_slot_steps = 0
         batch_size = self.config.max_batch_size
         for batch_start in range(0, len(requests), batch_size):
             batch = requests[batch_start : batch_start + batch_size]
@@ -230,6 +256,8 @@ class ServingEngine:
             wall_seconds=wall,
             timer_seconds=self.timers.as_dict(),
             checker_stats=checker_stats,
+            decode_steps=self.decode_steps,
+            decode_slot_steps=self.decode_slot_steps,
         )
 
     # -- batch execution ------------------------------------------------------------
@@ -260,38 +288,82 @@ class ServingEngine:
         if self.injector is not None:
             self.injector.begin_request(batch_index)
 
+        slot_map = np.arange(size)
         with self.timers.measure("serve/prefill"):
             hidden = model.prefill(ids, mask[:, :prompt_len], caches)
             # Left padding makes the last position a real token for every
             # request, so one slice serves the whole batch.
             logits = self._last_logits(hidden, position=-1)
-        self._absorb_outcomes(state)
-        self._check_logits(state, logits)
+        self._absorb_outcomes(state, slot_map)
+        self._check_logits(state, logits, slot_map)
         next_ids = np.argmax(logits, axis=-1).astype(np.int64)
 
         remaining = np.array([r.max_new_tokens for r in batch], dtype=np.int64)
-        self._record_tokens(state, next_ids, remaining)
+        self._record_tokens(state, next_ids, remaining, slot_map)
         for _ in range(int(budget) - 1):
-            if remaining.max() <= 0:
+            if not state.active.any():
                 break
+            slot_map, mask, next_ids = self._maybe_compact(
+                state, slot_map, mask, caches, next_ids
+            )
+            self.decode_steps += 1
+            self.decode_slot_steps += len(slot_map)
             with self.timers.measure("serve/decode"):
                 hidden = model.decode_step(next_ids[:, None], caches, attention_mask=mask)
                 logits = self._last_logits(hidden, position=0)
-            self._absorb_outcomes(state)
-            self._check_logits(state, logits)
+            self._absorb_outcomes(state, slot_map)
+            self._check_logits(state, logits, slot_map)
             next_ids = np.argmax(logits, axis=-1).astype(np.int64)
-            self._record_tokens(state, next_ids, remaining)
+            self._record_tokens(state, next_ids, remaining, slot_map)
         if self.checker is not None:
             # Flush any deferred/async verification work attributable to this
             # batch before its slots are retired.
             with self.timers.measure("serve/verify"):
                 self.checker.drain()
-            self._absorb_outcomes(state)
+            self._absorb_outcomes(state, slot_map)
         for i in range(size):
             state.complete(i)
         return state.results
 
     # -- helpers --------------------------------------------------------------------
+
+    def _maybe_compact(
+        self,
+        state: _BatchState,
+        slot_map: np.ndarray,
+        mask: np.ndarray,
+        caches: List[Any],
+        next_ids: np.ndarray,
+    ) -> tuple:
+        """Drop dead physical slots so decode cost tracks live requests.
+
+        Keeps the slots whose original request is still active, floored at
+        two physical slots (single-row GEMMs take the gemv path, whose low
+        bits can differ from batched rows — the bitwise fault-isolation
+        guarantee requires M >= 2); a needed pad slot is taken from the
+        dead ones, preferring a completed (clean-KV) slot over an evicted
+        one.  Disabled under async verification: its dirty masks drain
+        late, with the batch width of the step they were *recorded* at, and
+        could not be re-attributed across a shrink.
+        """
+        if self.checker is not None and self.checker.verification_mode == "async":
+            return slot_map, mask, next_ids
+        physical = len(slot_map)
+        keep = [p for p in range(physical) if state.active[slot_map[p]]]
+        if len(keep) < 2:
+            dead = [p for p in range(physical) if not state.active[slot_map[p]]]
+            # Completed slots (still alive) first, evicted ones last.
+            dead.sort(key=lambda p: (not state.alive[slot_map[p]], p))
+            keep = sorted(keep + dead[: 2 - len(keep)])
+        if len(keep) == physical:
+            return slot_map, mask, next_ids
+        keep_idx = np.asarray(keep, dtype=np.int64)
+        for cache in caches:
+            cache.compact(keep_idx)
+        # The rebuilt mask is a new object on purpose: its identity keys the
+        # attention decode-mask cache, so the cache re-derives once per
+        # compaction and then reuses the entry every following step.
+        return slot_map[keep_idx], np.ascontiguousarray(mask[keep_idx]), next_ids[keep_idx]
 
     def _last_logits(self, hidden: Any, position: int) -> np.ndarray:
         logits = self.model.lm_logits(hidden).data[:, position, :]
@@ -300,17 +372,24 @@ class ServingEngine:
         return np.asarray(logits)
 
     def _record_tokens(
-        self, state: _BatchState, next_ids: np.ndarray, remaining: np.ndarray
+        self,
+        state: _BatchState,
+        next_ids: np.ndarray,
+        remaining: np.ndarray,
+        slot_map: np.ndarray,
     ) -> None:
-        for i in np.flatnonzero(state.active):
-            if remaining[i] <= 0:
+        for p in range(len(slot_map)):
+            i = int(slot_map[p])
+            if not state.active[i] or remaining[i] <= 0:
                 continue
-            state.results[i].tokens.append(int(next_ids[i]))
+            state.results[i].tokens.append(int(next_ids[p]))
             remaining[i] -= 1
             if remaining[i] == 0:
-                state.complete(int(i))
+                state.complete(i)
 
-    def _check_logits(self, state: _BatchState, logits: np.ndarray) -> None:
+    def _check_logits(
+        self, state: _BatchState, logits: np.ndarray, slot_map: np.ndarray
+    ) -> None:
         """Evict slots whose generation logits went non-finite.
 
         The ABFT sections cover the attention GEMMs; a fault that slipped
@@ -318,11 +397,20 @@ class ServingEngine:
         not drive the argmax of a live request.
         """
         finite = np.isfinite(logits).all(axis=-1)
-        for i in np.flatnonzero(~finite & state.alive):
-            state.evict(int(i))
+        for p in np.flatnonzero(~finite):
+            i = int(slot_map[p])
+            if state.alive[i]:
+                state.evict(i)
 
-    def _absorb_outcomes(self, state: _BatchState) -> None:
-        """Fold the checker's recent outcomes into per-request dispositions."""
+    def _absorb_outcomes(self, state: _BatchState, slot_map: np.ndarray) -> None:
+        """Fold the checker's recent outcomes into per-request dispositions.
+
+        Dirty masks are indexed by *physical* slot of the step they were
+        recorded at; with synchronous absorption (immediate/deferred) that
+        step ran under the current ``slot_map``, which maps them back to
+        original requests.  Async mode never compacts, so its historical
+        masks always match the full batch width.
+        """
         checker = self.checker
         if checker is None:
             return
@@ -336,11 +424,14 @@ class ServingEngine:
                 # Host view of the per-request dirty mask (already host-side
                 # on the NumPy substrate the serving path runs on).
                 dirty = np.asarray(outcome.request_dirty).astype(bool).reshape(-1)
-                if dirty.shape[0] != len(state.results) or not dirty.any():
+                if dirty.shape[0] != len(slot_map) or not dirty.any():
                     continue
                 uncorrected = report.aborted > 0 or report.corrected < report.detected
-                for i in np.flatnonzero(dirty & state.alive):
+                for p in np.flatnonzero(dirty):
+                    i = int(slot_map[p])
+                    if not state.alive[i]:
+                        continue
                     if uncorrected and self.config.evict_uncorrected:
-                        state.evict(int(i))
+                        state.evict(i)
                     else:
-                        state.results[int(i)].repaired_detections += 1
+                        state.results[i].repaired_detections += 1

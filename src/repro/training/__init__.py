@@ -6,7 +6,10 @@ The trainer exposes exactly the signals the paper's evaluation needs:
 * per-step attention-block and whole-step wall-clock time (overhead studies),
 * hooks for fault-injection campaigns, and
 * a checkpoint/restore manager implementing the baseline recovery strategy
-  that Figure 11 compares ATTNChecker against.
+  that Figure 11 compares ATTNChecker against, and
+* a data-parallel trainer (``parallel``) sharding the global batch across
+  worker-driven model replicas whose gradient all-reduce is itself
+  checksum-protected through :mod:`repro.comm`.
 """
 
 from repro.training.optimizer import SGD, AdamW, Optimizer
@@ -19,9 +22,17 @@ from repro.training.trainer import (
     Trainer,
     TrainerConfig,
 )
+from repro.training.parallel import (
+    EXECUTORS,
+    DataParallelConfig,
+    DataParallelTrainer,
+    ParallelStepResult,
+    ReplicaSpec,
+)
 
 __all__ = [
     "STALE_POLICIES",
+    "EXECUTORS",
     "StaleDetectionAbort",
     "Optimizer",
     "SGD",
@@ -35,4 +46,8 @@ __all__ = [
     "TrainerConfig",
     "TrainingMetrics",
     "StepResult",
+    "ReplicaSpec",
+    "DataParallelConfig",
+    "DataParallelTrainer",
+    "ParallelStepResult",
 ]

@@ -1,0 +1,850 @@
+"""Data-parallel sharded training with a checksum-protected all-reduce.
+
+:class:`DataParallelTrainer` shards each global batch across ``shards``
+virtual ranks, every rank owning its own device-resident model replica,
+optimizer and (optionally) per-shard :class:`~repro.core.ATTNChecker` whose
+async verification drains independently of its peers.  Gradient
+synchronisation goes through the :mod:`repro.comm` collective seam; with
+``protect_collective=True`` (default) the all-reduce itself is ABFT-covered:
+each rank attaches float64 gradient checksums, and the linearity identity
+``checksum(sum of gradients) == sum of checksums`` is verified on the reduced
+result (:class:`repro.comm.ProtectedCollective`).
+
+**Determinism / byte-equivalence.**  The shard count is decoupled from the
+worker count: ``shards`` fixes the numerical decomposition (R replicas, R
+per-shard gradients, one rank-ordered reduction) while ``workers`` only
+decides how many OS threads drive those ranks.  Because the reduction is a
+deterministic left fold in rank order and every per-rank computation sees
+identical inputs regardless of which thread runs it, training with any
+worker count produces **byte-identical weights** at a fixed shard count —
+the property the N-worker vs 1-worker equivalence test pins.  Thread workers
+overlap where the backend releases the GIL (BLAS GEMMs on the NumPy
+substrate, device kernels elsewhere); a process-based executor
+(``executor="process"``) is available for GIL-free scaling, at the cost of
+pickling gradients across the pipe.
+
+**Dirty reductions and the stale policy.**  A checksum mismatch at the
+reduction extends the existing ``stale_policy`` machinery to rank level:
+
+* ``"record"`` — count the dirty reduction and proceed with its result;
+* ``"reexecute"`` — re-execute the reduction from the ranks' retained (and
+  still intact) local gradients under a fresh key, up to
+  ``max_retries_per_step`` times — a transient fault in the collective does
+  not recur;
+* ``"abort"`` — raise :class:`~repro.training.trainer.StaleDetectionAbort`.
+
+Per-rank *attention* faults follow the same policy before the collective:
+each rank settles its own checker at the end of backward (for ``reexecute``
+/ ``abort`` an async engine is drained so verdicts are in hand *before* the
+rank contributes), and a dirty rank re-executes only its own
+forward/backward — no optimizer state has advanced yet, so rank-level
+re-execution is checkpoint-free by construction.
+
+Timer keys: ``parallel/step`` (coordinator wall clock), ``comm/allreduce``
+(rendezvous + reduction) and ``comm/verify`` (checksum encode / recompute /
+compare), the latter two folded from the per-rank workers into the shared
+registry between steps.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import multiprocessing
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend import namespace_of
+from repro.comm import (
+    Collective,
+    CollectiveError,
+    DirtyReductionError,
+    ProtectedCollective,
+    ThreadCollective,
+)
+from repro.core.attention_checker import ATTNChecker, ATTNCheckerConfig
+from repro.faults.injector import FaultInjector
+from repro.nn.attention import AttentionHooks, ComposedHooks
+from repro.nn.module import Module
+from repro.training.optimizer import AdamW
+from repro.training.trainer import (
+    STALE_POLICIES,
+    StaleDetectionAbort,
+    _count_stale_dirty,
+    clip_gradients,
+)
+from repro.utils.logging import get_logger
+from repro.utils.timing import TimingRegistry
+
+__all__ = [
+    "EXECUTORS",
+    "ReplicaSpec",
+    "DataParallelConfig",
+    "ParallelStepResult",
+    "DataParallelTrainer",
+]
+
+logger = get_logger("training.parallel")
+
+#: Supported executors: ``serial`` drives every rank on the calling thread
+#: (the 1-worker reference), ``thread`` uses a pool of ``workers`` OS threads
+#: over the GIL-releasing backend seam, ``process`` forks out to spawned
+#: worker processes (NumPy substrate only; gradients cross the pipe).
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass
+class ReplicaSpec:
+    """Picklable recipe for building one model replica.
+
+    Every rank builds from the *same* spec (same seed), so replicas start
+    byte-identical on any executor — including spawned worker processes,
+    which cannot receive live model objects.
+    """
+
+    name: str = "bert-base"
+    size: str = "tiny"
+    seed: int = 0
+    num_labels: Optional[int] = None
+    array_backend: Optional[str] = None
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Module:
+        from repro.models import build_model
+
+        return build_model(
+            self.name,
+            size=self.size,
+            rng=np.random.default_rng(self.seed),
+            num_labels=self.num_labels,
+            array_backend=self.array_backend,
+            **self.overrides,
+        )
+
+
+@dataclass
+class DataParallelConfig:
+    """Knobs of the data-parallel trainer.
+
+    Attributes
+    ----------
+    workers:
+        OS threads (or worker processes) driving the ranks.
+    shards:
+        Virtual ranks R — the numerical decomposition of the global batch.
+        Defaults to ``workers``.  ``workers`` may be smaller than ``shards``
+        (each thread then owns a stride of ranks); it must not be larger.
+    executor:
+        One of :data:`EXECUTORS`.
+    learning_rate / weight_decay / max_grad_norm:
+        Per-replica AdamW and clipping settings (clipping runs on the
+        *reduced* gradient, identically on every rank).
+    stale_policy / max_retries_per_step:
+        Recovery policy for dirty reductions and per-rank stale attention
+        verdicts (see the module docstring).
+    protect_collective:
+        Wrap the collective in a :class:`~repro.comm.ProtectedCollective`.
+    sync_weights_on_init:
+        Broadcast rank 0's weights to every replica at construction (a
+        guard against divergent replica initialisation; also what exercises
+        the ``broadcast`` collective).
+    protection:
+        Optional :class:`~repro.core.ATTNCheckerConfig`; each rank gets its
+        own independent checker (and, in async mode, its own verification
+        worker) built from a deep copy of this config.
+    """
+
+    workers: int = 2
+    shards: Optional[int] = None
+    executor: str = "thread"
+    learning_rate: float = 5e-4
+    weight_decay: float = 0.01
+    max_grad_norm: float = 1.0
+    stale_policy: str = "record"
+    max_retries_per_step: int = 2
+    protect_collective: bool = True
+    sync_weights_on_init: bool = True
+    protection: Optional[ATTNCheckerConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.stale_policy not in STALE_POLICIES:
+            raise ValueError(
+                f"unknown stale_policy {self.stale_policy!r}; "
+                f"expected one of {STALE_POLICIES}"
+            )
+        if self.shards is None:
+            self.shards = self.workers
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.workers > self.shards:
+            raise ValueError(
+                f"workers ({self.workers}) must not exceed shards ({self.shards}); "
+                "extra workers would idle and break the fixed numerical decomposition"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return int(self.shards)  # type: ignore[arg-type]
+
+
+@dataclass
+class ParallelStepResult:
+    """Metrics of one data-parallel optimisation step."""
+
+    step: int
+    loss: float
+    shard_losses: List[float]
+    step_seconds: float
+    #: Per-rank stale dirty attention verdicts (summed over ranks).
+    stale_detections: int = 0
+    #: Ranks that re-executed their forward/backward this step.
+    rank_reexecutions: int = 0
+    #: Gradient tensors whose reduction verified dirty this step.
+    dirty_reductions: int = 0
+    #: Re-executed reductions (``stale_policy="reexecute"``) this step.
+    reduction_reexecutions: int = 0
+    #: Attention detections / corrections summed over the rank checkers.
+    detections: int = 0
+    corrections: int = 0
+
+    @property
+    def non_trainable(self) -> bool:
+        return math.isnan(self.loss)
+
+
+class _RankRunner:
+    """One rank's replica, optimizer, checker and step logic.
+
+    Shared by the thread/serial executors (R runners owned by the trainer)
+    and the process executor (each worker process owns its ranks' runners).
+    Phase A (:meth:`forward_backward` + :meth:`gradients`) produces the
+    rank's contribution; phase B (:meth:`apply`) consumes the reduction.
+    The optimizer only advances in phase B, so a phase-A re-execution after
+    a stale dirty verdict restarts from genuinely clean state.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        model: Module,
+        config: DataParallelConfig,
+        checker: Optional[ATTNChecker] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.rank = rank
+        self.model = model
+        self.config = config
+        self.checker = checker
+        self.injector = injector
+        self.optimizer = AdamW(
+            model.parameters(),
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        hooks: List[AttentionHooks] = []
+        if injector is not None:
+            hooks.append(injector)
+        if checker is not None:
+            hooks.append(checker)
+        if hooks:
+            model.set_attention_hooks(ComposedHooks(hooks))
+        model.train()
+
+    # -- phase A ---------------------------------------------------------------------
+
+    def forward_backward(self, shard: Dict[str, np.ndarray]) -> Tuple[float, int, int]:
+        """Compute this rank's shard gradient; settle its own checker.
+
+        Returns ``(loss, stale_dirty, reexecutions)``.  For ``reexecute`` /
+        ``abort`` policies an async checker is drained so the verdict for
+        *this* step's sections is in hand before the rank contributes to the
+        collective — per-shard engines still drain independently of their
+        peers, there is no cross-rank barrier here.
+        """
+        policy = self.config.stale_policy
+        reexecutions = 0
+        total_stale = 0
+        while True:
+            self.model.zero_grad()
+            output = self.model(
+                shard["input_ids"],
+                attention_mask=shard.get("attention_mask"),
+                labels=shard["labels"],
+            )
+            loss_value = output.loss_value
+            if math.isfinite(loss_value):
+                output.loss.backward()
+            stale_dirty = 0
+            if self.checker is not None:
+                outcomes = list(self.checker.end_step())
+                if policy != "record" and self.checker.config.async_verification:
+                    outcomes.extend(self.checker.drain())
+                stale_dirty = _count_stale_dirty(outcomes)
+            total_stale += stale_dirty
+            if stale_dirty and policy == "abort":
+                raise StaleDetectionAbort(
+                    f"rank {self.rank}: {stale_dirty} boundary check(s) verified "
+                    f"dirty after their values were consumed (stale_policy='abort')"
+                )
+            if (
+                stale_dirty
+                and policy == "reexecute"
+                and reexecutions < self.config.max_retries_per_step
+            ):
+                # No optimizer update has happened yet this step, so simply
+                # re-running the shard is clean recovery; a transient fault
+                # does not recur.
+                reexecutions += 1
+                continue
+            return loss_value, total_stale, reexecutions
+
+    def gradients(self) -> List[Any]:
+        """This rank's gradient list, in parameter order (zeros if skipped)."""
+        grads: List[Any] = []
+        for p in self.model.parameters():
+            if p.grad is not None:
+                grads.append(p.grad)
+            else:
+                grads.append(p.xp.zeros_like(p.data))
+        return grads
+
+    # -- phase B ---------------------------------------------------------------------
+
+    def apply(self, reduced: Sequence[Any], mean_loss: float) -> None:
+        """Adopt the reduced gradient and advance the optimizer.
+
+        Skipped entirely for a non-finite global mean loss, mirroring the
+        single-device trainer's skip-on-non-finite rule — and because the
+        mean is global, every rank makes the same decision.
+        """
+        if not math.isfinite(mean_loss):
+            return
+        for p, g in zip(self.model.parameters(), reduced):
+            p.grad = g
+        clip_gradients(self.model, self.config.max_grad_norm)
+        self.optimizer.step()
+
+    def close(self) -> None:
+        if self.checker is not None:
+            self.checker.close()
+        self.model.set_attention_hooks(None)
+
+
+def _shard_batch(batch: Dict[str, np.ndarray], shards: int) -> List[Dict[str, np.ndarray]]:
+    """Split a global batch into ``shards`` equal leading-axis slices."""
+    size = len(batch["labels"])
+    if size % shards != 0:
+        raise ValueError(
+            f"global batch size {size} is not divisible by shards={shards}; "
+            "equal shards are required for the mean-of-means gradient to equal "
+            "the global-batch gradient"
+        )
+    per = size // shards
+    return [
+        {k: v[r * per : (r + 1) * per] for k, v in batch.items()}
+        for r in range(shards)
+    ]
+
+
+def _loss_array(xp: Any, loss_value: float) -> Any:
+    out = xp.zeros((1,), dtype=xp.float64)
+    out[0] = loss_value
+    return out
+
+
+# -- process executor ---------------------------------------------------------------
+
+
+def _process_worker(conn, spec: ReplicaSpec, config: DataParallelConfig,
+                    owned: List[int]) -> None:
+    """Worker-process main loop: runs phase A / phase B for its owned ranks."""
+    runners: Dict[int, _RankRunner] = {}
+    for rank in owned:
+        checker = (
+            ATTNChecker(copy.deepcopy(config.protection))
+            if config.protection is not None
+            else None
+        )
+        runners[rank] = _RankRunner(rank, spec.build(), config, checker=checker)
+    try:
+        while True:
+            cmd, payload = conn.recv()
+            try:
+                if cmd == "fwbw":
+                    shards = payload
+                    out = {}
+                    for rank in owned:
+                        loss, stale, reexec = runners[rank].forward_backward(shards[rank])
+                        out[rank] = (loss, stale, reexec, runners[rank].gradients())
+                    conn.send(("ok", out))
+                elif cmd == "apply":
+                    for rank, (reduced, mean_loss) in payload.items():
+                        runners[rank].apply(reduced, mean_loss)
+                    conn.send(("ok", None))
+                elif cmd == "state":
+                    conn.send(("ok", runners[payload].model.state_dict()))
+                elif cmd == "load_state":
+                    for runner in runners.values():
+                        runner.model.load_state_dict(payload)
+                    conn.send(("ok", None))
+                elif cmd == "close":
+                    conn.send(("ok", None))
+                    return
+                else:  # pragma: no cover - protocol guard
+                    conn.send(("error", ("RuntimeError", f"unknown command {cmd!r}")))
+            except BaseException as exc:
+                conn.send(("error", (type(exc).__name__, str(exc))))
+    finally:
+        for runner in runners.values():
+            runner.close()
+
+
+class _ProcessPool:
+    """Spawned worker processes, one per worker, each owning a rank stride."""
+
+    def __init__(self, spec: ReplicaSpec, config: DataParallelConfig,
+                 owned_by_worker: List[List[int]]) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self.owned_by_worker = owned_by_worker
+        self.conns = []
+        self.procs = []
+        for owned in owned_by_worker:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_process_worker,
+                args=(child_conn, spec, config, owned),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.procs.append(proc)
+
+    def request(self, worker: int, cmd: str, payload: Any) -> Any:
+        self.conns[worker].send((cmd, payload))
+        status, value = self.conns[worker].recv()
+        if status == "error":
+            name, message = value
+            if name == "StaleDetectionAbort":
+                raise StaleDetectionAbort(message)
+            raise RuntimeError(f"worker {worker} failed: {name}: {message}")
+        return value
+
+    def broadcast_request(self, cmd: str, payloads: List[Any]) -> List[Any]:
+        """Send to every worker first, then collect — keeps them concurrent."""
+        for worker, payload in enumerate(payloads):
+            self.conns[worker].send((cmd, payload))
+        results = []
+        for worker in range(len(self.conns)):
+            status, value = self.conns[worker].recv()
+            if status == "error":
+                name, message = value
+                if name == "StaleDetectionAbort":
+                    raise StaleDetectionAbort(message)
+                raise RuntimeError(f"worker {worker} failed: {name}: {message}")
+            results.append(value)
+        return results
+
+    def close(self) -> None:
+        for conn, proc in zip(self.conns, self.procs):
+            try:
+                conn.send(("close", None))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung worker safety net
+                proc.terminate()
+
+
+# -- the trainer --------------------------------------------------------------------
+
+
+class DataParallelTrainer:
+    """Data-parallel trainer over R virtual ranks and W workers (W <= R).
+
+    Parameters
+    ----------
+    model_spec:
+        Recipe every rank builds its replica from (required for the process
+        executor; the default way to construct replicas elsewhere too).
+    models:
+        Alternative to ``model_spec`` for thread/serial executors: a list of
+        ``shards`` pre-built replicas (must be identically initialised, or
+        ``sync_weights_on_init`` left on).
+    collective:
+        Override the gradient collective; defaults to a
+        :class:`~repro.comm.ThreadCollective` (op ``mean``), wrapped in a
+        :class:`~repro.comm.ProtectedCollective` per
+        ``config.protect_collective``.
+    injector:
+        Optional *seed-constructed* attention :class:`FaultInjector`; each
+        rank gets its own deterministic child via ``injector.spawn(rank)``.
+        Not supported by the process executor.
+    collective_injector:
+        Optional hook ``(key, rank, arrays)`` corrupting deposited
+        contributions (e.g. :class:`repro.faults.CollectiveFaultInjector`);
+        installed as the inner collective's ``fault_hook``.
+    """
+
+    def __init__(
+        self,
+        model_spec: Optional[ReplicaSpec] = None,
+        models: Optional[Sequence[Module]] = None,
+        config: Optional[DataParallelConfig] = None,
+        collective: Optional[Collective] = None,
+        injector: Optional[FaultInjector] = None,
+        collective_injector: Optional[Any] = None,
+    ) -> None:
+        self.config = config or DataParallelConfig()
+        self.timers = TimingRegistry()
+        self.metrics: List[ParallelStepResult] = []
+        self.global_step = 0
+        self.collective_injector = collective_injector
+        world = self.config.world_size
+        if (model_spec is None) == (models is None):
+            raise ValueError("pass exactly one of model_spec or models")
+        if self.config.executor == "process":
+            if model_spec is None:
+                raise ValueError("the process executor needs a picklable model_spec")
+            if injector is not None:
+                raise ValueError(
+                    "attention fault injection is not supported by the process "
+                    "executor (hooks live in the worker processes); use the "
+                    "collective_injector seam or the thread executor"
+                )
+            if model_spec.array_backend not in (None, "numpy"):
+                raise ValueError(
+                    "the process executor supports the NumPy substrate only "
+                    f"(got array_backend={model_spec.array_backend!r})"
+                )
+
+        if collective is None:
+            inner = ThreadCollective(world, op="mean", fault_hook=collective_injector)
+            collective = (
+                ProtectedCollective(inner, timers=self.timers)
+                if self.config.protect_collective
+                else inner
+            )
+        elif collective.world_size != world:
+            raise ValueError(
+                f"collective world size {collective.world_size} != shards {world}"
+            )
+        self.collective = collective
+
+        #: rank stride owned by each worker: worker w drives ranks w, w+W, ...
+        workers = self.config.workers
+        self._owned_by_worker = [list(range(w, world, workers)) for w in range(workers)]
+
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._procs: Optional[_ProcessPool] = None
+        self.runners: List[_RankRunner] = []
+        if self.config.executor == "process":
+            self._procs = _ProcessPool(model_spec, self.config, self._owned_by_worker)
+            if self.config.sync_weights_on_init and world > 1:
+                state = self._procs.request(0, "state", self._owned_by_worker[0][0])
+                self._procs.broadcast_request("load_state", [state] * workers)
+        else:
+            replicas = (
+                list(models)
+                if models is not None
+                else [model_spec.build() for _ in range(world)]  # type: ignore[union-attr]
+            )
+            if len(replicas) != world:
+                raise ValueError(
+                    f"need exactly {world} replicas (one per shard), got {len(replicas)}"
+                )
+            for rank, model in enumerate(replicas):
+                checker = (
+                    ATTNChecker(copy.deepcopy(self.config.protection))
+                    if self.config.protection is not None
+                    else None
+                )
+                rank_injector = injector.spawn(rank) if injector is not None else None
+                self.runners.append(
+                    _RankRunner(rank, model, self.config, checker=checker,
+                                injector=rank_injector)
+                )
+            if self.config.executor == "thread" and workers > 1:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="dp-rank"
+                )
+            if self.config.sync_weights_on_init and world > 1:
+                self._broadcast_initial_weights()
+
+        # Per-step scratch (index-assigned, one writer per slot).
+        self._payloads: List[Optional[List[Any]]] = [None] * world
+        self._shard_losses: List[float] = [math.nan] * world
+        self._mean_losses: List[float] = [math.nan] * world
+        self._stale_counts: List[int] = [0] * world
+        self._reexec_counts: List[int] = [0] * world
+        self._dirty_counts: List[int] = [0] * world
+        self._retry_counts: List[int] = [0] * world
+
+    # -- construction helpers --------------------------------------------------------
+
+    def _broadcast_initial_weights(self) -> None:
+        state = self.runners[0].model.state_dict()
+        names = sorted(state)
+        arrays = [state[name] for name in names]
+        for rank in range(self.config.world_size):
+            received = self.collective.broadcast(
+                "init/weights", rank, arrays if rank == 0 else None, root=0
+            )
+            if rank != 0:
+                self.runners[rank].model.load_state_dict(dict(zip(names, received)))
+
+    # -- one step ---------------------------------------------------------------------
+
+    def _reduce_with_policy(self, step: int, owned: List[int]) -> None:
+        """Phase B part 1: finish the reduction for ``owned`` ranks, applying
+        the dirty-reduction policy symmetrically across all workers."""
+        policy = self.config.stale_policy
+        key = f"step{step}/grads"
+        attempt = 0
+        reduced: Dict[int, List[Any]] = {}
+        while True:
+            dirty_indices: List[int] = []
+            for rank in owned:
+                try:
+                    reduced[rank] = self.collective.finish(key, rank)
+                except DirtyReductionError as exc:
+                    reduced[rank] = exc.reduced
+                    dirty_indices = exc.dirty_indices
+            if not dirty_indices:
+                break
+            # Every worker observed the same shared verdict, so they all
+            # take the same branch — no coordination needed.
+            if policy == "abort":
+                raise StaleDetectionAbort(
+                    f"step {step}: checksum-linearity mismatch on reduced gradient "
+                    f"tensor(s) {dirty_indices} (stale_policy='abort')"
+                )
+            if policy == "record" or attempt >= self.config.max_retries_per_step:
+                for rank in owned:
+                    self._dirty_counts[rank] = len(dirty_indices)
+                break
+            # reexecute: re-reduce from the retained, still-intact local
+            # contributions under a fresh key (transient faults don't recur;
+            # the injector leaves '#retry' keys alone by contract).
+            attempt += 1
+            key = f"step{step}/grads#retry{attempt}"
+            for rank in owned:
+                self.collective.contribute(key, rank, self._payloads[rank])
+        for rank in owned:
+            self._retry_counts[rank] = attempt
+            mean_loss = float(np.asarray(reduced[rank][-1]).reshape(-1)[0])
+            self._mean_losses[rank] = mean_loss
+            self.runners[rank].apply(reduced[rank][:-1], mean_loss)
+
+    def _worker_step(self, step: int, worker: int,
+                     shards: List[Dict[str, np.ndarray]]) -> None:
+        owned = self._owned_by_worker[worker]
+        try:
+            key = f"step{step}/grads"
+            for rank in owned:
+                runner = self.runners[rank]
+                loss, stale, reexec = runner.forward_backward(shards[rank])
+                grads = runner.gradients()
+                payload = grads + [_loss_array(namespace_of(grads[0]), loss)]
+                self._shard_losses[rank] = loss
+                self._stale_counts[rank] = stale
+                self._reexec_counts[rank] = reexec
+                self._payloads[rank] = payload
+                self.collective.contribute(key, rank, payload)
+            self._reduce_with_policy(step, owned)
+        except BaseException as exc:
+            # Unblock peers waiting in the rendezvous; the coordinator
+            # re-raises the original failure, not the poisoned peers'.
+            self.collective.poison(exc)
+            raise
+
+    def train_step(self, batch: Dict[str, np.ndarray]) -> ParallelStepResult:
+        """Run one data-parallel optimisation step on the global ``batch``."""
+        self.global_step += 1
+        step = self.global_step
+        world = self.config.world_size
+        shards = _shard_batch(batch, world)
+        if self.collective_injector is not None and hasattr(
+            self.collective_injector, "begin_step"
+        ):
+            self.collective_injector.begin_step(step)
+        for slot in range(world):
+            self._payloads[slot] = None
+            self._shard_losses[slot] = math.nan
+            self._mean_losses[slot] = math.nan
+            self._stale_counts[slot] = 0
+            self._reexec_counts[slot] = 0
+            self._dirty_counts[slot] = 0
+            self._retry_counts[slot] = 0
+
+        start = time.perf_counter()
+        detections_before, corrections_before = self._checker_totals()
+        if self._procs is not None:
+            self._process_step(step, shards)
+        elif self._pool is not None:
+            futures = [
+                self._pool.submit(self._worker_step, step, worker, shards)
+                for worker in range(self.config.workers)
+            ]
+            errors: List[BaseException] = []
+            for future in futures:
+                try:
+                    future.result()
+                except BaseException as exc:  # noqa: BLE001 - gathered below
+                    errors.append(exc)
+            if errors:
+                primary = next(
+                    (e for e in errors if not isinstance(e, CollectiveError)), errors[0]
+                )
+                raise primary
+        else:
+            self._worker_step(step, 0, shards)
+
+        if isinstance(self.collective, ProtectedCollective):
+            self.collective.fold_timers(self.timers)
+        elapsed = time.perf_counter() - start
+        self.timers.add("parallel/step", elapsed)
+        detections_after, corrections_after = self._checker_totals()
+        result = ParallelStepResult(
+            step=step,
+            loss=self._mean_losses[0],
+            shard_losses=list(self._shard_losses),
+            step_seconds=elapsed,
+            stale_detections=sum(self._stale_counts),
+            rank_reexecutions=sum(self._reexec_counts),
+            dirty_reductions=self._dirty_counts[0],
+            reduction_reexecutions=self._retry_counts[0],
+            detections=detections_after - detections_before,
+            corrections=corrections_after - corrections_before,
+        )
+        self.metrics.append(result)
+        return result
+
+    def _process_step(self, step: int, shards: List[Dict[str, np.ndarray]]) -> None:
+        """Drive one step through the worker processes.
+
+        Phase A runs concurrently in the children; the coordinator then
+        feeds each rank's gradients through the *same* collective (and the
+        same dirty-reduction policy) before shipping the reduction back.
+        """
+        assert self._procs is not None
+        payloads = [
+            {rank: shards[rank] for rank in owned} for owned in self._owned_by_worker
+        ]
+        replies = self._procs.broadcast_request("fwbw", payloads)
+        key = f"step{step}/grads"
+        for worker, reply in enumerate(replies):
+            for rank, (loss, stale, reexec, grads) in reply.items():
+                payload = grads + [_loss_array(namespace_of(grads[0]), loss)]
+                self._shard_losses[rank] = loss
+                self._stale_counts[rank] = stale
+                self._reexec_counts[rank] = reexec
+                self._payloads[rank] = payload
+                self.collective.contribute(key, rank, payload)
+        self._reduce_with_process_policy(step)
+        apply_payloads = []
+        for owned in self._owned_by_worker:
+            apply_payloads.append(
+                {
+                    rank: (self._reduced_cache[rank], self._mean_losses[rank])
+                    for rank in owned
+                }
+            )
+        self._procs.broadcast_request("apply", apply_payloads)
+
+    def _reduce_with_process_policy(self, step: int) -> None:
+        """The dirty-reduction policy, driven rank-by-rank by the coordinator."""
+        policy = self.config.stale_policy
+        world = self.config.world_size
+        key = f"step{step}/grads"
+        attempt = 0
+        self._reduced_cache: Dict[int, List[Any]] = {}
+        while True:
+            dirty_indices: List[int] = []
+            for rank in range(world):
+                try:
+                    result = self.collective.finish(key, rank)
+                except DirtyReductionError as exc:
+                    result = exc.reduced
+                    dirty_indices = exc.dirty_indices
+                self._reduced_cache[rank] = result
+            if not dirty_indices:
+                break
+            if policy == "abort":
+                raise StaleDetectionAbort(
+                    f"step {step}: checksum-linearity mismatch on reduced gradient "
+                    f"tensor(s) {dirty_indices} (stale_policy='abort')"
+                )
+            if policy == "record" or attempt >= self.config.max_retries_per_step:
+                for rank in range(world):
+                    self._dirty_counts[rank] = len(dirty_indices)
+                break
+            attempt += 1
+            key = f"step{step}/grads#retry{attempt}"
+            for rank in range(world):
+                self.collective.contribute(key, rank, self._payloads[rank])
+        for rank in range(world):
+            self._retry_counts[rank] = attempt
+            reduced = self._reduced_cache[rank]
+            self._mean_losses[rank] = float(np.asarray(reduced[-1]).reshape(-1)[0])
+            self._reduced_cache[rank] = reduced[:-1]
+
+    def _checker_totals(self) -> Tuple[int, int]:
+        detections = corrections = 0
+        for runner in self.runners:
+            if runner.checker is not None:
+                detections += runner.checker.stats.total_detections
+                corrections += runner.checker.stats.total_corrections
+        return detections, corrections
+
+    # -- epochs / evaluation -----------------------------------------------------------
+
+    def train(
+        self, batches: Iterable[Dict[str, np.ndarray]], epochs: int = 1
+    ) -> List[ParallelStepResult]:
+        batch_list = list(batches)
+        if not batch_list:
+            raise ValueError("no batches provided")
+        for _ in range(epochs):
+            for batch in batch_list:
+                self.train_step(batch)
+        return self.metrics
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Rank 0's replica weights (identical on every rank by construction)."""
+        if self._procs is not None:
+            return self._procs.request(0, "state", self._owned_by_worker[0][0])
+        return self.runners[0].model.state_dict()
+
+    def collective_counters(self) -> Dict[str, int]:
+        """The protected collective's cumulative dispatch counters."""
+        if isinstance(self.collective, ProtectedCollective):
+            return self.collective.counters()
+        return {}
+
+    def close(self) -> None:
+        for runner in self.runners:
+            runner.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        if self._procs is not None:
+            self._procs.close()
+        self.collective.close()
+
+    def __enter__(self) -> "DataParallelTrainer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -101,6 +101,19 @@ class TimingRegistry:
         with self._lock:
             return self._timers[key].elapsed if key in self._timers else 0.0
 
+    def add(self, key: str, seconds: float, count: int = 1) -> None:
+        """Fold an externally measured duration into ``key``'s timer.
+
+        Unlike :meth:`measure`, the accumulation happens under the registry
+        lock, so many threads may feed the *same* key — this is how the
+        data-parallel trainer folds per-rank ``comm/*`` durations measured
+        inside worker threads into one shared registry.
+        """
+        with self._lock:
+            timer = self._timers[key]
+            timer.elapsed += float(seconds)
+            timer.count += int(count)
+
     def total(self, prefix: str = "", exclude: Optional[str] = None) -> float:
         """Sum of elapsed time over keys starting with ``prefix``.
 

@@ -23,8 +23,8 @@ class TestParser:
         assert args.rates == [13, 20]
 
     def test_registry_covers_all_figures_and_tables(self):
-        expected = {"quickstart", "train", "serve", "backends", "verification_modes",
-                    "table2", "table3",
+        expected = {"quickstart", "train", "train_parallel", "serve", "backends",
+                    "verification_modes", "table2", "table3",
                     "sec52", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
         assert expected == set(EXPERIMENTS)
 

@@ -243,6 +243,59 @@ def test_th001_nested_function_resets_lock_context(tmp_path):
     assert rules_fired(result) == ["TH001"]
 
 
+def test_th001_covers_comm_collective_rendezvous_state(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/comm/collective.py": """
+            class ThreadCollective:
+                def contribute(self):
+                    self._entries["k"] = []
+
+                def finish(self):
+                    with self._cv:
+                        return self._results["k"]
+        """,
+    })
+    assert rules_fired(result) == ["TH001"]
+    assert result.new[0].detail == "attr:_entries"
+
+
+def test_th001_covers_protected_collective_accounting(tmp_path):
+    result = lint(tmp_path, {
+        "src/repro/comm/protected.py": """
+            class ProtectedCollective:
+                def __init__(self):
+                    self._mismatches = 0
+
+                def counters(self):
+                    return self._checksum_encodes
+
+                def fold_timers(self):
+                    with self._lock:
+                        self._verify_seconds = 0.0
+        """,
+    })
+    assert rules_fired(result) == ["TH001"]
+    assert result.new[0].detail == "attr:_checksum_encodes"
+
+
+def test_th001_shared_attrs_are_per_file(tmp_path):
+    # The engine's attr names are not shared state in comm files and vice
+    # versa — the rule scopes its attribute sets per file.
+    result = lint(tmp_path, {
+        "src/repro/comm/collective.py": """
+            class ThreadCollective:
+                def poke(self):
+                    self._inbox = []
+        """,
+        "src/repro/core/engine.py": """
+            class ProtectionEngine:
+                def poke(self):
+                    self._entries = {}
+        """,
+    })
+    assert result.new == []
+
+
 # ---------------------------------------------------------------------------
 # WS001 — workspace contract
 # ---------------------------------------------------------------------------
@@ -307,6 +360,26 @@ def test_ly001_allows_type_checking_gated_and_downward_imports(tmp_path):
         "src/repro/nn/attention.py": "from repro.core.hooks import AttentionHooks\n",
     })
     assert result.new == []
+
+
+def test_ly001_comm_layer_sits_beside_core_above_backend(tmp_path):
+    result = lint(tmp_path, {
+        # comm may import the backend seam and utils...
+        "src/repro/comm/collective.py": """
+            from repro.backend import namespace_of
+            from repro.utils.timing import TimingRegistry
+        """,
+        # ...but not core or the model stack.
+        "src/repro/comm/protected.py": """
+            from repro.core.checksums import encode_column_checksums
+            from repro.training.trainer import Trainer
+        """,
+    })
+    ly = [f for f in result.new if f.rule == "LY001"]
+    assert {f.detail for f in ly} == {
+        "import:repro.core.checksums",
+        "import:repro.training.trainer",
+    }
 
 
 # ---------------------------------------------------------------------------

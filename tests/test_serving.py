@@ -381,3 +381,110 @@ class TestDecodeDispatchCounters:
         assert deltas == [steady * config.num_layers] * len(deltas)
         # Zero steady-state decode allocations from the workspace arena.
         assert workspace.allocations == allocations_after_cold
+
+
+class TestSlotCompaction:
+    """Dead slots stop stepping: decode cost tracks live requests."""
+
+    BUDGETS = (6, 2, 2, 2)
+
+    def _mixed_requests(self, model, budgets=BUDGETS, seed=11):
+        rng = np.random.default_rng(seed)
+        return [
+            ServingRequest(
+                request_id=i,
+                prompt=tuple(
+                    int(t) for t in rng.integers(1, model.config.vocab_size, size=4)
+                ),
+                max_new_tokens=budget,
+            )
+            for i, budget in enumerate(budgets)
+        ]
+
+    def _serve_counted(self, model, requests, checker=None, injector=None,
+                       batch_size=4):
+        engine = ServingEngine(
+            model, checker=checker, injector=injector,
+            config=ServingConfig(max_batch_size=batch_size),
+        )
+        return engine.run(requests)
+
+    def test_decode_cost_tracks_live_requests(self):
+        model = make_gpt2()
+        report = self._serve_counted(model, self._mixed_requests(model))
+        # Budget 6 drives 5 decode iterations.  All four slots step on the
+        # first; the three budget-2 requests then complete, and the rest of
+        # the decode runs at the two-slot floor instead of the full batch.
+        assert report.decode_steps == 5
+        assert report.decode_slot_steps == 4 + 2 * 4
+        assert report.decode_slot_steps < report.decode_steps * len(self.BUDGETS)
+        assert report.num_completed == len(self.BUDGETS)
+        assert [r.num_tokens for r in report.results] == list(self.BUDGETS)
+
+    def test_compaction_preserves_surviving_token_stream(self):
+        # The bitwise guarantee behind the two-slot floor: the survivor's
+        # tokens must match the run where nothing ever left the batch.
+        model = make_gpt2()
+        mixed = self._serve_counted(model, self._mixed_requests(model))
+        uniform = self._serve_counted(
+            model, self._mixed_requests(model, budgets=(6, 6, 6, 6))
+        )
+        assert uniform.decode_slot_steps == uniform.decode_steps * 4
+        assert mixed.results[0].tokens == uniform.results[0].tokens
+
+    def test_protected_compaction_matches_unprotected(self):
+        baseline_model = make_gpt2()
+        baseline = self._serve_counted(
+            baseline_model, self._mixed_requests(baseline_model)
+        )
+        model = make_gpt2()
+        checker = ATTNChecker(ATTNCheckerConfig(backend="fused"))
+        model.set_attention_hooks(checker)
+        protected = self._serve_counted(
+            model, self._mixed_requests(model), checker=checker
+        )
+        checker.close()
+        # The checksum side-state compacts with the slots: same schedule,
+        # same tokens, no spurious detections.
+        assert protected.decode_slot_steps == baseline.decode_slot_steps
+        assert [r.tokens for r in protected.results] == [
+            r.tokens for r in baseline.results
+        ]
+        assert protected.checker_stats["detections"] == 0
+
+    def test_async_mode_keeps_full_width(self):
+        # Async dirty masks drain late with historical batch widths, so the
+        # engine must not compact under async verification.
+        model = make_gpt2()
+        checker = ATTNChecker(
+            ATTNCheckerConfig(backend="fused", **VERIFICATION_MODE_CONFIGS["async"])
+        )
+        model.set_attention_hooks(checker)
+        report = self._serve_counted(model, self._mixed_requests(model), checker=checker)
+        checker.close()
+        assert report.decode_slot_steps == report.decode_steps * len(self.BUDGETS)
+
+    def test_eviction_stops_dead_slot_stepping(self):
+        # An evicted slot leaves the physical batch: with three requests and
+        # one eviction at prefill, every decode iteration runs two slots.
+        model = make_gpt2()
+        spec = FaultSpec(
+            matrix="AS", error_type="inf", layer_index=0, position=(1, 0, 0, 0)
+        )
+        injector = FaultInjector([spec], rng=np.random.default_rng(0), enabled=False)
+        model.set_attention_hooks(injector)
+        injector.arm()
+        report = self._serve_counted(
+            model, make_requests(model, num_requests=3), batch_size=3,
+            injector=injector,
+        )
+        model.set_attention_hooks(None)
+        assert report.num_evicted == 1
+        assert report.decode_slot_steps == report.decode_steps * 2
+
+    def test_report_dict_exposes_counters(self):
+        model = make_gpt2()
+        report = self._serve_counted(model, self._mixed_requests(model))
+        payload = report.to_dict()
+        assert payload["decode_steps"] == report.decode_steps
+        assert payload["decode_slot_steps"] == report.decode_slot_steps

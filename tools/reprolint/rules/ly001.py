@@ -5,8 +5,12 @@ without pulling in the model zoo, the nn layer, or training — that is what
 lets the ABFT kernels be tested and reused standalone, and what keeps the
 dependency graph acyclic when nn/models/training all import core.
 ``repro.backend`` sits below everything: it abstracts arrays and must not
-know about checksums or models.  Annotation-only dependencies are fine when
-gated behind ``if TYPE_CHECKING:`` (they vanish at runtime).
+know about checksums or models.  ``repro.comm`` (PR 8) sits beside core just
+above the backend: the collectives move arrays and checksum them, so they may
+import ``repro.backend`` and ``repro.utils`` but nothing of the model stack —
+that is what lets the protected all-reduce be reused under any trainer.
+Annotation-only dependencies are fine when gated behind
+``if TYPE_CHECKING:`` (they vanish at runtime).
 """
 
 from __future__ import annotations
@@ -24,9 +28,9 @@ class LayeringRule(PathScopedRule):
     id = "LY001"
     name = "layering"
     invariant = (
-        "core/ must not import nn/models/training/data/cli; backend/ must "
-        "not import any repro layer above it (TYPE_CHECKING-gated imports "
-        "are exempt)."
+        "core/ must not import nn/models/training/data/cli; comm/ must not "
+        "import core or the model stack; backend/ must not import any repro "
+        "layer above it (TYPE_CHECKING-gated imports are exempt)."
     )
     rationale = (
         "Upward imports make the checksum kernels untestable standalone and "
@@ -38,7 +42,7 @@ class LayeringRule(PathScopedRule):
         "'repro.nn.attention' from layer core"
     )
 
-    scope_prefixes = ("src/repro/core/", "src/repro/backend/")
+    scope_prefixes = ("src/repro/core/", "src/repro/backend/", "src/repro/comm/")
     #: layer prefix -> forbidden import prefixes (dotted module names).
     forbidden: Dict[str, Tuple[str, ...]] = {
         "src/repro/core/": (
@@ -47,6 +51,15 @@ class LayeringRule(PathScopedRule):
             "repro.training",
             "repro.data",
             "repro.cli",
+        ),
+        "src/repro/comm/": (
+            "repro.core",
+            "repro.nn",
+            "repro.models",
+            "repro.training",
+            "repro.data",
+            "repro.cli",
+            "repro.tensor",
         ),
         "src/repro/backend/": (
             "repro.core",

@@ -1,4 +1,4 @@
-"""TH001 — lock discipline on worker-shared engine state.
+"""TH001 — lock discipline on worker-shared state.
 
 The async verification worker (PR 2) shares a handful of
 :class:`ProtectionEngine` attributes with the submitting thread — the inbox
@@ -11,12 +11,19 @@ makes the convention mechanical: a shared attribute may only be touched
 inside a ``with self._cv``/``with self._lock`` block, a ``*_locked`` method
 (whose callers hold the lock by naming convention), or ``__init__`` (before
 the worker can exist).
+
+PR 8 extended the scope to ``repro/comm/``: the thread collective's
+rendezvous state (entries / results / fetch counters / failure / closed,
+guarded by ``_cv``) and the protected collective's dispatch accounting and
+verdict cache (guarded by ``_lock``) are shared across every worker thread of
+the data-parallel trainer, under the same discipline.  Shared attributes are
+declared per file in :attr:`LockDisciplineRule.file_shared_attrs`.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Tuple
 
 from reprolint.engine import FileContext, Finding
 from reprolint.rules.base import PathScopedRule
@@ -28,7 +35,8 @@ class LockDisciplineRule(PathScopedRule):
     id = "TH001"
     name = "lock-discipline"
     invariant = (
-        "Attributes shared with the verification worker thread are touched "
+        "Attributes shared across worker threads (verification engine, "
+        "collective rendezvous, protected-collective accounting) are touched "
         "only under `with self._cv` (or `self._lock`) or inside *_locked "
         "methods."
     )
@@ -43,25 +51,51 @@ class LockDisciplineRule(PathScopedRule):
         "'self._shutdown' accessed outside the lock [ProtectionEngine._join_worker]"
     )
 
-    scope_files = ("src/repro/core/engine.py",)
+    scope_files = (
+        "src/repro/core/engine.py",
+        "src/repro/comm/collective.py",
+        "src/repro/comm/protected.py",
+    )
     #: Lock / condition-variable attribute names that establish a guarded region.
     lock_attrs: Tuple[str, ...] = ("_cv", "_lock")
-    #: The engine's worker-shared state ("guarded by _cv" block in __init__).
-    shared_attrs: Tuple[str, ...] = (
-        "_inbox",
-        "_completed",
-        "_inflight",
-        "_epoch",
-        "_failure",
-        "_shutdown",
-        "_discard_on_shutdown",
-    )
+    #: Worker-shared state per scoped file (the "guarded by _cv"/"_lock"
+    #: blocks in each class's __init__).
+    file_shared_attrs: Dict[str, Tuple[str, ...]] = {
+        "src/repro/core/engine.py": (
+            "_inbox",
+            "_completed",
+            "_inflight",
+            "_epoch",
+            "_failure",
+            "_shutdown",
+            "_discard_on_shutdown",
+        ),
+        "src/repro/comm/collective.py": (
+            "_entries",
+            "_results",
+            "_fetched",
+            "_failure",
+            "_closed",
+        ),
+        "src/repro/comm/protected.py": (
+            "_checksum_encodes",
+            "_checksum_verifies",
+            "_mismatches",
+            "_verify_seconds",
+            "_allreduce_seconds",
+            "_verdicts",
+            "_verdict_fetches",
+        ),
+    }
     #: Methods that may touch shared state unlocked: construction happens
     #: before any worker thread can observe the object.
     exempt_methods: Tuple[str, ...] = ("__init__",)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        visitor = _LockVisitor(self, ctx)
+        shared = self.file_shared_attrs.get(ctx.relpath, ())
+        if not shared:
+            return iter(())
+        visitor = _LockVisitor(self, ctx, shared)
         visitor.visit(ctx.tree)
         return iter(visitor.findings)
 
@@ -70,9 +104,12 @@ class _LockVisitor(ast.NodeVisitor):
     """Tracks lexical lock context; a nested def resets it (the closure runs
     later, not under the lock held at definition time)."""
 
-    def __init__(self, rule: LockDisciplineRule, ctx: FileContext) -> None:
+    def __init__(
+        self, rule: LockDisciplineRule, ctx: FileContext, shared: Tuple[str, ...]
+    ) -> None:
         self.rule = rule
         self.ctx = ctx
+        self.shared = shared
         self.findings: list = []
         self.scope: list = []
         self.lock_depth = 0
@@ -123,7 +160,7 @@ class _LockVisitor(ast.NodeVisitor):
         if (
             isinstance(node.value, ast.Name)
             and node.value.id == "self"
-            and node.attr in self.rule.shared_attrs
+            and node.attr in self.shared
             and self.lock_depth == 0
             and not self.current_function.endswith("_locked")
             and self.current_function not in self.rule.exempt_methods
