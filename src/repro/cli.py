@@ -33,6 +33,7 @@ from repro.backend import (
 )
 from repro.core import (
     CHECKER_BACKENDS,
+    PROTECT_SCOPES,
     VERIFICATION_MODES,
     VERIFICATION_MODE_CONFIGS,
     ATTNChecker,
@@ -86,7 +87,7 @@ def run_quickstart(args: argparse.Namespace) -> str:
     )
     checker = ATTNChecker(ATTNCheckerConfig(
         backend=args.backend, async_verification=args.async_verification,
-        array_backend=args.array_backend,
+        array_backend=args.array_backend, protect_scope=args.protect_scope,
     ))
     model.eval()
     reference = model(batch["input_ids"], attention_mask=batch["attention_mask"],
@@ -264,7 +265,7 @@ def run_train(args: argparse.Namespace) -> str:
 
     checker = ATTNChecker(ATTNCheckerConfig(
         backend=args.backend, async_verification=args.async_verification,
-        array_backend=args.array_backend,
+        array_backend=args.array_backend, protect_scope=args.protect_scope,
     ))
     trainer = Trainer(model, config=TrainerConfig(learning_rate=5e-4), checker=checker)
     rows = []
@@ -373,6 +374,7 @@ def run_serve(args: argparse.Namespace) -> str:
         if protected:
             checker = ATTNChecker(ATTNCheckerConfig(
                 backend=args.backend, array_backend=args.array_backend,
+                protect_scope=args.protect_scope,
             ))
             model.set_attention_hooks(checker)
         requests = RequestGenerator(
@@ -590,6 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", default="fused", choices=list(CHECKER_BACKENDS),
                         help="ATTNChecker mechanics backend: fused ProtectionEngine "
                              "(default) or the per-GEMM reference implementation")
+    parser.add_argument("--protect-scope", default="attention", choices=list(PROTECT_SCOPES),
+                        help="protected-section scope: 'attention' (default, the "
+                             "paper's three sections), 'attention+ffn' (adds the "
+                             "FF1/FF2 feed-forward sections) or 'full' (every "
+                             "registered block)")
     parser.add_argument("--array-backend", default="auto", type=_array_backend_name,
                         metavar="{auto," + ",".join(KNOWN_ARRAY_BACKENDS) + "}",
                         help="array library the checksum chain runs on: 'auto' "

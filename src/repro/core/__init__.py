@@ -30,8 +30,11 @@ library per checker.
     Matrix-level correction strategies for deterministic, nondeterministic
     and mixed-type patterns (Section 4.3).
 ``sections``
-    The three protection sections S_AS, S_CL, S_O with checksum passing
-    (Section 4.4) and their cost accounting.
+    The protection-section registry: the paper's three attention sections
+    S_AS, S_CL, S_O with checksum passing (Section 4.4), the whole-model
+    extension covering the FFN GEMMs (``FF1`` / ``FF2``), the protection
+    scopes (``attention`` / ``attention+ffn`` / ``full``) and the cost
+    accounting for all of them.
 ``engine``
     :class:`ProtectionEngine` — the fused section-level checksum-passing
     mechanics: encode once per section, carry through every member GEMM, and
@@ -54,11 +57,16 @@ library per checker.
 
 from repro.core.thresholds import ABFTThresholds
 from repro.core.hooks import (
+    FFN_SECTION_BOUNDARY_OPS,
     SECTION_BOUNDARY_OPS,
     AttentionHooks,
     AttentionOp,
+    FeedForwardOp,
     GemmContext,
     SectionContext,
+    block_boundary_ops,
+    op_spec,
+    registered_blocks,
 )
 from repro.core.checksums import (
     ChecksumState,
@@ -87,7 +95,14 @@ from repro.core.protected_gemm import (
     ProtectedMatmul,
     protected_matmul,
 )
-from repro.core.sections import PROTECTION_SECTIONS, ProtectionSection, SectionCostModel
+from repro.core.sections import (
+    PROTECT_SCOPES,
+    PROTECTION_SECTIONS,
+    SECTION_REGISTRY,
+    ProtectionSection,
+    SectionCostModel,
+    sections_for_scope,
+)
 from repro.core.engine import ProtectionEngine, SectionOutcome, WeightEncodingCache
 from repro.core.attention_checker import (
     CHECKER_BACKENDS,
@@ -109,9 +124,14 @@ __all__ = [
     "ABFTThresholds",
     "AttentionHooks",
     "AttentionOp",
+    "FeedForwardOp",
     "GemmContext",
     "SectionContext",
     "SECTION_BOUNDARY_OPS",
+    "FFN_SECTION_BOUNDARY_OPS",
+    "block_boundary_ops",
+    "op_spec",
+    "registered_blocks",
     "ChecksumState",
     "ChecksumWorkspace",
     "checksum_weights",
@@ -141,6 +161,9 @@ __all__ = [
     "ProtectedGemmResult",
     "ProtectionSection",
     "PROTECTION_SECTIONS",
+    "SECTION_REGISTRY",
+    "PROTECT_SCOPES",
+    "sections_for_scope",
     "SectionCostModel",
     "ProtectionEngine",
     "SectionOutcome",

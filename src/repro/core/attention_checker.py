@@ -92,10 +92,11 @@ from repro.core.engine import (
 from repro.core.hooks import (
     AttentionHooks,
     AttentionOp,
+    FeedForwardOp,
     GemmContext,
     SectionContext,
 )
-from repro.core.sections import PROTECTION_SECTIONS
+from repro.core.sections import PROTECTION_SECTIONS, PROTECT_SCOPES, sections_for_scope
 from repro.core.thresholds import ABFTThresholds
 from repro.utils.timing import TimingRegistry, XFER_PREFIX
 
@@ -135,6 +136,22 @@ class ATTNCheckerConfig:
     frequencies:
         Per-section detection frequency in [0, 1] (Section 4.5); 1.0 checks
         every execution, 0.5 every other execution, 0 disables the section.
+        Sections of the protection scope that are not named default to 1.0.
+    protect_scope:
+        Which registered protection sections the checker drives
+        (:data:`repro.core.sections.PROTECT_SCOPES`):
+
+        * ``"attention"`` (default) — the historical ``AS``/``CL``/``O``
+          triple, bit-for-bit identical to the pre-generalization checker;
+        * ``"attention+ffn"`` — additionally protect the feed-forward GEMMs
+          through the single-GEMM sections ``FF1`` (boundary ``H``) and
+          ``FF2`` (boundary ``FO``);
+        * ``"full"`` — every registered section (currently the same set as
+          ``"attention+ffn"``; reserved for future blocks).
+
+        Hooks from out-of-scope blocks are ignored, so a model whose
+        ``FeedForward`` modules are instrumented can still run an
+        attention-only checker unchanged.
     backend:
         ``"fused"`` — the section-level checksum-passing
         :class:`~repro.core.engine.ProtectionEngine` (default);
@@ -200,6 +217,7 @@ class ATTNCheckerConfig:
 
     thresholds: ABFTThresholds = field(default_factory=ABFTThresholds)
     frequencies: Dict[str, float] = field(default_factory=lambda: {"AS": 1.0, "CL": 1.0, "O": 1.0})
+    protect_scope: str = "attention"
     backend: str = "fused"
     array_backend: str = "auto"
     defer_verification: bool = False
@@ -213,12 +231,18 @@ class ATTNCheckerConfig:
     reuse_workspace: bool = True
 
     def __post_init__(self) -> None:
+        if self.protect_scope not in PROTECT_SCOPES:
+            raise ValueError(
+                f"unknown protect_scope {self.protect_scope!r}; "
+                f"expected one of {PROTECT_SCOPES}"
+            )
+        active = sections_for_scope(self.protect_scope)
         for name, value in self.frequencies.items():
-            if name not in PROTECTION_SECTIONS:
+            if name not in active:
                 raise KeyError(f"unknown protection section {name!r}")
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"frequency for section {name} must be in [0, 1], got {value}")
-        for name in PROTECTION_SECTIONS:
+        for name in active:
             self.frequencies.setdefault(name, 1.0)
         if self.backend not in CHECKER_BACKENDS:
             raise ValueError(
@@ -255,6 +279,11 @@ class ATTNCheckerConfig:
         if self.defer_verification:
             return "deferred"
         return "immediate"
+
+    @property
+    def active_sections(self) -> Dict[str, Any]:
+        """``{name: ProtectionSection}`` for every section in the scope."""
+        return sections_for_scope(self.protect_scope)
 
 
 @dataclass
@@ -368,6 +397,16 @@ class _PerGemmReferenceBackend:
         if state is None:  # hooks attached mid-pass; nothing to do safely
             return out
         op = ctx.op
+        if op is FeedForwardOp.UP:
+            # FFN sections are single-GEMM (GELU blocks checksum carrying),
+            # so the whole chain runs at the boundary GEMM — identical for
+            # training and decode (the FFN has no cross-token state; decode
+            # is the training algebra at sequence length 1).
+            self._handle_ff_up(ctx, state, out)
+            return out
+        if op is FeedForwardOp.DOWN:
+            self._handle_ff_down(ctx, state, out)
+            return out
         if ctx.phase == "decode":
             # Decode is row-side only (see the engine's decode section for
             # the algebra); XQ contributes nothing because no column
@@ -571,6 +610,48 @@ class _PerGemmReferenceBackend:
             )
         self._record_report(ctx, "O", report)
 
+    # -- FFN sections S_FF1 / S_FF2 ----------------------------------------------
+
+    def _handle_ff_up(self, ctx: GemmContext, state: _PerGemmState, out: Any) -> None:
+        """x x W_up: encode col(x), carry through W_up, verify H column-side.
+
+        The boundary matrix ``H`` is the raw GEMM output — the bias add runs
+        outside the section (like attention's output-projection bias), so no
+        bias adjustment of the carried checksums is needed.
+        """
+        checker = self.checker
+        if not state.enabled.get("FF1", False):
+            checker.stats.sections["FF1"].checks_skipped += 1
+            return
+        with checker.timers.measure("FF1/encode"):
+            cs_x = encode_column_checksums(ctx.a)
+        with checker.timers.measure("FF1/update"):
+            cs_h = update_column_checksums_through_gemm(cs_x, ctx.b)
+        with checker.timers.measure("FF1/detect"):
+            report = correct_matrix(
+                out, ChecksumState(col=cs_h), thresholds=checker.thresholds,
+                refresh_checksums=checker.config.refresh_checksums,
+            )
+        self._record_report(ctx, "FF1", report)
+
+    def _handle_ff_down(self, ctx: GemmContext, state: _PerGemmState, out: Any) -> None:
+        """h x W_down: carry rowcs(W_down) through, verify FO row-side."""
+        checker = self.checker
+        if not state.enabled.get("FF2", False):
+            checker.stats.sections["FF2"].checks_skipped += 1
+            return
+        xp = namespace_of(ctx.a)
+        with checker.timers.measure("FF2/encode"):
+            rowcs_wd = encode_row_checksums(ctx.b)                      # (D_ff, 2)
+        with checker.timers.measure("FF2/update"):
+            cs_fo = xp.matmul(ctx.a, rowcs_wd)                          # (B, S, 2)
+        with checker.timers.measure("FF2/detect"):
+            report = correct_matrix(
+                out, ChecksumState(row=cs_fo), thresholds=checker.thresholds,
+                refresh_checksums=checker.config.refresh_checksums,
+            )
+        self._record_report(ctx, "FF2", report)
+
     # -- decode (incremental, row-side only) -------------------------------------
     #
     # The reference decode algebra mirrors the engine's decode section
@@ -712,14 +793,17 @@ class ATTNChecker(AttentionHooks):
 
     def __init__(self, config: Optional[ATTNCheckerConfig] = None) -> None:
         self.config = config or ATTNCheckerConfig()
-        self.stats = CheckerStats()
+        active = self.config.active_sections
+        self.stats = CheckerStats(
+            sections={name: SectionStats() for name in active}
+        )
         self.timers = TimingRegistry()
         self.last_reports: Dict[str, MatrixCorrectionReport] = {}
         #: Bounded ring of recently verified section outcomes, drained by
         #: :meth:`take_recent_outcomes` (the serving engine reads per-request
         #: fault attribution from here after each prefill/decode step).
         self.recent_outcomes: Deque[SectionOutcome] = deque(maxlen=1024)
-        self._freq_accumulators: Dict[str, float] = {name: 0.0 for name in PROTECTION_SECTIONS}
+        self._freq_accumulators: Dict[str, float] = {name: 0.0 for name in active}
         #: Resolved array-backend pin; ``None`` = follow the section's arrays.
         self.array_backend: Optional[ArrayBackend] = (
             None if self.config.array_backend == "auto"
@@ -806,8 +890,9 @@ class ATTNChecker(AttentionHooks):
 
     def set_frequencies(self, frequencies: Dict[str, float]) -> None:
         """Install new per-section detection frequencies (from the optimiser)."""
+        active = self.config.active_sections
         for name, value in frequencies.items():
-            if name not in PROTECTION_SECTIONS:
+            if name not in active:
                 raise KeyError(f"unknown protection section {name!r}")
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"frequency for {name} must be in [0, 1], got {value}")
@@ -827,16 +912,30 @@ class ATTNChecker(AttentionHooks):
 
     # -- frequency gating (policy) ----------------------------------------------
 
+    def _sections_of_block(self, block: str) -> List[str]:
+        """Names of in-scope sections belonging to one block, in config order."""
+        active = self.config.active_sections
+        return [
+            name for name in self.config.frequencies
+            if active[name].block == block
+        ]
+
     def _section_enabled_this_pass(self) -> Dict[str, bool]:
-        """Decide which sections check on this forward pass (accumulator gating).
+        """Decide which attention sections check on this forward pass.
 
         With frequency ``f`` the section runs on a deterministic ``f`` fraction
         of passes, spread as evenly as possible (e.g. ``f = 0.5`` -> every
-        other pass), which is how the paper's ``f_S`` is defined.
+        other pass), which is how the paper's ``f_S`` is defined.  Only the
+        attention block's accumulators advance here; other blocks advance
+        theirs at their own :meth:`on_block_start`, so widening the protection
+        scope never perturbs the attention gating sequence.
         """
+        return self._advance_enabled(self._sections_of_block("attention"))
+
+    def _advance_enabled(self, names: List[str]) -> Dict[str, bool]:
         enabled = {}
-        for name, freq in self.config.frequencies.items():
-            acc = self._freq_accumulators[name] + freq
+        for name in names:
+            acc = self._freq_accumulators[name] + self.config.frequencies[name]
             if acc >= 1.0 - 1e-12:
                 enabled[name] = True
                 acc -= 1.0
@@ -855,6 +954,34 @@ class ATTNChecker(AttentionHooks):
             self._reference.begin_layer(layer_index, enabled)
 
     def on_attention_end(self, layer_index: int, step: int) -> None:
+        if self.engine is not None:
+            self.engine.end_layer(layer_index)
+        else:
+            self._reference.end_layer(layer_index)
+
+    def on_block_start(self, block: str, layer_index: int, step: int) -> None:
+        """Open the pass window of a non-attention block (e.g. the FFN).
+
+        A no-op when none of the block's sections are in the protection
+        scope — an instrumented model can always fire its block hooks, and an
+        attention-only checker stays bit-for-bit the historical one.
+        """
+        if block == "attention":
+            return  # attention announces via on_attention_start
+        names = self._sections_of_block(block)
+        if not names:
+            return
+        enabled = self._advance_enabled(names)
+        if self.engine is not None:
+            self.engine.begin_layer(layer_index, enabled)
+        else:
+            self._reference.begin_layer(layer_index, enabled)
+
+    def on_block_end(self, block: str, layer_index: int, step: int) -> None:
+        if block == "attention":
+            return
+        if not self._sections_of_block(block):
+            return
         if self.engine is not None:
             self.engine.end_layer(layer_index)
         else:
@@ -961,7 +1088,11 @@ class ATTNChecker(AttentionHooks):
     # -- stats plumbing -----------------------------------------------------------
 
     def _record_outcome(self, section: str, outcome: Optional[SectionOutcome]) -> None:
-        stats = self.stats.sections[section]
+        stats = self.stats.sections.get(section)
+        if stats is None:
+            # Boundary of an out-of-scope block (e.g. an instrumented FFN
+            # under an attention-only scope): nothing ran, nothing to count.
+            return
         if outcome is None:
             # Section disabled this pass (frequency gating) or no pass state.
             stats.checks_skipped += 1
@@ -1013,7 +1144,10 @@ class ATTNChecker(AttentionHooks):
 
     def section_overhead_seconds(self) -> Dict[str, float]:
         """Wall-clock ABFT time per protection section (critical path only)."""
-        return {name: self.timers.total(prefix=f"{name}/") for name in PROTECTION_SECTIONS}
+        return {
+            name: self.timers.total(prefix=f"{name}/")
+            for name in self.config.active_sections
+        }
 
     def summary(self) -> str:
         """Human-readable multi-line statistics summary."""

@@ -169,7 +169,7 @@ from repro.core.checksums import (
 )
 from repro.core.correction import MatrixCorrectionReport, correct_matrix
 from repro.core.eec_abft import check_columns, check_rows
-from repro.core.sections import PROTECTION_SECTIONS
+from repro.core.sections import SECTION_REGISTRY
 from repro.core.thresholds import ABFTThresholds
 from repro.core.hooks import SectionContext
 from repro.core.workspace import ChecksumWorkspace, matmul_into, stack_into
@@ -211,11 +211,12 @@ def request_dirty_from_report(report: MatrixCorrectionReport) -> Optional[Any]:
             dirty = fold_request_dirty(dirty, sub.detected | sub.aborted)
     return dirty
 
-#: Dataflow order of the protection sections within one attention pass (the
-#: declaration order of ``PROTECTION_SECTIONS``).  The async repair pass uses
-#: it to find the earliest dirty boundary of a step — the fault site — since
-#: later dirty boundaries are propagation shadows.
-_SECTION_ORDER = {name: index for index, name in enumerate(PROTECTION_SECTIONS)}
+#: Dataflow order of the protection sections within one layer forward pass
+#: (the declaration order of ``SECTION_REGISTRY``: the attention sections
+#: first, then the FFN sections — the order the layer executes them).  The
+#: async repair pass uses it to find the earliest dirty boundary of a step —
+#: the fault site — since later dirty boundaries are propagation shadows.
+_SECTION_ORDER = {name: index for index, name in enumerate(SECTION_REGISTRY)}
 
 
 @dataclass
@@ -593,6 +594,10 @@ class ProtectionEngine:
             if ctx.phase == "decode":
                 return state.enabled.get("O", False)
             return state.enabled.get("O", False) and state.cs_cl_col is not None
+        if ctx.section in ("FF1", "FF2"):
+            # Single-GEMM sections with no inter-section carried state (GELU
+            # between them breaks any checksum chain): plain per-section gate.
+            return state.enabled.get(ctx.section, False)
         raise KeyError(f"unknown protection section {ctx.section!r}")
 
     def _adopt_section(
@@ -679,6 +684,12 @@ class ProtectionEngine:
                 return self._protect_cl_decode(ctx, state, ctx.operands, out, backend)
             if ctx.section == "O":
                 return self._protect_o_decode(ctx, state, ctx.operands, out, backend)
+            if ctx.section == "FF1":
+                # The FFN has no cross-token state, so a decode step is the
+                # training algebra at sequence length 1 — O(1) per token.
+                return self._protect_ff1(ctx, state, ctx.operands, out, backend)
+            if ctx.section == "FF2":
+                return self._protect_ff2(ctx, state, ctx.operands, out, backend)
             raise KeyError(f"unknown protection section {ctx.section!r}")
         backend, ops, work, adopted = self._adopt_section(ctx, out)
         if ctx.section == "AS":
@@ -687,6 +698,10 @@ class ProtectionEngine:
             outcome = self._protect_cl(ctx, state, ops, work, backend)
         elif ctx.section == "O":
             outcome = self._protect_o(ctx, state, ops, work, backend)
+        elif ctx.section == "FF1":
+            outcome = self._protect_ff1(ctx, state, ops, work, backend)
+        elif ctx.section == "FF2":
+            outcome = self._protect_ff2(ctx, state, ops, work, backend)
         else:
             raise KeyError(f"unknown protection section {ctx.section!r}")
         if adopted:
@@ -1165,6 +1180,82 @@ class ProtectionEngine:
                 ),
             )
         self._verify(ctx, out, ChecksumState(col=cs_o_col), outcome, backend)
+        return outcome
+
+    # -- FFN sections S_FF1 / S_FF2 ---------------------------------------------
+    #
+    # The GELU between the two feed-forward GEMMs is nonlinear, so no checksum
+    # can be carried across it: each FFN GEMM forms its own single-member
+    # section, verified at its output.  S_FF1 runs column-side — encode
+    # ``col(x)`` once (the one new data-side encoding per layer) and carry it
+    # through ``W_up``; S_FF2 runs row-side against the per-weight-version
+    # cached ``rowcs(W_down)``, so its steady-state cost is a single carry
+    # GEMM.  Decode reuses the same chain unchanged: the FFN has no cross-
+    # token state, so one decoded token is the training algebra at sequence
+    # length 1 — O(1) per token by construction, no incremental cache state.
+    #
+    # No operand-repair pass: a single-GEMM section has no interior operands
+    # produced by member GEMMs (``x`` / ``h`` are the section *inputs*), so a
+    # boundary correction already repairs everything the section owns.  The
+    # bias adds run *outside* the sections — the boundary matrices ``H`` and
+    # ``FO`` are the raw GEMM outputs, exactly as attention's output-
+    # projection bias sits outside :math:`S_O` — so no bias adjustment of the
+    # carried checksums is needed.
+
+    def _protect_ff1(
+        self,
+        ctx: SectionContext,
+        state: _LayerState,
+        ops: Dict[str, Optional[Any]],
+        out: Any,
+        backend: ArrayBackend,
+    ) -> Optional[SectionOutcome]:
+        xp = backend.namespace_for(out)
+        x, w_up = ops["x"], ops["w_up"]
+        lead = tuple(x.shape[:-2])
+        outcome = SectionOutcome(section="FF1", layer_index=ctx.layer_index, step=ctx.step)
+        with self._timed("FF1/encode", backend):
+            self.dispatch_counts["gemm"] += 1
+            cs_x = encode_column_checksums(
+                x, out=self._buf("FF1/cs_x", lead + (2, x.shape[-1]), xp)
+            )
+        with self._timed("FF1/update", backend):
+            self.dispatch_counts["gemm"] += 1
+            cs_h = matmul_into(                                          # (B, 2, D_ff)
+                xp, cs_x, w_up,
+                self._transient_buf("FF1/col", lead + (2, w_up.shape[-1]), xp),
+            )
+        self._verify(ctx, out, ChecksumState(col=cs_h), outcome, backend)
+        return outcome
+
+    def _protect_ff2(
+        self,
+        ctx: SectionContext,
+        state: _LayerState,
+        ops: Dict[str, Optional[Any]],
+        out: Any,
+        backend: ArrayBackend,
+    ) -> Optional[SectionOutcome]:
+        xp = backend.namespace_for(out)
+        h = ops["h"]
+        outcome = SectionOutcome(section="FF2", layer_index=ctx.layer_index, step=ctx.step)
+        with self._timed("FF2/encode", backend):
+            def build_rowcs() -> Any:
+                self.dispatch_counts["gemm"] += 1
+                return encode_row_checksums(ops["w_down"])               # (D_ff, 2)
+
+            # Identity keys on the pre-adoption array (see _protect_as).
+            rowcs_wd = self._cached_weight(
+                ("FF2/rowcs_w_down", ctx.layer_index),
+                (ctx.operands["w_down"],), build_rowcs,
+            )
+        with self._timed("FF2/update", backend):
+            self.dispatch_counts["gemm"] += 1
+            cs_fo = matmul_into(                                         # (B, S, 2)
+                xp, h, rowcs_wd,
+                self._transient_buf("FF2/row", tuple(h.shape[:-1]) + (2,), xp),
+            )
+        self._verify(ctx, out, ChecksumState(row=cs_fo), outcome, backend)
         return outcome
 
     # -- batched verification (shared by deferred flush and the async worker) ----

@@ -1,13 +1,25 @@
-"""Attention instrumentation protocol — the nn ↔ core seam.
+"""Block instrumentation protocol — the nn ↔ core seam.
 
-These types name the six GEMMs of the paper's attention execution flow
-(Figure 1), the protection-section boundaries of Section 4.4, and the hook
-interface through which checkers and fault injectors observe GEMM outputs.
-They live in ``repro.core`` — not ``repro.nn`` — because the protection
-engine and ATTNChecker *are* hooks: the checker layer must be importable
-(and testable) without pulling in the model stack, while the nn layer
-imports downward to instrument itself.  :mod:`repro.nn.attention` re-exports
-everything here, so model-side code keeps its historical import path.
+These types name the instrumented GEMMs of the protected transformer blocks,
+the protection-section boundaries of Section 4.4 (generalized to any block),
+and the hook interface through which checkers and fault injectors observe
+GEMM outputs.  They live in ``repro.core`` — not ``repro.nn`` — because the
+protection engine and ATTNChecker *are* hooks: the checker layer must be
+importable (and testable) without pulling in the model stack, while the nn
+layer imports downward to instrument itself.  :mod:`repro.nn.attention`
+re-exports everything attention-side, so model-side code keeps its
+historical import path.
+
+Two blocks are registered here:
+
+* ``"attention"`` — the six GEMMs of the paper's attention execution flow
+  (Figure 1) and the three protection sections ``AS`` / ``CL`` / ``O``;
+* ``"ffn"`` — the two feed-forward GEMMs ``x·W_up`` and ``h·W_down`` and the
+  single-GEMM protection sections ``FF1`` (boundary matrix ``H``) and
+  ``FF2`` (boundary matrix ``FO``).
+
+Any module can declare further GEMM ops and section boundaries through
+:func:`register_block_ops`; the registry is keyed by ``(block, op)``.
 
 Arrays are annotated ``Any`` throughout: hooks are xp-generic and receive
 whatever array type the owning backend produces (NumPy ndarray, CuPy array,
@@ -18,16 +30,24 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.backend import ArrayBackend
 
 __all__ = [
     "AttentionOp",
+    "FeedForwardOp",
     "GemmContext",
     "SectionContext",
     "AttentionHooks",
     "SECTION_BOUNDARY_OPS",
+    "FFN_SECTION_BOUNDARY_OPS",
+    "GemmOpSpec",
+    "OP_REGISTRY",
+    "register_block_ops",
+    "op_spec",
+    "block_boundary_ops",
+    "registered_blocks",
 ]
 
 
@@ -47,6 +67,18 @@ class AttentionOp(str, enum.Enum):
         return _OP_TO_MATRIX[self]
 
 
+class FeedForwardOp(str, enum.Enum):
+    """Names of the two GEMMs in the feed-forward (MLP) execution flow."""
+
+    UP = "ff_up"
+    DOWN = "ff_down"
+
+    @property
+    def output_matrix(self) -> str:
+        """Name of the matrix this GEMM produces (``H`` or ``FO``)."""
+        return _FFN_OP_TO_MATRIX[self]
+
+
 _OP_TO_MATRIX = {
     AttentionOp.XQ: "Q",
     AttentionOp.XK: "K",
@@ -56,15 +88,96 @@ _OP_TO_MATRIX = {
     AttentionOp.CLO: "O",
 }
 
-#: GEMMs that end a protection section (Section 4.4): the boundary matrices
-#: ``AS``, ``CL`` and ``O`` are produced by these three operations.  The
-#: section-level hook :meth:`AttentionHooks.on_section_output` fires exactly
-#: here, after the per-GEMM hooks have run on the same output.
+_FFN_OP_TO_MATRIX = {
+    FeedForwardOp.UP: "H",
+    FeedForwardOp.DOWN: "FO",
+}
+
+#: GEMMs that end an attention protection section (Section 4.4): the boundary
+#: matrices ``AS``, ``CL`` and ``O`` are produced by these three operations.
+#: The section-level hook :meth:`AttentionHooks.on_section_output` fires
+#: exactly here, after the per-GEMM hooks have run on the same output.
 SECTION_BOUNDARY_OPS = {
     AttentionOp.QK: "AS",
     AttentionOp.APV: "CL",
     AttentionOp.CLO: "O",
 }
+
+#: GEMMs that end a feed-forward protection section.  Both FFN GEMMs are
+#: section boundaries — GELU between them is nonlinear, so checksums cannot
+#: be carried across it and each GEMM forms its own single-member section.
+FFN_SECTION_BOUNDARY_OPS = {
+    FeedForwardOp.UP: "FF1",
+    FeedForwardOp.DOWN: "FF2",
+}
+
+
+@dataclass(frozen=True)
+class GemmOpSpec:
+    """Registry entry describing one instrumented GEMM of one block.
+
+    ``section`` names the protection section this GEMM *ends* (its output is
+    the section's boundary matrix), or ``None`` for interior GEMMs whose
+    checksums are carried through to a later boundary.
+    """
+
+    block: str
+    op: Any
+    output_matrix: str
+    section: Optional[str]
+
+
+#: ``(block, op)`` -> :class:`GemmOpSpec` for every registered GEMM.
+OP_REGISTRY: Dict[Tuple[str, Any], GemmOpSpec] = {}
+
+#: ``block`` -> ``{op: section_name}`` for that block's boundary GEMMs.
+_BLOCK_BOUNDARY_OPS: Dict[str, Mapping[Any, str]] = {}
+
+
+def register_block_ops(
+    block: str,
+    op_matrices: Mapping[Any, str],
+    boundary_ops: Mapping[Any, str],
+) -> None:
+    """Declare a block's GEMM ops and section boundaries in the registry.
+
+    ``op_matrices`` maps each op to the name of the matrix it produces;
+    ``boundary_ops`` maps the subset of ops that end a protection section to
+    that section's name.  Re-registering a block replaces its entries (the
+    mapping objects are retained by reference, so a block registered with a
+    module-level dict — like attention's :data:`SECTION_BOUNDARY_OPS` — stays
+    in sync with it).
+    """
+    unknown = [op for op in boundary_ops if op not in op_matrices]
+    if unknown:
+        raise KeyError(
+            f"boundary ops {unknown!r} of block {block!r} are not in its op set"
+        )
+    for op, matrix in op_matrices.items():
+        OP_REGISTRY[(block, op)] = GemmOpSpec(
+            block=block, op=op, output_matrix=matrix,
+            section=boundary_ops.get(op),
+        )
+    _BLOCK_BOUNDARY_OPS[block] = boundary_ops
+
+
+def op_spec(block: str, op: Any) -> GemmOpSpec:
+    """The registry entry for ``(block, op)``; raises ``KeyError`` if absent."""
+    return OP_REGISTRY[(block, op)]
+
+
+def block_boundary_ops(block: str) -> Mapping[Any, str]:
+    """The ``{op: section}`` boundary map of one registered block."""
+    return _BLOCK_BOUNDARY_OPS[block]
+
+
+def registered_blocks() -> Tuple[str, ...]:
+    """Names of every registered block, in registration order."""
+    return tuple(_BLOCK_BOUNDARY_OPS)
+
+
+register_block_ops("attention", _OP_TO_MATRIX, SECTION_BOUNDARY_OPS)
+register_block_ops("ffn", _FFN_OP_TO_MATRIX, FFN_SECTION_BOUNDARY_OPS)
 
 
 @dataclass
@@ -74,17 +187,19 @@ class GemmContext:
     Attributes
     ----------
     op:
-        Which of the six GEMMs is being executed.
+        Which registered GEMM is being executed (an :class:`AttentionOp` or
+        :class:`FeedForwardOp` member).
     a, b:
         The operand arrays actually fed to the GEMM (post head-split for the
         per-head operations).  Hooks must treat them as read-only.
     layer_index:
-        Index of the attention layer inside the model.
+        Index of the transformer layer inside the model.
     step:
-        Monotonic counter of attention forward passes for this layer
+        Monotonic counter of forward passes for this layer
         (increments once per call, i.e. once per training micro-step).
     num_heads, head_dim, seq_len:
-        Geometry of the attention call, needed by the checksum machinery.
+        Geometry of the call, needed by the checksum machinery.  FFN GEMMs
+        report the layer's attention geometry unchanged.
     phase:
         ``"train"`` (the default — full-sequence forward), ``"prefill"``
         (full-sequence forward that also seeds a KV cache) or ``"decode"``
@@ -94,9 +209,12 @@ class GemmContext:
     kv_cache:
         The per-layer KV cache object for prefill/decode calls (duck-typed —
         core never imports ``repro.nn``), ``None`` for training forwards.
+    block:
+        Name of the registered block this GEMM belongs to (``"attention"``
+        or ``"ffn"``).
     """
 
-    op: AttentionOp
+    op: Any
     a: Any
     b: Any
     layer_index: int
@@ -107,6 +225,7 @@ class GemmContext:
     bias: Optional[Any] = None
     phase: str = "train"
     kv_cache: Optional[Any] = None
+    block: str = "attention"
 
 
 @dataclass
@@ -115,15 +234,16 @@ class SectionContext:
 
     Delivered by :meth:`AttentionHooks.on_section_output` at the *boundary*
     GEMM of each protection section (``qk`` for :math:`S_{AS}`, ``apv`` for
-    :math:`S_{CL}`, ``clo`` for :math:`S_O`), carrying every operand of the
-    whole section so a checksum-passing engine can encode the section inputs
-    once and carry the checksums through all member GEMMs in a single fused
+    :math:`S_{CL}`, ``clo`` for :math:`S_O`, ``ff_up`` for :math:`S_{FF1}`,
+    ``ff_down`` for :math:`S_{FF2}`), carrying every operand of the whole
+    section so a checksum-passing engine can encode the section inputs once
+    and carry the checksums through all member GEMMs in a single fused
     dispatch, instead of one Python round-trip per GEMM.
 
     Attributes
     ----------
     section:
-        Section name — ``"AS"``, ``"CL"`` or ``"O"``.
+        Section name — ``"AS"``, ``"CL"``, ``"O"``, ``"FF1"`` or ``"FF2"``.
     operands:
         Named operand arrays of the section (read-only for hooks):
 
@@ -134,6 +254,13 @@ class SectionContext:
           probabilities actually fed to the GEMM, i.e. post-dropout) and
           ``v`` (split heads).
         * ``"O"``: ``cl`` (merged heads, ``(B, S, D)``) and ``w_o``.
+        * ``"FF1"``: ``x`` (the FFN input, ``(B, S, D)``) and ``w_up``
+          (``(D, D_ff)``).  The boundary matrix ``H`` is the raw GEMM
+          output — the bias add runs outside the section, like attention's
+          output-projection bias.
+        * ``"FF2"``: ``h`` (the post-activation hidden, ``(B, S, D_ff)``)
+          and ``w_down`` (``(D_ff, D)``); boundary ``FO`` is again the raw
+          GEMM output.
     layer_index / step / num_heads / head_dim / seq_len:
         Same geometry as :class:`GemmContext`.
     backend:
@@ -145,8 +272,8 @@ class SectionContext:
         ``None`` falls back to per-array dispatch.
     phase:
         ``"train"``, ``"prefill"`` or ``"decode"`` — see
-        :attr:`GemmContext.phase`.  Prefill/decode sections additionally carry
-        the layer's KV cache in ``operands["kv_cache"]``.
+        :attr:`GemmContext.phase`.  Prefill/decode attention sections
+        additionally carry the layer's KV cache in ``operands["kv_cache"]``.
     """
 
     section: str
@@ -161,14 +288,24 @@ class SectionContext:
 
 
 class AttentionHooks:
-    """Base class for attention instrumentation.
+    """Base class for block instrumentation.
 
     Subclasses override any subset of the callbacks.  The default
     implementation is a no-op, so a hook only pays for what it uses.
+
+    The attention block announces its pass window through the historical
+    :meth:`on_attention_start` / :meth:`on_attention_end` pair; other
+    registered blocks (the FFN) use the generic :meth:`on_block_start` /
+    :meth:`on_block_end` pair with their block name.  Keeping attention on
+    its dedicated callbacks preserves the pre-refactor dispatch sequence
+    bit-for-bit.
     """
 
     def on_attention_start(self, layer_index: int, step: int) -> None:
-        """Called before any GEMM of a forward pass runs."""
+        """Called before any GEMM of an attention forward pass runs."""
+
+    def on_block_start(self, block: str, layer_index: int, step: int) -> None:
+        """Called before any GEMM of a non-attention block's pass runs."""
 
     def on_gemm_output(self, ctx: GemmContext, out: Any) -> Any:
         """Called with the raw output of each GEMM; returns the output to use."""
@@ -200,5 +337,8 @@ class AttentionHooks:
     def on_matrix(self, name: str, data: Any, layer_index: int, step: int) -> None:
         """Observation callback for non-GEMM intermediate matrices (e.g. AP)."""
 
+    def on_block_end(self, block: str, layer_index: int, step: int) -> None:
+        """Called after a non-attention block's pass completes."""
+
     def on_attention_end(self, layer_index: int, step: int) -> None:
-        """Called after the output projection completes."""
+        """Called after the attention output projection completes."""

@@ -13,6 +13,23 @@ section boundary, which EEC-ABFT can correct:
 * ``S_O  = {CL W_O}`` — the column checksums of ``CL`` are carried through the
   output projection; ``O`` is checked with its column side only.
 
+The same framework generalizes beyond attention.  The feed-forward block
+contributes two further sections (whole-model protection):
+
+* ``S_FF1 = {X W_up}`` — the FFN input ``X`` is encoded with column checksums
+  once (the one new data-side encoding per layer) and carried through
+  ``W_up``; detection/correction happen on the pre-activation hidden ``H``.
+* ``S_FF2 = {H' W_down}`` — GELU between the two FFN GEMMs is nonlinear, so
+  checksums cannot cross it; instead the cached row checksums of ``W_down``
+  (one :class:`~repro.core.engine.WeightEncodingCache` entry per weight
+  version) are carried as ``H' rowcs(W_down)``, and ``FO`` is checked with
+  its row side only.
+
+:data:`PROTECTION_SECTIONS` keeps its historical meaning — the attention
+block's three sections — while :data:`SECTION_REGISTRY` holds every
+registered section; :func:`sections_for_scope` maps an
+``ATTNCheckerConfig.protect_scope`` value to the active subset.
+
 Besides the descriptors themselves this module provides the FLOP/byte
 accounting of the ABFT work each section adds (encoding, checksum updates,
 detection, correction), which feeds both the adaptive-frequency optimiser
@@ -34,6 +51,9 @@ if TYPE_CHECKING:  # annotation-only: core must not import the model layer
 __all__ = [
     "ProtectionSection",
     "PROTECTION_SECTIONS",
+    "SECTION_REGISTRY",
+    "PROTECT_SCOPES",
+    "sections_for_scope",
     "SectionCostModel",
     "SectionCosts",
     "HOST_ARRAY_BACKENDS",
@@ -51,15 +71,20 @@ class ProtectionSection:
     Attributes
     ----------
     name:
-        Section label — ``"AS"``, ``"CL"`` or ``"O"`` (the paper's
-        :math:`S_{AS}`, :math:`S_{CL}`, :math:`S_O`).
+        Section label — ``"AS"``, ``"CL"``, ``"O"`` (the paper's
+        :math:`S_{AS}`, :math:`S_{CL}`, :math:`S_O`), ``"FF1"`` or ``"FF2"``.
     operations:
-        The GEMM op names (:class:`repro.nn.AttentionOp` values) the section
-        covers, in execution order.
+        The GEMM op names (:class:`repro.nn.AttentionOp` /
+        :class:`repro.core.hooks.FeedForwardOp` values) the section covers,
+        in execution order.
     boundary_matrix:
         The matrix on which detection / correction runs.
     maintains_column / maintains_row:
         Which checksum sides the boundary matrix carries.
+    block:
+        The registered instrumentation block the section belongs to
+        (``"attention"`` or ``"ffn"``) — the key space of
+        :func:`repro.core.hooks.register_block_ops`.
     """
 
     name: str
@@ -67,6 +92,7 @@ class ProtectionSection:
     boundary_matrix: str
     maintains_column: bool
     maintains_row: bool
+    block: str = "attention"
 
     @property
     def nondeterministic(self) -> bool:
@@ -84,7 +110,9 @@ class ProtectionSection:
         return self.operations[-1]
 
 
-#: The three protection sections of the paper, keyed by name.
+#: The three protection sections of the paper (the attention block), keyed by
+#: name.  This is the historical attention-only view; the whole-model registry
+#: is :data:`SECTION_REGISTRY`.
 PROTECTION_SECTIONS: Dict[str, ProtectionSection] = {
     "AS": ProtectionSection(
         name="AS",
@@ -108,6 +136,46 @@ PROTECTION_SECTIONS: Dict[str, ProtectionSection] = {
         maintains_row=False,
     ),
 }
+
+#: Every registered protection section, keyed by name — the attention triple
+#: followed by the feed-forward pair, in per-layer execution order (the async
+#: repair pass ranks dirty boundaries by this order).
+SECTION_REGISTRY: Dict[str, ProtectionSection] = {
+    **PROTECTION_SECTIONS,
+    "FF1": ProtectionSection(
+        name="FF1",
+        operations=("ff_up",),
+        boundary_matrix="H",
+        maintains_column=True,
+        maintains_row=False,
+        block="ffn",
+    ),
+    "FF2": ProtectionSection(
+        name="FF2",
+        operations=("ff_down",),
+        boundary_matrix="FO",
+        maintains_column=False,
+        maintains_row=True,
+        block="ffn",
+    ),
+}
+
+#: Valid ``ATTNCheckerConfig.protect_scope`` values.  ``"attention"`` is the
+#: historical bit-for-bit default; ``"attention+ffn"`` adds the FFN sections;
+#: ``"full"`` means every registered section (today identical to
+#: ``"attention+ffn"`` — embeddings/LayerNorm invariants are a noted residual).
+PROTECT_SCOPES: Tuple[str, ...] = ("attention", "attention+ffn", "full")
+
+
+def sections_for_scope(scope: str) -> Dict[str, ProtectionSection]:
+    """The active section subset for one ``protect_scope`` value."""
+    if scope == "attention":
+        return PROTECTION_SECTIONS
+    if scope in ("attention+ffn", "full"):
+        return SECTION_REGISTRY
+    raise KeyError(
+        f"unknown protect scope {scope!r}; expected one of {PROTECT_SCOPES}"
+    )
 
 
 @dataclass(frozen=True)
@@ -229,6 +297,31 @@ class SectionCostModel:
             correct = 4 * d * b
             encode_bytes = 0.0
             detect_bytes = (s * d) * b * es
+        elif name == "FF1":
+            d_ff = self.config.intermediate_size
+            # Encode col checksums of X: (2 x S) @ (S x D) per sample.
+            encode = 2 * 2 * s * d * b
+            # Carry through W_up: (2 x D) @ (D x D_ff) per sample.
+            update = 2 * 2 * d * d_ff * b
+            # Detect: recompute weighted+unweighted column sums of H.
+            detect = 2 * (2 * s * d_ff) * b
+            # Correct (worst case, 1D): one element per column vector.
+            correct = 4 * d_ff * b
+            encode_bytes = (s * d + 2 * d) * b * es
+            detect_bytes = (s * d_ff) * b * es
+        elif name == "FF2":
+            d_ff = self.config.intermediate_size
+            # Encode row checksums of W_down: (D_ff x D) @ (D x 2) — amortised
+            # by the weight-encoding cache, charged here like S_CL's W_V.
+            encode = 2 * d_ff * d * 2
+            # Carry: H' @ rowcs(W_down): (S x D_ff) @ (D_ff x 2) per sample.
+            update = 2 * s * d_ff * 2 * b
+            # Detect: recompute weighted+unweighted row sums of FO.
+            detect = 2 * (2 * s * d) * b
+            # Correct (worst case, 1D): one element per row vector.
+            correct = 4 * s * b
+            encode_bytes = (d_ff * d) * es
+            detect_bytes = (s * d) * b * es
         else:
             raise KeyError(f"unknown protection section {name!r}")
 
@@ -241,9 +334,13 @@ class SectionCostModel:
             detect_bytes=float(detect_bytes),
         )
 
-    def all_section_costs(self) -> Dict[str, SectionCosts]:
-        """Costs for all three sections of one attention layer."""
-        return {name: self.section_costs(name) for name in PROTECTION_SECTIONS}
+    def all_section_costs(self, scope: str = "attention") -> Dict[str, SectionCosts]:
+        """Costs for every section of ``scope`` for one transformer layer.
+
+        The default scope is the historical attention triple; pass
+        ``"attention+ffn"`` / ``"full"`` for the whole-model registry.
+        """
+        return {name: self.section_costs(name) for name in sections_for_scope(scope)}
 
     # -- host <-> device transfer accounting ---------------------------------------
 
@@ -284,15 +381,25 @@ class SectionCostModel:
             # Operands: CL merged (B,S,D), W_O (D,D); boundary O.
             h2d = b * s * d + d * d + b * s * d
             d2h = b * s * d
+        elif name == "FF1":
+            d_ff = self.config.intermediate_size
+            # Operands: X (B,S,D), W_up (D,D_ff); boundary H (B,S,D_ff).
+            h2d = b * s * d + d * d_ff + b * s * d_ff
+            d2h = b * s * d_ff
+        elif name == "FF2":
+            d_ff = self.config.intermediate_size
+            # Operands: H' (B,S,D_ff), W_down (D_ff,D); boundary FO (B,S,D).
+            h2d = b * s * d_ff + d_ff * d + b * s * d
+            d2h = b * s * d
         else:
             raise KeyError(f"unknown protection section {name!r}")
         return {XFER_H2D: float(h2d * es), XFER_D2H: float(d2h * es)}
 
-    def transfer_bytes_per_layer(self) -> Dict[str, float]:
-        """Aggregate :meth:`section_transfer_bytes` over all three sections,
+    def transfer_bytes_per_layer(self, scope: str = "attention") -> Dict[str, float]:
+        """Aggregate :meth:`section_transfer_bytes` over the scope's sections,
         keyed by the runtime timer names (``xfer/h2d`` / ``xfer/d2h``)."""
         totals = {XFER_H2D: 0.0, XFER_D2H: 0.0}
-        for name in PROTECTION_SECTIONS:
+        for name in sections_for_scope(scope):
             for key, value in self.section_transfer_bytes(name).items():
                 totals[key] += value
         return totals
@@ -315,17 +422,28 @@ class SectionCostModel:
             "clo": 2.0 * b * s * d * d,
         }
 
+    def ffn_operation_flops(self) -> Dict[str, float]:
+        """FLOPs of each protected FFN GEMM for one layer forward pass."""
+        b = self.batch_size
+        s = self.seq_len
+        d = self.config.hidden_size
+        d_ff = self.config.intermediate_size
+        return {
+            "ff_up": 2.0 * b * s * d * d_ff,
+            "ff_down": 2.0 * b * s * d_ff * d,
+        }
+
     def section_operation_flops(self, name: str) -> Dict[str, float]:
         """FLOPs of the operations belonging to section ``name``."""
-        section = PROTECTION_SECTIONS[name]
-        flops = self.operation_flops()
+        section = SECTION_REGISTRY[name]
+        flops = {**self.operation_flops(), **self.ffn_operation_flops()}
         return {op: flops[op] for op in section.operations}
 
     # -- host-side dispatch accounting ---------------------------------------------
 
     @staticmethod
-    def python_dispatches_per_layer(backend: str) -> int:
-        """Host-side ABFT dispatch points per attention layer forward pass.
+    def python_dispatches_per_layer(backend: str, scope: str = "attention") -> int:
+        """Host-side ABFT dispatch points per transformer layer forward pass.
 
         The per-GEMM reference backend does checksum work inside all six GEMM
         hooks; the fused engine dispatches once per protection section (at the
@@ -339,18 +457,23 @@ class SectionCostModel:
         the paper targets this is the kernel-launch/synchronisation count; on
         the NumPy substrate it is the Python round-trip count — either way the
         fixed per-layer overhead the Section-4.4 fusion removes.
+
+        ``scope`` selects the active section subset (default: the historical
+        attention triple — 3 fused / 6 per-GEMM; ``"attention+ffn"`` adds the
+        two single-GEMM FFN sections — 5 fused / 8 per-GEMM).
         """
+        sections = sections_for_scope(scope)
         if backend == "fused":
-            return len(PROTECTION_SECTIONS)
+            return len(sections)
         if backend == "per_gemm":
-            return sum(len(s.operations) for s in PROTECTION_SECTIONS.values())
+            return sum(len(s.operations) for s in sections.values())
         raise KeyError(f"unknown backend {backend!r}; expected 'fused' or 'per_gemm'")
 
     @staticmethod
     def checksum_gemm_dispatches_per_layer(
-        schedule: str, steady_state: bool = True
+        schedule: str, steady_state: bool = True, scope: str = "attention"
     ) -> Dict[str, int]:
-        """Checksum GEMM/einsum launches per attention-layer visit, by section.
+        """Checksum GEMM/einsum launches per transformer-layer visit, by section.
 
         Counts the encode/carry launches of the fused engine's checksum chain
         (what ``ProtectionEngine.dispatch_counts["gemm"]`` measures), with all
@@ -372,20 +495,35 @@ class SectionCostModel:
           (``steady_state=False`` — first visit, or the first after a weight
           update) pays the ``rowcs(W_V)`` encode once.
 
+        With an FFN-including ``scope`` the two single-GEMM feed-forward
+        sections are added:
+
+        * ``FF1`` encodes ``col(X)`` and carries it through ``W_up`` — 2
+          launches under either schedule (sibling fusion has no sibling here);
+        * ``FF2`` carries ``H'`` through the cached ``rowcs(W_down)`` — 1
+          launch in the fused steady state; the unfused schedule (or a cold
+          visit) re-encodes ``rowcs(W_down)`` per visit, so 2.
+
         The totals are exact counts the fused-kernel tests compare against
         the engine's measured counters.
         """
         if schedule == "unfused":
-            return {"AS": 5, "CL": 5, "O": 1}
-        if schedule == "fused":
-            return {"AS": 4, "CL": 4 if steady_state else 5, "O": 1}
-        raise KeyError(
-            f"unknown schedule {schedule!r}; expected 'fused' or 'unfused'"
-        )
+            counts = {"AS": 5, "CL": 5, "O": 1}
+            ffn = {"FF1": 2, "FF2": 2}
+        elif schedule == "fused":
+            counts = {"AS": 4, "CL": 4 if steady_state else 5, "O": 1}
+            ffn = {"FF1": 2, "FF2": 1 if steady_state else 2}
+        else:
+            raise KeyError(
+                f"unknown schedule {schedule!r}; expected 'fused' or 'unfused'"
+            )
+        if "FF1" in sections_for_scope(scope):
+            counts.update(ffn)
+        return counts
 
     @staticmethod
     def serving_decode_checksum_gemm_dispatches_per_layer(
-        steady_state: bool = True,
+        steady_state: bool = True, scope: str = "attention"
     ) -> Dict[str, int]:
         """Checksum GEMM/einsum launches per *decoded token* per layer.
 
@@ -404,15 +542,31 @@ class SectionCostModel:
         * ``S_O`` — the boundary row carry ``cl @ rowcs(W_O)`` (1): 1.  A
           cold visit additionally encodes ``rowcs(W_O)`` (+1).
 
+        The FFN has no KV cache — it sees only the current token — so its
+        decode sections run the training algebra at ``S = 1`` and are O(1)
+        per token by construction:
+
+        * ``S_FF1`` — encode ``col(x)`` of the one new row (1) and carry it
+          through ``W_up`` (1): 2.
+        * ``S_FF2`` — the boundary row carry ``h' @ rowcs(W_down)`` (1): 1.
+          A cold visit additionally encodes ``rowcs(W_down)`` (+1).
+
         Exact counts, compared against ``ProtectionEngine.dispatch_counts``
-        deltas by the serving tests and ``benchmarks/bench_serving.py``.
+        deltas by the serving tests and ``benchmarks/bench_serving.py`` /
+        ``benchmarks/bench_ffn_overhead.py``.
         """
         if steady_state:
-            return {"AS": 2, "CL": 2, "O": 1}
-        return {"AS": 2, "CL": 3, "O": 2}
+            counts = {"AS": 2, "CL": 2, "O": 1}
+            ffn = {"FF1": 2, "FF2": 1}
+        else:
+            counts = {"AS": 2, "CL": 3, "O": 2}
+            ffn = {"FF1": 2, "FF2": 2}
+        if "FF1" in sections_for_scope(scope):
+            counts.update(ffn)
+        return counts
 
     @staticmethod
-    def checksum_workspace_slots(mode: str) -> int:
+    def checksum_workspace_slots(mode: str, scope: str = "attention") -> int:
         """Distinct reusable workspace buffers of the critical-path arena.
 
         With ``reuse_workspace`` on, the fused engine's steady-state hot path
@@ -430,14 +584,26 @@ class SectionCostModel:
         forfeits NumPy's specialised inner loops (measured ~4x slower at
         attention dims) while Torch's einsum has no ``out=`` at all — so that
         single buffer allocates per visit by design.
+
+        An FFN-including ``scope`` adds three immediate-mode slots — the
+        ``FF1`` input encode (``FF1/cs_x``) plus the two boundary-checksum
+        slots (``FF1/col``, ``FF2/row``) — and one queued-mode slot (only the
+        encode intermediate stays in the arena when boundary checksums are
+        queued past the visit).
         """
         if mode == "immediate":
-            return 9
-        if mode in ("deferred", "async"):
-            return 4
-        raise KeyError(
-            f"unknown verification mode {mode!r}; expected 'immediate', 'deferred' or 'async'"
-        )
+            slots = 9
+            ffn = 3
+        elif mode in ("deferred", "async"):
+            slots = 4
+            ffn = 1
+        else:
+            raise KeyError(
+                f"unknown verification mode {mode!r}; expected 'immediate', 'deferred' or 'async'"
+            )
+        if "FF1" in sections_for_scope(scope):
+            slots += ffn
+        return slots
 
     @staticmethod
     def collective_checksum_dispatches_per_step(
@@ -479,7 +645,9 @@ class SectionCostModel:
         return 0
 
     @staticmethod
-    def verification_dispatches_per_step(mode: str, num_layers: int) -> Dict[str, int]:
+    def verification_dispatches_per_step(
+        mode: str, num_layers: int, scope: str = "attention"
+    ) -> Dict[str, int]:
         """Boundary-*verification* dispatches of one training step, split by
         where they land relative to the training critical path.
 
@@ -500,7 +668,7 @@ class SectionCostModel:
         """
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
-        sections = len(PROTECTION_SECTIONS)
+        sections = len(sections_for_scope(scope))
         if mode == "immediate":
             return {"critical_path": sections * num_layers, "off_critical_path": 0}
         if mode == "deferred":

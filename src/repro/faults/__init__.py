@@ -19,6 +19,7 @@
 
 from repro.faults.injector import (
     ERROR_TYPES,
+    FLIP_KINDS,
     CollectiveFaultInjector,
     CollectiveFaultSpec,
     CollectiveInjectionRecord,
@@ -35,6 +36,7 @@ from repro.faults.campaign import CampaignResult, DetectionCorrectionCampaign
 
 __all__ = [
     "ERROR_TYPES",
+    "FLIP_KINDS",
     "TARGET_MATRICES",
     "FaultSpec",
     "FaultInjector",

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.attention_checker import ATTNChecker, ATTNCheckerConfig
-from repro.faults.injector import FaultInjector, FaultSpec
+from repro.faults.injector import FLIP_KINDS, FaultInjector, FaultSpec
 from repro.models.classification import SequenceClassificationModel
 from repro.nn.attention import ComposedHooks, RecordingHooks
 from repro.utils.rng import new_rng
@@ -50,6 +50,30 @@ class CampaignResult:
     corrected: int = 0
     output_matches_reference: int = 0
     benign_masked: int = 0
+    #: Normalised flip-kind mix the campaign drew from for this pair
+    #: (``{"exponent_msb": 1.0}`` for the historical single-mechanism run).
+    flip_kind_mix: Dict[str, float] = field(default_factory=lambda: {"exponent_msb": 1.0})
+    #: Per-flip-kind trial / detection / correction counters — only kinds
+    #: that actually fired appear as keys.
+    trials_by_kind: Dict[str, int] = field(default_factory=dict)
+    detected_by_kind: Dict[str, int] = field(default_factory=dict)
+    corrected_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_kind(self, kind: str, detected: bool, corrected: bool) -> None:
+        """Accumulate one trial into the per-flip-kind counters."""
+        self.trials_by_kind[kind] = self.trials_by_kind.get(kind, 0) + 1
+        self.detected_by_kind[kind] = self.detected_by_kind.get(kind, 0) + int(detected)
+        self.corrected_by_kind[kind] = self.corrected_by_kind.get(kind, 0) + int(corrected)
+
+    def detection_rate_for_kind(self, kind: str) -> float:
+        """Detection rate among the trials injected with ``kind``."""
+        n = self.trials_by_kind.get(kind, 0)
+        return self.detected_by_kind.get(kind, 0) / n if n else float("nan")
+
+    def correction_rate_for_kind(self, kind: str) -> float:
+        """Correction rate among the trials injected with ``kind``."""
+        n = self.trials_by_kind.get(kind, 0)
+        return self.corrected_by_kind.get(kind, 0) / n if n else float("nan")
 
     @property
     def effective_trials(self) -> int:
@@ -129,10 +153,14 @@ class DetectionCorrectionCampaign:
 
     # -- single trial -------------------------------------------------------------------
 
-    def run_trial(self, matrix: str, error_type: str) -> Dict[str, bool]:
+    def run_trial(
+        self, matrix: str, error_type: str, flip_kind: str = "exponent_msb"
+    ) -> Dict[str, bool]:
         """One protected injection trial; returns detection/correction flags."""
         reference = self.reference_logits()
-        spec = FaultSpec(matrix=matrix, error_type=error_type, layer_index=0)
+        spec = FaultSpec(
+            matrix=matrix, error_type=error_type, layer_index=0, flip_kind=flip_kind
+        )
         injector = FaultInjector([spec], rng=self.rng)
         checker = ATTNChecker(self.checker_config)
         logits = self._forward_logits(ComposedHooks([injector, checker]))
@@ -154,22 +182,56 @@ class DetectionCorrectionCampaign:
         matrices: Sequence[str] = ("Q", "K", "V", "AS", "CL", "O"),
         error_types: Sequence[str] = ("inf", "nan", "near_inf"),
         trials: int = 10,
+        flip_kind_weights: Optional[Dict[str, float]] = None,
     ) -> List[CampaignResult]:
-        """Run ``trials`` protected injections per (matrix, error type) pair."""
+        """Run ``trials`` protected injections per (matrix, error type) pair.
+
+        ``flip_kind_weights`` maps flip kinds to mix weights for the
+        flip-based fault family: each ``"near_inf"`` trial draws its
+        bit-level mechanism from the normalised mix (assignment-based error
+        types always use the default kind).  ``None`` keeps the historical
+        single-mechanism campaign — no extra RNG draws, so existing
+        campaigns replay bit-for-bit.
+        """
+        mix = self._normalised_mix(flip_kind_weights)
+        kinds, weights = zip(*sorted(mix.items()))
         results: List[CampaignResult] = []
         for matrix in matrices:
             for error_type in error_types:
-                result = CampaignResult(matrix=matrix, error_type=error_type)
+                result = CampaignResult(
+                    matrix=matrix, error_type=error_type, flip_kind_mix=dict(mix)
+                )
                 for _ in range(trials):
-                    outcome = self.run_trial(matrix, error_type)
+                    kind = "exponent_msb"
+                    if error_type == "near_inf" and flip_kind_weights is not None:
+                        kind = str(kinds[int(self.rng.choice(len(kinds), p=weights))])
+                    outcome = self.run_trial(matrix, error_type, flip_kind=kind)
                     result.trials += 1
                     benign = not outcome["detected"] and outcome["matches"]
                     result.benign_masked += int(benign)
                     result.detected += int(outcome["detected"])
                     result.corrected += int(outcome["corrected"])
                     result.output_matches_reference += int(outcome["matches"])
+                    result.record_kind(
+                        kind, outcome["detected"], outcome["corrected"]
+                    )
                 results.append(result)
         return results
+
+    @staticmethod
+    def _normalised_mix(weights: Optional[Dict[str, float]]) -> Dict[str, float]:
+        """Validate and normalise a flip-kind mix (default: exponent MSB only)."""
+        if weights is None:
+            return {"exponent_msb": 1.0}
+        unknown = set(weights) - set(FLIP_KINDS)
+        if unknown:
+            raise KeyError(
+                f"unknown flip kinds {sorted(unknown)}; expected a subset of {FLIP_KINDS}"
+            )
+        total = float(sum(weights.values()))
+        if total <= 0 or any(w < 0 for w in weights.values()):
+            raise ValueError(f"flip-kind weights must be non-negative with a positive sum, got {weights!r}")
+        return {kind: float(w) / total for kind, w in weights.items() if w > 0}
 
     @staticmethod
     def all_corrected(results: Sequence[CampaignResult]) -> bool:

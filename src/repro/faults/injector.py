@@ -15,6 +15,19 @@ the computation.
   the classic-ABFT code path and the benign-fault behaviour the prior work
   observed.
 
+The flip-based fault family (``error_type="near_inf"``) is parameterised by
+``flip_kind``, widening the paper's exponent-MSB model to the fuller
+bit-upset taxonomy of "Why Attention Fails" and the ECC MBU patterns:
+``"exponent_msb"`` (default — the paper's flip, bit-for-bit historical),
+``"mantissa_lsb"`` (a ULP-sized, almost always benign upset),
+``"adjacent_double_bit"`` (an MBU across the top two exponent bits) and
+``"stuck_zero"`` (a stuck-at-0 cell).  Injections are counted per kind so
+campaigns can report detection/correction rates for each mechanism.
+
+Injectable targets cover the whole protected block set: the six attention
+matrices plus the FFN boundaries ``H`` (``x·W_up``) and ``FO``
+(``h·W_down``) once the model's feed-forward layers are instrumented.
+
 The injector is an :class:`repro.nn.AttentionHooks`; register it *before* the
 :class:`repro.core.ATTNChecker` so the checker sees the corrupted output,
 exactly like a fault striking the kernel before ABFT detection runs.
@@ -32,9 +45,16 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.backend import backend_of
-from repro.nn.attention import AttentionHooks, AttentionOp, GemmContext
+from repro.nn.attention import (
+    AttentionHooks,
+    AttentionOp,
+    FeedForwardOp,
+    GemmContext,
+)
 from repro.utils.floatbits import (
+    FLIP_KINDS,
     NEAR_INF_MINIMUM_MAGNITUDE,
+    apply_flip_kind,
     flip_exponent_msb,
     flip_exponent_msb_inplace,
     make_near_inf,
@@ -44,6 +64,7 @@ from repro.utils.rng import new_rng
 
 __all__ = [
     "ERROR_TYPES",
+    "FLIP_KINDS",
     "TARGET_MATRICES",
     "FaultSpec",
     "InjectionRecord",
@@ -57,15 +78,18 @@ __all__ = [
 #: Error classes supported by the injector.
 ERROR_TYPES: Tuple[str, ...] = ("inf", "nan", "near_inf", "numeric")
 
-#: Injectable matrices (the paper's Table 2 / Table 4 rows) and the GEMM that
-#: produces each of them.
-TARGET_MATRICES: Dict[str, AttentionOp] = {
+#: Injectable matrices and the GEMM that produces each of them: the paper's
+#: Table 2 / Table 4 attention rows plus the FFN section boundaries of the
+#: whole-model protection extension.
+TARGET_MATRICES: Dict[str, enum.Enum] = {
     "Q": AttentionOp.XQ,
     "K": AttentionOp.XK,
     "V": AttentionOp.XV,
     "AS": AttentionOp.QK,
     "CL": AttentionOp.APV,
     "O": AttentionOp.CLO,
+    "H": FeedForwardOp.UP,
+    "FO": FeedForwardOp.DOWN,
 }
 
 
@@ -77,7 +101,7 @@ class FaultSpec:
     ----------
     matrix:
         Target matrix name (``"Q"``, ``"K"``, ``"V"``, ``"AS"``, ``"CL"``,
-        ``"O"``).
+        ``"O"``, ``"H"``, ``"FO"``).
     error_type:
         ``"inf"``, ``"nan"``, ``"near_inf"`` or ``"numeric"``.
     layer_index:
@@ -88,6 +112,15 @@ class FaultSpec:
         Sign of injected INF (+1 / -1).
     numeric_delta:
         Magnitude added for ``"numeric"`` errors.
+    flip_kind:
+        Bit-level mechanism for the flip-based fault family
+        (``error_type="near_inf"``): one of
+        :data:`repro.utils.floatbits.FLIP_KINDS`.  The default
+        ``"exponent_msb"`` is the paper's flip and reproduces the historical
+        injector bit-for-bit; the other kinds produce whatever value the
+        flipped bit pattern encodes (no near-INF floor is enforced — a
+        mantissa-LSB upset is *supposed* to be benign).  Assignment-based
+        error types require the default kind.
     """
 
     matrix: str
@@ -96,15 +129,24 @@ class FaultSpec:
     position: Optional[Tuple[int, ...]] = None
     sign: int = 1
     numeric_delta: float = 10.0
+    flip_kind: str = "exponent_msb"
 
     def __post_init__(self) -> None:
         if self.matrix not in TARGET_MATRICES:
             raise KeyError(f"unknown target matrix {self.matrix!r}; expected one of {sorted(TARGET_MATRICES)}")
         if self.error_type not in ERROR_TYPES:
             raise KeyError(f"unknown error type {self.error_type!r}; expected one of {ERROR_TYPES}")
+        if self.flip_kind not in FLIP_KINDS:
+            raise KeyError(f"unknown flip kind {self.flip_kind!r}; expected one of {FLIP_KINDS}")
+        if self.flip_kind != "exponent_msb" and self.error_type != "near_inf":
+            raise ValueError(
+                f"flip_kind {self.flip_kind!r} applies to the flip-based fault family "
+                f"(error_type='near_inf'); {self.error_type!r} faults are injected by "
+                "assignment and take no flip kind"
+            )
 
     @property
-    def op(self) -> AttentionOp:
+    def op(self) -> enum.Enum:
         return TARGET_MATRICES[self.matrix]
 
 
@@ -150,6 +192,9 @@ class InjectionRecord:
     position: Tuple[int, ...]
     original_value: float
     injected_value: float
+    #: Bit-level mechanism that produced ``injected_value`` (the spec's
+    #: ``flip_kind`` for flip-based faults, ``"exponent_msb"`` otherwise).
+    flip_kind: str = "exponent_msb"
     #: Serving attribution: the request (batch/trial) identifier announced by
     #: the most recent :meth:`FaultInjector.begin_request`, ``None`` outside
     #: a request scope.
@@ -218,6 +263,9 @@ class FaultInjector(AttentionHooks):
         self.max_records = max_records
         self.records: Deque[InjectionRecord] = deque(maxlen=max_records)
         self.total_injections = 0
+        #: Total injections performed per bit-level mechanism (monotonic,
+        #: like :attr:`num_injections`; cleared only by :meth:`reset`).
+        self.injections_by_kind: Dict[str, int] = {kind: 0 for kind in FLIP_KINDS}
         self._request_id: Optional[object] = None
         self._fired_count: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
 
@@ -273,6 +321,7 @@ class FaultInjector(AttentionHooks):
     def reset(self) -> None:
         self.records.clear()
         self.total_injections = 0
+        self.injections_by_kind = {kind: 0 for kind in FLIP_KINDS}
         self._request_id = None
         self.arm()
 
@@ -341,14 +390,26 @@ class FaultInjector(AttentionHooks):
                 position = tuple(int(i) for i in np.unravel_index(flat, tuple(out.shape)))
             original = float(out[position])
             injected = None
-            if spec.error_type == "near_inf":
+            if spec.error_type == "near_inf" and spec.flip_kind == "exponent_msb":
                 injected = self._inject_near_inf_inplace(spec, out, position, original)
             if injected is None:
                 dtype = self.value_dtype or backend_of(out).dtype_of(out)
-                injected = self._corrupt_value(spec, original, dtype)
+                if spec.error_type == "near_inf" and spec.flip_kind != "exponent_msb":
+                    # Widened flip taxonomy: inject the value the flipped bit
+                    # pattern encodes, with no near-INF floor — a mantissa-LSB
+                    # or stuck-at-zero upset is supposed to be mild/benign.
+                    flip_dtype = (
+                        dtype
+                        if np.dtype(dtype) in (np.dtype(np.float32), np.dtype(np.float64))
+                        else np.float64
+                    )
+                    injected = float(apply_flip_kind(spec.flip_kind, original, dtype=flip_dtype))
+                else:
+                    injected = self._corrupt_value(spec, original, dtype)
                 out[position] = injected
             self._fired_count[index] += 1
             self.total_injections += 1
+            self.injections_by_kind[spec.flip_kind] += 1
             self.records.append(
                 InjectionRecord(
                     spec=spec,
@@ -357,6 +418,7 @@ class FaultInjector(AttentionHooks):
                     position=position,
                     original_value=original,
                     injected_value=injected,
+                    flip_kind=spec.flip_kind,
                     request_id=self._request_id,
                     rank=self.rank,
                 )

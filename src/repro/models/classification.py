@@ -149,7 +149,9 @@ class SequenceClassificationModel(Module):
     uniform interface the trainer / fault-injection campaigns rely on:
 
     * :meth:`attention_layers` — every :class:`MultiHeadAttention` in order;
-    * :meth:`set_attention_hooks` — attach one hook object to all of them.
+    * :meth:`set_attention_hooks` — attach one hook object to every
+      instrumented block (attention *and* feed-forward; a hook that only
+      cares about attention simply ignores the FFN callbacks).
 
     ``array_backend`` is the :class:`~repro.backend.ArrayBackend` the model's
     parameters live on (``None`` = the NumPy substrate); subclasses thread it
@@ -170,10 +172,24 @@ class SequenceClassificationModel(Module):
         """All attention modules of the model, in layer order."""
         return [m for _, m in self.named_modules() if isinstance(m, MultiHeadAttention)]
 
+    def feed_forward_layers(self) -> List["FeedForward"]:
+        """All feed-forward modules of the model, in layer order."""
+        from repro.nn.transformer import FeedForward
+
+        return [m for _, m in self.named_modules() if isinstance(m, FeedForward)]
+
     def set_attention_hooks(self, hooks: Optional[AttentionHooks]) -> None:
-        """Attach ``hooks`` to every attention layer (``None`` detaches)."""
+        """Attach ``hooks`` to every instrumented block (``None`` detaches).
+
+        Both the attention and the feed-forward modules receive the same
+        hook object; blocks outside a checker's ``protect_scope`` dispatch
+        to no-op callbacks, so attention-only configurations behave exactly
+        as before the FFN was instrumented.
+        """
         for layer in self.attention_layers():
             layer.set_hooks(hooks)
+        for ffn in self.feed_forward_layers():
+            ffn.set_hooks(hooks)
 
     # -- forward interface ---------------------------------------------------------
 

@@ -35,9 +35,11 @@ import numpy as np
 
 from repro.backend import ArrayBackend, backend_of, get_backend
 from repro.core.hooks import (
+    FFN_SECTION_BOUNDARY_OPS,
     SECTION_BOUNDARY_OPS,
     AttentionHooks,
     AttentionOp,
+    FeedForwardOp,
     GemmContext,
     SectionContext,
 )
@@ -47,6 +49,7 @@ from repro.tensor import autograd as ag
 
 __all__ = [
     "AttentionOp",
+    "FeedForwardOp",
     "GemmContext",
     "SectionContext",
     "AttentionHooks",
@@ -56,6 +59,7 @@ __all__ = [
     "MultiHeadAttention",
     "ATTENTION_MATRIX_NAMES",
     "SECTION_BOUNDARY_OPS",
+    "FFN_SECTION_BOUNDARY_OPS",
 ]
 
 #: All matrices observable during one attention forward pass, in dataflow order.
@@ -187,6 +191,14 @@ class ComposedHooks(AttentionHooks):
     def on_attention_start(self, layer_index: int, step: int) -> None:
         for h in self.hooks:
             h.on_attention_start(layer_index, step)
+
+    def on_block_start(self, block: str, layer_index: int, step: int) -> None:
+        for h in self.hooks:
+            h.on_block_start(block, layer_index, step)
+
+    def on_block_end(self, block: str, layer_index: int, step: int) -> None:
+        for h in self.hooks:
+            h.on_block_end(block, layer_index, step)
 
     def on_gemm_output(self, ctx: GemmContext, out: np.ndarray) -> np.ndarray:
         for h in self.hooks:

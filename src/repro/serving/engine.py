@@ -392,9 +392,11 @@ class ServingEngine:
     ) -> None:
         """Evict slots whose generation logits went non-finite.
 
-        The ABFT sections cover the attention GEMMs; a fault that slipped
-        into the FFN/embedding path (or an uncorrected extreme) still must
-        not drive the argmax of a live request.
+        The ABFT sections cover the attention GEMMs — plus the FFN GEMMs
+        when the checker's ``protect_scope`` includes them — but a fault
+        that slipped into an unprotected path (embeddings, LayerNorm, an
+        attention-scope FFN) or an uncorrected extreme still must not drive
+        the argmax of a live request.
         """
         finite = np.isfinite(logits).all(axis=-1)
         for p in np.flatnonzero(~finite):

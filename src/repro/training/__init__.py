@@ -12,7 +12,7 @@ The trainer exposes exactly the signals the paper's evaluation needs:
   checksum-protected through :mod:`repro.comm`.
 """
 
-from repro.training.optimizer import SGD, AdamW, Optimizer
+from repro.training.optimizer import SGD, AdamW, Optimizer, OptimizerStateCorruption
 from repro.training.scheduler import ConstantSchedule, LinearWarmupSchedule, LRSchedule
 from repro.training.checkpoint import CheckpointManager, CheckpointRecord
 from repro.training.metrics import TrainingMetrics, StepResult
@@ -35,6 +35,7 @@ __all__ = [
     "EXECUTORS",
     "StaleDetectionAbort",
     "Optimizer",
+    "OptimizerStateCorruption",
     "SGD",
     "AdamW",
     "LRSchedule",

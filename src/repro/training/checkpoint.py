@@ -116,7 +116,18 @@ class CheckpointManager:
     # -- save -----------------------------------------------------------------------
 
     def save(self, step: int, model: Module, optimizer: Optional[Optimizer] = None) -> CheckpointRecord:
-        """Snapshot model (and optimiser) state after training step ``step``."""
+        """Snapshot model (and optimiser) state after training step ``step``.
+
+        Optimisers that keep a moment-buffer checksum (AdamW) are verified
+        first — a corrupted moment slot raises
+        :class:`repro.training.optimizer.OptimizerStateCorruption` instead of
+        being persisted into the checkpoint it would later poison a restore
+        from.
+        """
+        if optimizer is not None:
+            verify = getattr(optimizer, "verify_moments", None)
+            if verify is not None:
+                verify()
         start = time.perf_counter()
         model_state = model.state_dict()
         opt_state = optimizer.state_dict() if optimizer is not None else {}

@@ -11,18 +11,60 @@ itself runs through the backend's own array math.
 backend: snapshots stay backend-native (the trainer's in-memory rollback
 window keeps device state on device), and loading adopts foreign values (host
 arrays from an on-disk checkpoint) back into each parameter's backend.
+
+Optimizer-state integrity
+-------------------------
+AdamW additionally keeps a **float64 running checksum** over its moment
+buffers: after every :meth:`AdamW.step` the per-slot sums of ``m`` and ``v``
+are recorded, ``state_dict`` embeds them, and ``load_state_dict`` re-derives
+the sums from the restored buffers and compares — a restore from a poisoned
+snapshot (a bit flip striking a moment slot between save and restore) raises
+:class:`OptimizerStateCorruption` instead of silently reinstalling the
+corrupted state.  :meth:`AdamW.verify_moments` runs the same comparison
+against the *live* buffers; :class:`repro.training.CheckpointManager` calls
+it before every save so corruption never makes it into a checkpoint.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import backend_of
 from repro.nn.module import Parameter
 from repro.utils.versioning import bump_weights_version
 
-__all__ = ["Optimizer", "SGD", "AdamW"]
+__all__ = ["Optimizer", "OptimizerStateCorruption", "SGD", "AdamW"]
+
+
+class OptimizerStateCorruption(RuntimeError):
+    """A float64 moment-buffer checksum mismatched its recorded value.
+
+    Raised when the AdamW moment slots no longer sum to what the optimiser
+    recorded after its last update — a silent corruption of optimizer state
+    (the territory checkpoints and rollback snapshots would otherwise
+    propagate instead of repair)."""
+
+
+def _moment_sum(value: Any) -> float:
+    """Float64 sum of one moment buffer, on the buffer's own backend.
+
+    The reduction runs device-side (only the 0-d result crosses to host), so
+    checksumming a device-resident optimiser costs no array round-trip.  A
+    given backend's reduction is deterministic for a given buffer, and the
+    recompute always runs on the same backend that recorded the sum, so the
+    checksum comparison is equality, not a tolerance."""
+    xp = np if type(value) is np.ndarray else backend_of(value).xp
+    return float(xp.sum(value, dtype=xp.float64))
+
+
+def _sums_match(recorded: float, recomputed: float) -> bool:
+    """Exact checksum comparison; two NaN sums compare equal (a NaN moment
+    is a non-trainable-state problem, not a storage-corruption one)."""
+    if np.isnan(recorded) and np.isnan(recomputed):
+        return True
+    return recorded == recomputed
 
 
 class Optimizer:
@@ -145,6 +187,9 @@ class AdamW(Optimizer):
         self.weight_decay = weight_decay
         self._m: List[Optional[Any]] = [None] * len(self.parameters)
         self._v: List[Optional[Any]] = [None] * len(self.parameters)
+        # Float64 running checksum over the moment buffers: (sum(m), sum(v))
+        # per slot, recorded right after each update writes the buffers.
+        self._moment_sums: List[Optional[Tuple[float, float]]] = [None] * len(self.parameters)
 
     def step(self) -> None:
         self.step_count += 1
@@ -160,6 +205,7 @@ class AdamW(Optimizer):
                 self._v[i] = p.xp.zeros_like(p.data)
             self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
             self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
+            self._moment_sums[i] = (_moment_sum(self._m[i]), _moment_sum(self._v[i]))
             m_hat = self._m[i] / bias_c1
             v_hat = self._v[i] / bias_c2
             update = m_hat / (p.xp.sqrt(v_hat) + self.eps)
@@ -169,12 +215,41 @@ class AdamW(Optimizer):
         # Invalidate weight-derived checksum caches (see SGD.step).
         bump_weights_version()
 
+    # -- moment-buffer integrity ----------------------------------------------------
+
+    def verify_moments(self) -> None:
+        """Recompute the float64 moment sums and compare to the running record.
+
+        Raises :class:`OptimizerStateCorruption` on the first slot whose live
+        ``m``/``v`` buffer no longer reproduces the sum recorded when
+        :meth:`step` last wrote it.  O(state size) adds, no copies beyond the
+        reduction — the cheap invariant check run before every checkpoint
+        save and on stale-rollback restore.
+        """
+        for i in range(len(self.parameters)):
+            if self._m[i] is None or self._moment_sums[i] is None:
+                continue
+            recorded_m, recorded_v = self._moment_sums[i]
+            live_m, live_v = _moment_sum(self._m[i]), _moment_sum(self._v[i])
+            if not (_sums_match(recorded_m, live_m) and _sums_match(recorded_v, live_v)):
+                raise OptimizerStateCorruption(
+                    f"AdamW moment buffers for parameter slot {i} do not reproduce "
+                    f"their recorded float64 checksums "
+                    f"(m: recorded {recorded_m!r}, live {live_m!r}; "
+                    f"v: recorded {recorded_v!r}, live {live_v!r}) — optimizer "
+                    "state was corrupted after the last update"
+                )
+
     def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()
         for i in range(len(self.parameters)):
             if self._m[i] is not None:
                 state[f"m.{i}"] = self._copy_slot(i, self._m[i])
                 state[f"v.{i}"] = self._copy_slot(i, self._v[i])
+                if self._moment_sums[i] is not None:
+                    state[f"moment_checksum.{i}"] = np.asarray(
+                        self._moment_sums[i], dtype=np.float64
+                    )
         return state
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
@@ -182,3 +257,24 @@ class AdamW(Optimizer):
         for i in range(len(self.parameters)):
             self._m[i] = self._copy_slot(i, state[f"m.{i}"]) if f"m.{i}" in state else None
             self._v[i] = self._copy_slot(i, state[f"v.{i}"]) if f"v.{i}" in state else None
+            self._moment_sums[i] = None
+            if self._m[i] is None:
+                continue
+            sums = (_moment_sum(self._m[i]), _moment_sum(self._v[i]))
+            key = f"moment_checksum.{i}"
+            if key in state:
+                recorded = np.asarray(state[key], dtype=np.float64)
+                recorded_m, recorded_v = float(recorded[0]), float(recorded[1])
+                if not (_sums_match(recorded_m, sums[0]) and _sums_match(recorded_v, sums[1])):
+                    raise OptimizerStateCorruption(
+                        f"restored AdamW moment buffers for parameter slot {i} do not "
+                        f"reproduce the snapshot's float64 checksums "
+                        f"(m: recorded {recorded_m!r}, restored {sums[0]!r}; "
+                        f"v: recorded {recorded_v!r}, restored {sums[1]!r}) — the "
+                        "snapshot was poisoned between save and restore"
+                    )
+                self._moment_sums[i] = (recorded_m, recorded_v)
+            else:
+                # Legacy snapshot without checksums: adopt the restored
+                # buffers as the new ground truth.
+                self._moment_sums[i] = sums

@@ -302,6 +302,12 @@ class Trainer:
         Re-seeds the window with the restored clean state, so a stale verdict
         on a re-executed pass (or on the next few steps) still finds a
         pre-fault snapshot.  Returns ``False`` when no snapshot exists.
+
+        Snapshots carry the optimiser's float64 moment checksums, so an
+        AdamW restore re-derives and compares them — a snapshot whose moment
+        slots were poisoned while parked in the rollback window raises
+        :class:`repro.training.optimizer.OptimizerStateCorruption` here
+        instead of being silently reinstalled.
         """
         if not self._stale_snapshots:
             return False

@@ -26,14 +26,18 @@ import numpy as np
 
 __all__ = [
     "EXPONENT_BITS",
+    "FLIP_KINDS",
     "MANTISSA_BITS",
     "NEAR_INF_MINIMUM_MAGNITUDE",
     "near_inf_fallback",
     "float_to_bits",
     "bits_to_float",
+    "apply_flip_kind",
     "flip_bit",
+    "flip_adjacent_double_bit",
     "flip_exponent_msb",
     "flip_exponent_msb_inplace",
+    "flip_mantissa_lsb",
     "make_inf",
     "make_nan",
     "make_near_inf",
@@ -136,6 +140,75 @@ def flip_exponent_msb(x: ArrayLike, dtype: np.dtype = np.float32) -> np.ndarray:
     # Exponent occupies bits [man_bits, man_bits + exp_bits); its MSB is the
     # highest of those, i.e. bit index man_bits + exp_bits - 1.
     return flip_bit(arr, man_bits + exp_bits - 1, dtype=arr.dtype)
+
+
+def flip_mantissa_lsb(x: ArrayLike, dtype: np.dtype = np.float32) -> np.ndarray:
+    """Flip the least-significant *mantissa* bit of every element.
+
+    The opposite end of the severity spectrum from the exponent-MSB flip:
+    the value changes by one unit in the last place, a perturbation that is
+    numerically negligible and — per the "Why Attention Fails" taxonomy —
+    almost always benign.  Campaigns use it to exercise the benign-fault
+    accounting rather than the detection path.
+    """
+    arr = np.asarray(x, dtype=dtype) if not isinstance(x, np.ndarray) else np.asarray(x)
+    if arr.dtype not in _UINT_FOR:
+        arr = arr.astype(dtype)
+    return flip_bit(arr, 0, dtype=arr.dtype)
+
+
+def flip_adjacent_double_bit(x: ArrayLike, dtype: np.dtype = np.float32) -> np.ndarray:
+    """Flip the exponent MSB *and* its adjacent lower exponent bit.
+
+    Models a multi-bit upset (MBU) striking two physically adjacent cells —
+    the dominant multi-bit pattern in the ECC literature.  Both flipped bits
+    sit in the exponent, so the corrupted value is typically as extreme as a
+    single exponent-MSB flip, but the bit pattern differs (the two flips can
+    partially compensate, landing anywhere from moderately to extremely
+    wrong).
+    """
+    arr = np.asarray(x, dtype=dtype) if not isinstance(x, np.ndarray) else np.asarray(x)
+    if arr.dtype not in _UINT_FOR:
+        arr = arr.astype(dtype)
+    exp_bits = EXPONENT_BITS[arr.dtype]
+    man_bits = MANTISSA_BITS[arr.dtype]
+    msb = man_bits + exp_bits - 1
+    return flip_bit(flip_bit(arr, msb, dtype=arr.dtype), msb - 1, dtype=arr.dtype)
+
+
+#: Bit-level corruption mechanisms the fault injector supports.  The first is
+#: the paper's fault model (exponent-MSB flip, producing near-INF values);
+#: the rest widen the taxonomy per "Why Attention Fails" and the ECC MBU
+#: patterns: a benign single-bit upset in the mantissa LSB, an adjacent
+#: double-bit upset across the top two exponent bits, and a stuck-at-zero
+#: cell that erases the value entirely.
+FLIP_KINDS: Tuple[str, ...] = (
+    "exponent_msb",
+    "mantissa_lsb",
+    "adjacent_double_bit",
+    "stuck_zero",
+)
+
+
+def apply_flip_kind(kind: str, x: ArrayLike, dtype: np.dtype = np.float32) -> np.ndarray:
+    """Corrupt ``x`` with the bit-level mechanism named by ``kind``.
+
+    Dispatch table over :data:`FLIP_KINDS`; ``"stuck_zero"`` returns zeros of
+    the requested dtype (a stuck-at-0 storage cell), the others are genuine
+    XOR bit flips.  Scalar in, scalar out; array in, array out.
+    """
+    if kind == "exponent_msb":
+        return flip_exponent_msb(x, dtype=dtype)
+    if kind == "mantissa_lsb":
+        return flip_mantissa_lsb(x, dtype=dtype)
+    if kind == "adjacent_double_bit":
+        return flip_adjacent_double_bit(x, dtype=dtype)
+    if kind == "stuck_zero":
+        arr = np.asarray(x, dtype=dtype) if not isinstance(x, np.ndarray) else np.asarray(x)
+        if arr.dtype not in _UINT_FOR:
+            arr = arr.astype(dtype)
+        return np.zeros_like(arr)
+    raise KeyError(f"unknown flip kind {kind!r}; expected one of {FLIP_KINDS}")
 
 
 def flip_exponent_msb_inplace(

@@ -296,6 +296,26 @@ def test_th001_shared_attrs_are_per_file(tmp_path):
     assert result.new == []
 
 
+def test_th001_registry_seam_files_hold_no_shared_state(tmp_path):
+    # The op/section registries are immutable declarations: hooks.py and
+    # sections.py carry no worker-shared attribute set, so even an engine
+    # attr name touched there is out of scope.  Cross-thread state for a new
+    # section handler belongs in engine.py (and in the rule's map).
+    result = lint(tmp_path, {
+        "src/repro/core/hooks.py": """
+            class OpRegistry:
+                def poke(self):
+                    self._inflight = 0
+        """,
+        "src/repro/core/sections.py": """
+            class SectionRegistry:
+                def poke(self):
+                    self._inbox = []
+        """,
+    })
+    assert result.new == []
+
+
 # ---------------------------------------------------------------------------
 # WS001 — workspace contract
 # ---------------------------------------------------------------------------
@@ -309,6 +329,33 @@ def test_ws001_flags_raw_namespace_calls_in_engine(tmp_path):
         """,
     })
     assert rules_fired(result) == ["WS001"]
+
+
+def test_ws001_contract_is_section_generic(tmp_path):
+    # The whole-model refactor made the engine hot path iterate *registered*
+    # sections; a verify handler written for a new block (here: the FFN's
+    # FF1) inherits the out= obligation without the rule naming sections.
+    result = lint(tmp_path, {
+        "src/repro/core/engine.py": """
+            def _verify_ff1_boundary(xp, cs_x, w_up):
+                return xp.matmul(cs_x, w_up)
+        """,
+    })
+    ws = [f for f in result.new if f.rule == "WS001"]
+    assert [f.detail for f in ws] == ["call:matmul"]
+    assert "_verify_ff1_boundary" in ws[0].symbol
+
+
+def test_ws001_per_gemm_reference_backend_stays_out_of_scope(tmp_path):
+    # attention_checker.py hosts the deliberately allocation-per-call
+    # reference backend the fused engine is benchmarked against.
+    result = lint(tmp_path, {
+        "src/repro/core/attention_checker.py": """
+            def _handle_ff_down(xp, h, w_down):
+                return xp.matmul(h, w_down)
+        """,
+    })
+    assert result.new == []
 
 
 def test_ws001_silent_on_into_helpers_and_outside_engine(tmp_path):
@@ -380,6 +427,39 @@ def test_ly001_comm_layer_sits_beside_core_above_backend(tmp_path):
         "import:repro.core.checksums",
         "import:repro.training.trainer",
     }
+
+
+def test_ly001_registry_seam_must_not_import_newer_upper_layers(tmp_path):
+    # The op/section registries are the seam every instrumented block declares
+    # itself through; the forbidden maps also cover the layers that postdate
+    # the original rule (faults / serving / analysis), so a block-specific
+    # import cannot re-specialize the generalized seam.
+    result = lint(tmp_path, {
+        "src/repro/core/hooks.py": "from repro.faults.injector import FaultSpec\n",
+        "src/repro/core/sections.py": "import repro.serving.engine\n",
+        "src/repro/comm/collective.py": "from repro.analysis import reporting\n",
+    })
+    ly = [f for f in result.new if f.rule == "LY001"]
+    assert {f.detail for f in ly} == {
+        "import:repro.faults.injector",
+        "import:repro.serving.engine",
+        "import:repro.analysis",
+    }
+
+
+def test_ly001_nn_reexport_of_registry_types_is_downward(tmp_path):
+    # repro.nn.attention re-exporting the registry enums (FeedForwardOp,
+    # FFN_SECTION_BOUNDARY_OPS) is the sanctioned direction: nn -> core.
+    result = lint(tmp_path, {
+        "src/repro/nn/attention.py": """
+            from repro.core.hooks import (
+                FFN_SECTION_BOUNDARY_OPS,
+                AttentionOp,
+                FeedForwardOp,
+            )
+        """,
+    })
+    assert result.new == []
 
 
 # ---------------------------------------------------------------------------

@@ -9,6 +9,14 @@ know about checksums or models.  ``repro.comm`` (PR 8) sits beside core just
 above the backend: the collectives move arrays and checksum them, so they may
 import ``repro.backend`` and ``repro.utils`` but nothing of the model stack —
 that is what lets the protected all-reduce be reused under any trainer.
+
+The whole-model refactor (PR 9) raised the stakes on this contract: the
+op/section registries (``core/hooks.py``, ``core/sections.py``) are the seam
+that *every* instrumented block — attention and FFN alike — declares itself
+through, and ``repro.nn.attention`` re-exports those types downward-only.
+The forbidden maps therefore also name the newer upper layers (``faults``,
+``serving``, ``analysis``): a block-specific import sneaking into the
+registry would re-specialize the seam the refactor just generalized.
 Annotation-only dependencies are fine when gated behind
 ``if TYPE_CHECKING:`` (they vanish at runtime).
 """
@@ -51,6 +59,9 @@ class LayeringRule(PathScopedRule):
             "repro.training",
             "repro.data",
             "repro.cli",
+            "repro.faults",
+            "repro.serving",
+            "repro.analysis",
         ),
         "src/repro/comm/": (
             "repro.core",
@@ -60,6 +71,9 @@ class LayeringRule(PathScopedRule):
             "repro.data",
             "repro.cli",
             "repro.tensor",
+            "repro.faults",
+            "repro.serving",
+            "repro.analysis",
         ),
         "src/repro/backend/": (
             "repro.core",
@@ -67,6 +81,9 @@ class LayeringRule(PathScopedRule):
             "repro.models",
             "repro.training",
             "repro.tensor",
+            "repro.faults",
+            "repro.serving",
+            "repro.analysis",
         ),
     }
 

@@ -18,6 +18,14 @@ guarded by ``_cv``) and the protected collective's dispatch accounting and
 verdict cache (guarded by ``_lock``) are shared across every worker thread of
 the data-parallel trainer, under the same discipline.  Shared attributes are
 declared per file in :attr:`LockDisciplineRule.file_shared_attrs`.
+
+The whole-model refactor (PR 9) routes the FFN sections through the same
+async worker and the same inbox/epoch/staleness accounting, so the engine's
+shared-attribute list is unchanged — deliberately: the registry seam
+(``core/hooks.py`` / ``core/sections.py``) holds immutable declarations and
+must stay free of worker-shared mutable state.  A section handler that grows
+its own cross-thread counter belongs in ``engine.py`` under ``_cv``, and its
+attribute belongs in this map.
 """
 
 from __future__ import annotations

@@ -6,9 +6,16 @@ engine's hot path must therefore route matmul/stack/einsum through the
 ``matmul_into``/``stack_into``/``einsum_into`` helpers, which reuse
 workspace-owned output buffers.  A raw ``xp.matmul(...)`` added to
 ``engine.py`` reintroduces a per-step allocation that no functional test can
-see — only the overhead benchmark drifts.  Deliberate exceptions (the
-workspace-off fallback; the one einsum whose ``out=`` form is ~4x slower in
-NumPy) carry inline suppressions explaining themselves.
+see — only the overhead benchmark drifts.  The contract is section-generic:
+since the whole-model refactor the same engine hot path verifies every
+*registered* section (attention's AS/CL/O and the FFN's FF1/FF2 alike), so a
+handler added for a future block inherits the ``out=`` obligation
+automatically — the rule keys on the file, not on section names.  Deliberate
+exceptions (the workspace-off fallback; the one einsum whose ``out=`` form is
+~4x slower in NumPy) carry inline suppressions explaining themselves.  The
+per-GEMM reference backend (``attention_checker.py``) is deliberately out of
+scope: it exists to be the simple, allocation-per-call baseline the fused
+engine is benchmarked against.
 """
 
 from __future__ import annotations
