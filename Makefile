@@ -3,10 +3,15 @@
 
 PYTHONPATH := tools:src
 
-.PHONY: test lint reprolint ruff mypy baseline
+.PHONY: test lint reprolint ruff mypy baseline bench
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# Run every benchmarks/bench_*.py harness and merge their BENCH_*.json
+# artifacts into BENCH_summary.json (run_all.py sets the subprocess paths).
+bench:
+	python benchmarks/run_all.py
 
 # Full static-analysis gate: project invariants first, generic lint after.
 # ruff/mypy are optional locally (CI pins ruff==0.6.9, mypy==1.11.2); the

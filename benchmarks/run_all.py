@@ -1,0 +1,110 @@
+"""Run every ``bench_*.py`` harness and merge their JSON artifacts.
+
+One entry point (``make bench`` / ``python benchmarks/run_all.py``) that
+
+1. discovers every ``benchmarks/bench_*.py`` file,
+2. runs each through pytest in its own process (a crashed harness cannot
+   take the others down),
+3. collects whatever ``BENCH_*.json`` artifacts the harnesses emitted, and
+4. merges them — plus a per-harness pass/fail ledger — into one consolidated
+   ``BENCH_summary.json`` (path overridable via ``BENCH_SUMMARY_JSON``),
+
+so the perf trajectory of the repo is a single machine-readable artifact
+instead of a scatter of per-figure files.  Exits non-zero if any harness
+failed, making it usable as a CI gate as-is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def discover() -> list:
+    """Every bench harness, deterministically ordered."""
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def run_bench(path: Path) -> dict:
+    """Run one harness under pytest; report outcome without raising."""
+    env = dict(os.environ)
+    pythonpath = [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    if env.get("PYTHONPATH"):
+        pythonpath.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(pythonpath)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", str(path)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    tail = "\n".join(proc.stdout.strip().splitlines()[-3:])
+    return {
+        "bench": path.name,
+        "passed": proc.returncode == 0,
+        "returncode": proc.returncode,
+        "tail": tail,
+    }
+
+
+def collect_artifacts() -> dict:
+    """Parse every ``BENCH_*.json`` emitted into the repo root."""
+    artifacts = {}
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        if path.name == "BENCH_summary.json":
+            continue
+        try:
+            with open(path) as fh:
+                artifacts[path.name] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            artifacts[path.name] = {"error": f"unreadable artifact: {exc}"}
+    return artifacts
+
+
+def main() -> int:
+    benches = discover()
+    if not benches:
+        print("no bench_*.py harnesses found", file=sys.stderr)
+        return 2
+    results = []
+    for path in benches:
+        print(f"== {path.name}", flush=True)
+        result = run_bench(path)
+        results.append(result)
+        status = "passed" if result["passed"] else f"FAILED (rc={result['returncode']})"
+        print(f"   {status}")
+        if not result["passed"]:
+            print(result["tail"])
+
+    summary = {
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "benches": results,
+        "artifacts": collect_artifacts(),
+        "all_passed": all(r["passed"] for r in results),
+    }
+    out = os.environ.get("BENCH_SUMMARY_JSON", str(REPO_ROOT / "BENCH_summary.json"))
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2)
+    failed = [r["bench"] for r in results if not r["passed"]]
+    print(f"\n{len(benches) - len(failed)}/{len(benches)} harnesses passed; "
+          f"summary -> {out}")
+    if failed:
+        print("failed: " + ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -316,8 +316,14 @@ def run_train_parallel(args: argparse.Namespace) -> str:
         batch["attention_mask"] = np.ones_like(batch["attention_mask"])
         batches.append(batch)
 
-    def run(workers: int, executor: str):
-        config = DataParallelConfig(workers=workers, shards=shards, executor=executor)
+    def run(workers: int, executor: str, overlap: Optional[bool] = None):
+        config = DataParallelConfig(
+            workers=workers,
+            shards=shards,
+            executor=executor,
+            overlap_grad_reduce=args.overlap if overlap is None else overlap,
+            bucket_cap_mb=args.bucket_cap_mb,
+        )
         trainer = DataParallelTrainer(model_spec=spec, config=config)
         try:
             results = [trainer.train_step(batch) for batch in batches]
@@ -327,7 +333,13 @@ def run_train_parallel(args: argparse.Namespace) -> str:
             trainer.close()
 
     results, state, timers, counters = run(args.workers, args.executor)
-    reference_state = run(1, "serial")[1] if args.workers > 1 else state
+    # The reference is always the phase-split serial path, so with --overlap
+    # the comparison doubles as the overlapped-vs-non-overlapped identity.
+    reference_state = (
+        run(1, "serial", overlap=False)[1]
+        if args.workers > 1 or args.overlap
+        else state
+    )
     identical = set(state) == set(reference_state) and all(
         np.array_equal(np.asarray(state[k]), np.asarray(reference_state[k]))
         for k in state
@@ -624,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--executor", default="thread",
                         choices=["serial", "thread", "process"],
                         help="execution backend for the train_parallel workers")
+    parser.add_argument("--overlap", action="store_true",
+                        help="bucketed backward-overlapped gradient reduction "
+                             "for train_parallel (byte-identical, overlapped)")
+    parser.add_argument("--bucket-cap-mb", type=float, default=1.0,
+                        dest="bucket_cap_mb",
+                        help="soft per-bucket size cap in MiB for --overlap")
     parser.add_argument("--trials", type=int, default=2, help="trials per cell for campaign experiments")
     parser.add_argument("--requests", type=int, default=8,
                         help="request count for the serve experiment")

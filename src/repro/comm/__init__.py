@@ -13,12 +13,23 @@
     checksum of the reduced gradient — corruption introduced in or between
     the steps of the collective breaks that identity and is detected at
     ``finish`` time (:class:`DirtyReductionError`).
+``bucketing``
+    :class:`GradientBucketer` and friends: reverse-registration-order,
+    size-capped gradient buckets reduced as flat contiguous tensors, the
+    substrate of the backward-overlapped trainer.  Bit-identity of the
+    bucketed fold to the per-tensor fold is the module's core contract.
 
 Layering: this package sits beside ``repro.backend`` — it may import the
 backend seam and ``repro.utils`` but nothing above (no ``core``, ``nn``,
 ``training``); ``reprolint``'s LY001 rule enforces this.
 """
 
+from repro.comm.bucketing import (
+    BucketAccounting,
+    BucketReadiness,
+    BucketSpec,
+    GradientBucketer,
+)
 from repro.comm.collective import (
     Collective,
     CollectiveClosed,
@@ -33,12 +44,16 @@ from repro.comm.protected import (
 )
 
 __all__ = [
+    "BucketAccounting",
+    "BucketReadiness",
+    "BucketSpec",
     "Collective",
     "CollectiveClosed",
     "CollectiveError",
-    "ThreadCollective",
+    "GradientBucketer",
     "DirtyReductionError",
     "ProtectedCollective",
+    "ThreadCollective",
     "gradient_checksum",
     "gradient_checksums",
 ]

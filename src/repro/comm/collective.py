@@ -12,7 +12,12 @@ Determinism contract: the reduction is a left fold in ascending rank order
 over the deposited contributions, performed exactly once per key by whichever
 caller observes the rendezvous complete.  Identical contributions therefore
 produce bit-identical reductions regardless of thread count or arrival order
-— the property the N-worker vs 1-worker byte-equivalence test pins.
+— the property the N-worker vs 1-worker byte-equivalence test pins.  With
+``eager_reduce=True`` the fold runs inside the *last* ``contribute`` call
+instead of lazily in ``finish`` — same fold, same order, bit-identical
+result — so a reduction completed mid-backward (the overlapped trainer's
+bucket launches) does its work while backprop continues, rather than
+deferring it to the post-backward drain.
 
 Thread-safety / lock discipline: all worker-shared state of
 :class:`ThreadCollective` (``_entries``, ``_results``, ``_fetched``,
@@ -92,13 +97,24 @@ class Collective:
 
 
 def _reduce_rank_ordered(
-    contributions: List[Sequence[Any]], op: str, copy: Callable[[Any], Any]
+    contributions: List[Sequence[Any]],
+    op: str,
+    copy: Optional[Callable[[Any], Any]],
 ) -> List[Any]:
-    """Left-fold the per-rank contributions in ascending rank order."""
+    """Left-fold the per-rank contributions in ascending rank order.
+
+    ``copy=None`` accumulates straight into rank 0's arrays (caller asserts
+    ownership of the deposits); otherwise rank 0 is copied first so deposits
+    stay pristine.  Both variants run the identical elementwise adds and
+    scale, so the folded bytes do not depend on the mode.
+    """
     widths = {len(c) for c in contributions}
     if len(widths) != 1:
         raise CollectiveError(f"ranks contributed different array counts: {sorted(widths)}")
-    reduced: List[Any] = [copy(a) for a in contributions[0]]
+    if copy is None:
+        reduced: List[Any] = list(contributions[0])
+    else:
+        reduced = [copy(a) for a in contributions[0]]
     for contribution in contributions[1:]:
         for i, array in enumerate(contribution):
             reduced[i] += array
@@ -106,17 +122,26 @@ def _reduce_rank_ordered(
         world = len(contributions)
         scale = 1.0 / world
         for i, array in enumerate(reduced):
-            reduced[i] = array * scale
+            # In place: ``reduced`` always owns its arrays here (rank-0 copy
+            # or consumed deposit), and ``*=`` is the same elementwise
+            # multiply — no temporary, identical bits.
+            array *= scale
     return reduced
 
 
 class ThreadCollective(Collective):
     """Shared-memory rendezvous collective for thread (or serial) workers.
 
-    Contributions are copied on deposit — the deposited buffer models the
-    "send buffer" handed to a communication library, which is exactly where
-    the collective fault injector strikes — and the reduction runs once,
-    under the condition variable, in ascending rank order.
+    Contributions are copied on deposit only when a ``fault_hook`` is
+    installed — the deposited buffer then models the "send buffer" handed to
+    a communication library, which is exactly where the collective fault
+    injector strikes, and the hook must never corrupt the caller's live
+    arrays.  On the hookless path the deposit aliases the caller's arrays:
+    the rank-ordered left fold only *reads* deposits (it copies the rank-0
+    entry before accumulating), so no defensive copy is needed.  Callers in
+    turn must not mutate contributed arrays before the key's reduction
+    completes.  ``deposit_copies()`` counts the copies actually made, so the
+    zero-copy claim is testable.
 
     Parameters
     ----------
@@ -128,6 +153,11 @@ class ThreadCollective(Collective):
         Optional ``hook(key, rank, arrays)`` invoked on the deposited copy of
         each contribution (after any caller-side checksumming): the seam the
         per-rank deterministic collective fault injector plugs into.
+    eager_reduce:
+        When true, the last contributing rank performs the fold inside
+        ``contribute`` instead of deferring it to ``finish``.  Bit-identical
+        (same rank-ordered fold); used by the overlapped trainer so bucket
+        reductions complete while backprop continues.
     """
 
     def __init__(
@@ -135,17 +165,22 @@ class ThreadCollective(Collective):
         world_size: int,
         op: str = "mean",
         fault_hook: Optional[Callable[[str, int, List[Any]], None]] = None,
+        eager_reduce: bool = False,
+        consume_deposits: bool = False,
     ) -> None:
         super().__init__(world_size)
         if op not in REDUCE_OPS:
             raise ValueError(f"op must be one of {REDUCE_OPS}, got {op!r}")
         self.op = op
         self.fault_hook = fault_hook
+        self.eager_reduce = bool(eager_reduce)
+        self.consume_deposits = bool(consume_deposits)
         self._cv = threading.Condition()
         # Worker-shared state below: touch only under ``with self._cv``.
         self._entries: Dict[str, Dict[int, List[Any]]] = {}
         self._results: Dict[str, List[Any]] = {}
         self._fetched: Dict[str, int] = {}
+        self._deposit_copies = 0
         self._failure: Optional[BaseException] = None
         self._closed = False
 
@@ -158,17 +193,30 @@ class ThreadCollective(Collective):
 
     def contribute(self, key: str, rank: int, arrays: Sequence[Any]) -> None:
         _validate_rank(rank, self.world_size)
-        deposited = [self._copy(a) for a in arrays]
         if self.fault_hook is not None:
+            # The hook mutates its input in place (that is the fault model),
+            # so it gets a defensive copy; hookless deposits alias the
+            # caller's arrays because the fold only reads them.
+            deposited = [self._copy(a) for a in arrays]
+            copies = len(deposited)
             self.fault_hook(key, rank, deposited)
+        else:
+            deposited = list(arrays)
+            copies = 0
         with self._cv:
             self._raise_if_failed_locked()
+            self._deposit_copies += copies
             slots = self._entries.setdefault(key, {})
             if rank in slots:
                 raise CollectiveError(f"rank {rank} contributed twice to {key!r}")
             slots[rank] = deposited
             if len(slots) == self.world_size:
-                self._cv.notify_all()
+                if self.eager_reduce:
+                    # Last contributor folds immediately so the reduction
+                    # overlaps whatever the other ranks are still computing.
+                    self._reduce_ready_locked(key)
+                else:
+                    self._cv.notify_all()
 
     def finish(self, key: str, rank: int) -> List[Any]:
         _validate_rank(rank, self.world_size)
@@ -181,15 +229,28 @@ class ThreadCollective(Collective):
                 if slots is not None and len(slots) == self.world_size:
                     # First rank to observe the full rendezvous reduces, in
                     # ascending rank order; peers pick the result up below.
-                    contributions = [slots[r] for r in sorted(slots)]
-                    self._results[key] = _reduce_rank_ordered(
-                        contributions, self.op, self._copy
-                    )
-                    self._fetched[key] = 0
-                    del self._entries[key]
-                    self._cv.notify_all()
+                    self._reduce_ready_locked(key)
                     return self._take_result_locked(key)
                 self._cv.wait()
+
+    def _reduce_ready_locked(self, key: str) -> None:
+        """Fold ``key``'s complete rendezvous; caller holds ``_cv``."""
+        slots = self._entries[key]
+        contributions = [slots[r] for r in sorted(slots)]
+        # Hooked deposits are collective-owned copies, and consume_deposits
+        # is the caller's promise that contributed arrays are scratch: either
+        # way the fold may accumulate straight into rank 0's entry, skipping
+        # the defensive copy (one full memory pass over the payload).
+        copy = None if (self.consume_deposits or self.fault_hook is not None) else self._copy
+        self._results[key] = _reduce_rank_ordered(contributions, self.op, copy)
+        self._fetched[key] = 0
+        del self._entries[key]
+        self._cv.notify_all()
+
+    def deposit_copies(self) -> int:
+        """Total send-buffer copies made on deposit since construction."""
+        with self._cv:
+            return self._deposit_copies
 
     def _take_result_locked(self, key: str) -> List[Any]:
         result = self._results[key]

@@ -607,7 +607,7 @@ class SectionCostModel:
 
     @staticmethod
     def collective_checksum_dispatches_per_step(
-        num_gradients: int, world_size: int
+        num_gradients: int, world_size: int, num_buckets: Optional[int] = None
     ) -> Dict[str, int]:
         """Checksum dispatches of one protected gradient all-reduce.
 
@@ -621,16 +621,39 @@ class SectionCostModel:
         tensors of the contribution (the trainer ships one loss scalar
         alongside the parameter gradients, so pass ``len(params) + 1``).
 
+        With ``num_buckets`` set, the counts model the *bucketed* overlapped
+        trainer instead: every bucket ships as one flat tensor under its own
+        rendezvous key and the loss scalar rides a key of its own, so each
+        rank encodes ``num_buckets + 1`` tensors and the shared results are
+        verified ``num_buckets + 1`` times — the per-tensor dispatch count
+        collapses from ``num_gradients`` to ``num_buckets + 1``, which is the
+        measurable Python-dispatch saving of bucketing.  A clean step's
+        counts; bucket-granular dirty retries add their own dispatches on
+        top.
+
         Exact counts, compared against ``ProtectedCollective.counters()``
-        deltas by the parallel-training tests and ``BENCH_fig12.json``.
+        deltas by the parallel-training tests, ``BENCH_fig12.json`` and
+        ``BENCH_overlap.json``.
         """
         if num_gradients < 1:
             raise ValueError(f"num_gradients must be >= 1, got {num_gradients}")
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if num_buckets is None:
+            return {
+                "encode": num_gradients * world_size,
+                "verify": num_gradients,
+            }
+        # Bucketed: num_gradients includes the loss tensor, which is never
+        # bucketed, so at most num_gradients - 1 parameter tensors exist.
+        if not 1 <= num_buckets <= max(1, num_gradients - 1):
+            raise ValueError(
+                f"num_buckets must be in [1, {max(1, num_gradients - 1)}], "
+                f"got {num_buckets}"
+            )
         return {
-            "encode": num_gradients * world_size,
-            "verify": num_gradients,
+            "encode": (num_buckets + 1) * world_size,
+            "verify": num_buckets + 1,
         }
 
     @staticmethod

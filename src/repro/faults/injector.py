@@ -449,6 +449,14 @@ class CollectiveFaultSpec:
         Flat index into the chosen tensor (``None`` = random).
     error_type / sign / numeric_delta:
         Same error classes as :class:`FaultSpec`.
+    key_contains:
+        Optional substring the rendezvous key must contain for the spec to
+        fire.  The bucketed trainer contributes under one key per bucket
+        (``step{N}/bucket{k}``) plus a loss key, so a spec with
+        ``key_contains="bucket2"`` strikes exactly that bucket's send buffer
+        — the lever the bucket-granular retry tests use.  ``None`` keeps the
+        unbucketed behaviour: fire on the rank's first contribution of the
+        step.
     """
 
     step: int
@@ -458,6 +466,7 @@ class CollectiveFaultSpec:
     error_type: str = "near_inf"
     sign: int = 1
     numeric_delta: float = 10.0
+    key_contains: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.error_type not in ERROR_TYPES:
@@ -535,7 +544,10 @@ class CollectiveFaultInjector:
             due = [
                 (i, spec)
                 for i, spec in enumerate(self.specs)
-                if not self._fired[i] and spec.step == step and spec.rank == rank
+                if not self._fired[i]
+                and spec.step == step
+                and spec.rank == rank
+                and (spec.key_contains is None or spec.key_contains in key)
             ]
             for i, _ in due:
                 self._fired[i] = True

@@ -56,6 +56,7 @@ from repro.tensor import ops
 
 __all__ = [
     "Tensor",
+    "GradHookHandle",
     "tensor",
     "no_grad",
     "is_grad_enabled",
@@ -127,7 +128,16 @@ class Tensor:
         an explicit backend is adopted into that backend's array type.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name", "backend")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_parents",
+        "_backward_fn",
+        "_post_accumulate_grad_hooks",
+        "name",
+        "backend",
+    )
 
     def __init__(
         self,
@@ -153,6 +163,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = tuple(parents)
         self._backward_fn = backward_fn
+        self._post_accumulate_grad_hooks: Optional[List[Callable[["Tensor"], None]]] = None
         self.name = name
         self.backend = backend
 
@@ -194,6 +205,31 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+
+    def register_post_accumulate_grad_hook(
+        self, hook: Callable[["Tensor"], None]
+    ) -> "GradHookHandle":
+        """Register ``hook(tensor)`` to fire when this leaf's gradient lands.
+
+        During :meth:`backward`, each reachable leaf with
+        ``requires_grad=True`` accumulates its gradient exactly once (the
+        graph walk pops every node a single time), and the hooks fire
+        immediately after that accumulation — while backprop continues on
+        nodes earlier in the graph.  This is the gradient-readiness seam the
+        overlapped data-parallel trainer uses to launch a bucket's protected
+        all-reduce the moment its last member gradient is complete.
+
+        Hooks fire only on leaves the backward pass actually reached, in
+        graph (reverse-topological) order.  Returns a removable handle.
+        """
+        if self._backward_fn is not None:
+            raise ValueError(
+                "post-accumulate gradient hooks only apply to leaf tensors"
+            )
+        if self._post_accumulate_grad_hooks is None:
+            self._post_accumulate_grad_hooks = []
+        self._post_accumulate_grad_hooks.append(hook)
+        return GradHookHandle(self, hook)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = f" name={self.name!r}" if self.name else ""
@@ -337,8 +373,14 @@ class Tensor:
             if node_grad is None:
                 continue
             if node.requires_grad and node._backward_fn is None:
-                # Leaf tensor: accumulate.
+                # Leaf tensor: accumulate.  Each node is popped exactly once
+                # per backward, so the gradient is final here and the
+                # post-accumulate hooks may act on it while earlier layers
+                # are still back-propagating.
                 node.grad = node_grad if node.grad is None else node.grad + node_grad
+                if node._post_accumulate_grad_hooks:
+                    for hook in tuple(node._post_accumulate_grad_hooks):
+                        hook(node)
             if node._backward_fn is None:
                 continue
             parent_grads = node._backward_fn(node_grad)
@@ -350,6 +392,22 @@ class Tensor:
                     grads[key] = grads[key] + pgrad
                 else:
                     grads[key] = pgrad
+
+
+class GradHookHandle:
+    """Removable registration of a post-accumulate gradient hook."""
+
+    __slots__ = ("_tensor", "_hook")
+
+    def __init__(self, tensor: Tensor, hook: Callable[[Tensor], None]) -> None:
+        self._tensor = tensor
+        self._hook = hook
+
+    def remove(self) -> None:
+        """Unregister the hook; safe to call more than once."""
+        hooks = self._tensor._post_accumulate_grad_hooks
+        if hooks is not None and self._hook in hooks:
+            hooks.remove(self._hook)
 
 
 def _owning_backend(parents: Sequence[Tensor], data: Any) -> ArrayBackend:

@@ -40,10 +40,34 @@ rank contributes), and a dirty rank re-executes only its own
 forward/backward — no optimizer state has advanced yet, so rank-level
 re-execution is checkpoint-free by construction.
 
+**Overlapped, bucketed reduction.**  With ``overlap_grad_reduce=True`` the
+phase A/B split dissolves: trainable parameters are partitioned into
+size-capped buckets in reverse-registration order
+(:class:`repro.comm.GradientBucketer`), each parameter carries a
+post-accumulate gradient hook, and the moment a bucket's last gradient lands
+during backward the rank ``contribute``\\ s that bucket's flat payload —
+the collective (with ``eager_reduce``) folds it while backprop continues on
+earlier layers.  Each bucket rides its own rendezvous key
+(``step{N}/bucket{k}``; the loss scalar rides the final bucket), so a dirty
+reduction is *bucket-granular*: ``stale_policy="reexecute"`` re-contributes
+only the dirty bucket's retained clean payloads under
+``step{N}/bucket{k}#retry{a}``.  Because the per-bucket fold is the same
+rank-ordered elementwise left fold over a pure concatenation, the overlapped
+path is **byte-identical** to the non-overlapped and serial paths for any
+bucket cap and worker count.  When a rank-level re-execution is possible
+(a checker under ``stale_policy="reexecute"``), in-backward launches are
+deferred to just after the checker settles — still bucket-granular, the
+launch order still readiness order — so a re-executed shard never
+double-contributes.
+
 Timer keys: ``parallel/step`` (coordinator wall clock), ``comm/allreduce``
 (rendezvous + reduction) and ``comm/verify`` (checksum encode / recompute /
 compare), the latter two folded from the per-rank workers into the shared
-registry between steps.
+registry between steps.  Overlapped runs add ``comm/bucket``
+(flatten/unflatten bookkeeping), ``comm/overlap`` (backward wall time with a
+bucket reduction already in flight) and ``comm/drain`` (post-backward wait
+for the remaining reductions); ``overlap_efficiency`` on the step result is
+``overlap / (overlap + drain)``.
 """
 
 from __future__ import annotations
@@ -60,9 +84,11 @@ import numpy as np
 
 from repro.backend import namespace_of
 from repro.comm import (
+    BucketAccounting,
     Collective,
     CollectiveError,
     DirtyReductionError,
+    GradientBucketer,
     ProtectedCollective,
     ThreadCollective,
 )
@@ -156,6 +182,11 @@ class DataParallelConfig:
         Optional :class:`~repro.core.ATTNCheckerConfig`; each rank gets its
         own independent checker (and, in async mode, its own verification
         worker) built from a deep copy of this config.
+    overlap_grad_reduce / bucket_cap_mb:
+        Bucketed, backward-overlapped reduction (see the module docstring).
+        Off by default — the phase-split path stays bit-for-bit what it was;
+        on, the result is still byte-identical, just overlapped.
+        ``bucket_cap_mb`` is the soft per-bucket size cap in MiB.
     """
 
     workers: int = 2
@@ -169,10 +200,14 @@ class DataParallelConfig:
     protect_collective: bool = True
     sync_weights_on_init: bool = True
     protection: Optional[ATTNCheckerConfig] = None
+    overlap_grad_reduce: bool = False
+    bucket_cap_mb: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not self.bucket_cap_mb > 0:
+            raise ValueError(f"bucket_cap_mb must be > 0, got {self.bucket_cap_mb}")
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
@@ -216,6 +251,15 @@ class ParallelStepResult:
     #: Attention detections / corrections summed over the rank checkers.
     detections: int = 0
     corrections: int = 0
+    #: Gradient buckets of the overlapped reduction (0 = phase-split path).
+    buckets: int = 0
+    #: Summed per-rank backward wall time with a bucket reduction in flight.
+    overlap_seconds: float = 0.0
+    #: Summed per-rank post-backward wait for the remaining reductions.
+    drain_seconds: float = 0.0
+    #: ``overlap / (overlap + drain)`` — 1.0 means the reduction fully hid
+    #: behind backward, 0.0 means it all serialised after it.
+    overlap_efficiency: float = 0.0
 
     @property
     def non_trainable(self) -> bool:
@@ -246,11 +290,22 @@ class _RankRunner:
         self.config = config
         self.checker = checker
         self.injector = injector
+        self.params = model.parameters()
         self.optimizer = AdamW(
-            model.parameters(),
+            self.params,
             lr=config.learning_rate,
             weight_decay=config.weight_decay,
         )
+        # Overlap machinery (installed by enable_overlap; inert otherwise).
+        self._tracker: Optional[Any] = None
+        self._overlap_launch: Optional[Any] = None
+        self._overlap_immediate = False
+        self._ready_order: List[int] = []
+        self._hook_handles: List[Any] = []
+        #: Shard loss of the in-flight forward/backward attempt, readable by
+        #: mid-backward bucket launches (the loss scalar rides the final
+        #: bucket's payload instead of its own rendezvous).
+        self.current_loss: float = math.nan
         hooks: List[AttentionHooks] = []
         if injector is not None:
             hooks.append(injector)
@@ -259,6 +314,51 @@ class _RankRunner:
         if hooks:
             model.set_attention_hooks(ComposedHooks(hooks))
         model.train()
+
+    # -- overlapped reduction support ------------------------------------------------
+
+    def enable_overlap(
+        self, bucketer: GradientBucketer, launch: Any, immediate: bool
+    ) -> None:
+        """Install post-accumulate hooks that mark bucket readiness.
+
+        ``launch(rank, bucket, during_backward)`` is the trainer's contribute
+        callback.  ``immediate`` launches straight from the hook (mid
+        backward); when a rank-level re-execution is possible (checker +
+        ``stale_policy="reexecute"``) the trainer passes ``immediate=False``
+        and completed buckets queue in readiness order, launched right after
+        the checker settles — a re-executed attempt resets the queue, so a
+        shard never double-contributes.
+        """
+        self._tracker = bucketer.tracker()
+        self._overlap_launch = launch
+        self._overlap_immediate = immediate
+        for index, param in enumerate(self.params):
+            handle = param.register_post_accumulate_grad_hook(
+                lambda _t, i=index: self._on_grad_ready(i)
+            )
+            self._hook_handles.append(handle)
+
+    def _on_grad_ready(self, param_index: int) -> None:
+        if self._tracker is None:
+            return
+        bucket = self._tracker.mark(param_index)
+        if bucket is None:
+            return
+        if self._overlap_immediate:
+            self._overlap_launch(self.rank, bucket, True)
+        else:
+            self._ready_order.append(bucket)
+
+    def take_ready_buckets(self) -> List[int]:
+        """Bucket launch order after backward: deferred completions in
+        readiness order, then never-completed buckets (zero-filled slices)
+        ascending."""
+        assert self._tracker is not None
+        order = list(self._ready_order)
+        self._ready_order = []
+        order.extend(self._tracker.pending())
+        return order
 
     # -- phase A ---------------------------------------------------------------------
 
@@ -276,12 +376,19 @@ class _RankRunner:
         total_stale = 0
         while True:
             self.model.zero_grad()
+            if self._tracker is not None:
+                # Fresh attempt, fresh readiness: a re-executed shard starts
+                # its bucket accounting over (deferred mode only — immediate
+                # launches and re-execution are mutually exclusive).
+                self._tracker.reset()
+                self._ready_order = []
             output = self.model(
                 shard["input_ids"],
                 attention_mask=shard.get("attention_mask"),
                 labels=shard["labels"],
             )
             loss_value = output.loss_value
+            self.current_loss = loss_value
             if math.isfinite(loss_value):
                 output.loss.backward()
             stale_dirty = 0
@@ -311,7 +418,7 @@ class _RankRunner:
     def gradients(self) -> List[Any]:
         """This rank's gradient list, in parameter order (zeros if skipped)."""
         grads: List[Any] = []
-        for p in self.model.parameters():
+        for p in self.params:
             if p.grad is not None:
                 grads.append(p.grad)
             else:
@@ -337,12 +444,22 @@ class _RankRunner:
     def close(self) -> None:
         if self.checker is not None:
             self.checker.close()
+        for handle in self._hook_handles:
+            handle.remove()
+        self._hook_handles = []
         self.model.set_attention_hooks(None)
 
 
 def _shard_batch(batch: Dict[str, np.ndarray], shards: int) -> List[Dict[str, np.ndarray]]:
     """Split a global batch into ``shards`` equal leading-axis slices."""
     size = len(batch["labels"])
+    if size < shards:
+        # Covers the empty batch too: an empty shard would contribute a NaN
+        # loss and zero gradients, silently poisoning the global mean.
+        raise ValueError(
+            f"global batch size {size} is smaller than shards={shards}; "
+            "every shard needs at least one row"
+        )
     if size % shards != 0:
         raise ValueError(
             f"global batch size {size} is not divisible by shards={shards}; "
@@ -531,7 +648,22 @@ class DataParallelTrainer:
                 )
 
         if collective is None:
-            inner = ThreadCollective(world, op="mean", fault_hook=collective_injector)
+            inner = ThreadCollective(
+                world,
+                op="mean",
+                fault_hook=collective_injector,
+                # Overlapped runs fold eagerly inside the last contribute so
+                # the reduction really does run during backward.
+                eager_reduce=self.config.overlap_grad_reduce,
+                # Overlapped payloads are flat scratch buffers the trainer
+                # owns, so the fold may accumulate into rank 0's deposit
+                # in place — except under "reexecute", where the retained
+                # payloads must survive the fold intact for bucket retry.
+                consume_deposits=(
+                    self.config.overlap_grad_reduce
+                    and self.config.stale_policy != "reexecute"
+                ),
+            )
             collective = (
                 ProtectedCollective(inner, timers=self.timers)
                 if self.config.protect_collective
@@ -591,6 +723,31 @@ class DataParallelTrainer:
         self._reexec_counts: List[int] = [0] * world
         self._dirty_counts: List[int] = [0] * world
         self._retry_counts: List[int] = [0] * world
+
+        # Overlapped-reduction machinery.
+        self._bucketer: Optional[GradientBucketer] = None
+        self._bucket_stats: Optional[BucketAccounting] = None
+        self._bucket_payloads: List[Optional[Dict[int, List[Any]]]] = [None] * world
+        self._first_launch: List[Optional[float]] = [None] * world
+        if self.config.overlap_grad_reduce:
+            self._bucket_stats = BucketAccounting()
+            if self.runners:
+                self._bucketer = GradientBucketer(
+                    [p.data for p in self.runners[0].params],
+                    self.config.bucket_cap_mb,
+                )
+                # A checker under "reexecute" may re-run a shard after its
+                # backward; in-backward launches would then double-contribute,
+                # so they defer to just after the checker settles.
+                immediate = not (
+                    self.config.protection is not None
+                    and self.config.stale_policy == "reexecute"
+                )
+                for runner in self.runners:
+                    runner.enable_overlap(self._bucketer, self._launch_bucket, immediate)
+            # Process executor: the coordinator buckets the shipped gradients
+            # (no in-backward hooks across the pipe); the bucketer is built
+            # lazily from the first step's gradient shapes.
 
     # -- construction helpers --------------------------------------------------------
 
@@ -670,6 +827,150 @@ class DataParallelTrainer:
             self.collective.poison(exc)
             raise
 
+    # -- one step, overlapped ----------------------------------------------------------
+
+    def _bucket_key(self, step: int, bucket: int) -> str:
+        return f"step{step}/bucket{bucket}"
+
+    def _launch_bucket(self, rank: int, bucket: int, during_backward: bool) -> None:
+        """Flatten and contribute one bucket of ``rank``'s gradients.
+
+        Called from a post-accumulate hook mid-backward (immediate mode) or
+        right after the rank's checker settles (deferred / zero-fill
+        launches).  The flat payload is retained for bucket-granular retry.
+        """
+        runner = self.runners[rank]
+        begin = time.perf_counter()
+        flat = self._bucketer.flatten(
+            bucket,
+            [p.grad for p in runner.params],
+            namespace_of(runner.params[0].data),
+        )
+        self._bucket_stats.add_bucket_seconds(time.perf_counter() - begin)
+        payload = [flat]
+        if bucket == self._bucketer.num_buckets - 1:
+            # The loss scalar rides the final bucket's payload rather than a
+            # rendezvous of its own — one fewer key per step, and the counts
+            # still match the cost model's (num_buckets + 1) encode slots.
+            payload.append(
+                _loss_array(namespace_of(runner.params[0].data), runner.current_loss)
+            )
+        self._bucket_payloads[rank][bucket] = payload
+        self._bucket_stats.record_launch(rank, bucket, during_backward)
+        if during_backward and self._first_launch[rank] is None:
+            self._first_launch[rank] = time.perf_counter()
+        self.collective.contribute(self._bucket_key(self.global_step, bucket), rank, payload)
+
+    def _worker_step_overlap(self, step: int, worker: int,
+                             shards: List[Dict[str, np.ndarray]]) -> None:
+        owned = self._owned_by_worker[worker]
+        try:
+            for rank in owned:
+                runner = self.runners[rank]
+                self._bucket_payloads[rank] = {}
+                self._first_launch[rank] = None
+                loss, stale, reexec = runner.forward_backward(shards[rank])
+                backward_end = time.perf_counter()
+                first = self._first_launch[rank]
+                if first is not None:
+                    self._bucket_stats.add_overlap_seconds(
+                        max(0.0, backward_end - first)
+                    )
+                # Deferred completions in readiness order, then zero-filled
+                # buckets the loss never reached (ascending).
+                for bucket in runner.take_ready_buckets():
+                    self._launch_bucket(rank, bucket, False)
+                self._shard_losses[rank] = loss
+                self._stale_counts[rank] = stale
+                self._reexec_counts[rank] = reexec
+            drain_begin = time.perf_counter()
+            applied = self._reduce_buckets_with_policy(step, owned)
+            self._bucket_stats.add_drain_seconds(time.perf_counter() - drain_begin)
+            for rank in owned:
+                grads, mean_loss = applied[rank]
+                self._mean_losses[rank] = mean_loss
+                self.runners[rank].apply(grads, mean_loss)
+        except BaseException as exc:
+            self.collective.poison(exc)
+            raise
+
+    def _reduce_buckets_with_policy(
+        self, step: int, owned: List[int]
+    ) -> Dict[int, Tuple[List[Any], float]]:
+        """Finish every bucket's reduction for ``owned`` ranks, applying the
+        dirty policy *per bucket* — a mismatch re-reduces only the bucket it
+        struck, from the ranks' retained flat payloads.
+
+        Returns ``{rank: (parameter-order gradient list, mean loss)}``.
+        Every worker runs this loop symmetrically over the same shared
+        verdicts, so retries rendezvous without coordination.
+        """
+        policy = self.config.stale_policy
+        num_buckets = self._bucketer.num_buckets
+        flat: Dict[int, Dict[int, Any]] = {rank: {} for rank in owned}
+        loss_val: Dict[int, float] = {}
+        total_retries = 0
+        for bucket in range(num_buckets):
+            base_key = self._bucket_key(step, bucket)
+            key = base_key
+            attempt = 0
+            while True:
+                dirty = False
+                for rank in owned:
+                    try:
+                        result = self.collective.finish(key, rank)
+                    except DirtyReductionError as exc:
+                        result = exc.reduced
+                        dirty = True
+                    flat[rank][bucket] = result[0]
+                    if bucket == num_buckets - 1:
+                        # The reduced loss scalar rides the final bucket.
+                        loss_val[rank] = float(
+                            np.asarray(result[1]).reshape(-1)[0]
+                        )
+                if not dirty:
+                    break
+                if policy == "abort":
+                    raise StaleDetectionAbort(
+                        f"step {step}: checksum-linearity mismatch on reduced "
+                        f"{base_key!r} (stale_policy='abort')"
+                    )
+                if policy == "record" or attempt >= self.config.max_retries_per_step:
+                    for rank in owned:
+                        self._dirty_counts[rank] += 1
+                    break
+                # Bucket-granular re-reduction: only this bucket's retained
+                # clean payloads go around again; every other bucket's
+                # completed reduction stands.
+                attempt += 1
+                key = f"{base_key}#retry{attempt}"
+                if 0 in owned:
+                    # Exactly one worker owns rank 0, so the global retry is
+                    # counted once however many workers observe it.
+                    self._bucket_stats.record_retry(bucket)
+                for rank in owned:
+                    self.collective.contribute(
+                        key, rank, self._bucket_payloads[rank][bucket]
+                    )
+            total_retries += attempt
+        out: Dict[int, Tuple[List[Any], float]] = {}
+        for rank in owned:
+            self._retry_counts[rank] += total_retries
+            out[rank] = (self._materialize_bucket_grads(flat[rank]), loss_val[rank])
+        return out
+
+    def _materialize_bucket_grads(self, flat_by_bucket: Dict[int, Any]) -> List[Any]:
+        """Parameter-order gradient views into the reduced flat buckets."""
+        begin = time.perf_counter()
+        full: List[Any] = [None] * self._bucketer.num_params
+        for bucket in range(self._bucketer.num_buckets):
+            for pi, view in self._bucketer.unflatten(
+                bucket, flat_by_bucket[bucket]
+            ).items():
+                full[pi] = view
+        self._bucket_stats.add_bucket_seconds(time.perf_counter() - begin)
+        return full
+
     def train_step(self, batch: Dict[str, np.ndarray]) -> ParallelStepResult:
         """Run one data-parallel optimisation step on the global ``batch``."""
         self.global_step += 1
@@ -691,11 +992,16 @@ class DataParallelTrainer:
 
         start = time.perf_counter()
         detections_before, corrections_before = self._checker_totals()
+        worker_step = (
+            self._worker_step_overlap
+            if self.config.overlap_grad_reduce
+            else self._worker_step
+        )
         if self._procs is not None:
             self._process_step(step, shards)
         elif self._pool is not None:
             futures = [
-                self._pool.submit(self._worker_step, step, worker, shards)
+                self._pool.submit(worker_step, step, worker, shards)
                 for worker in range(self.config.workers)
             ]
             errors: List[BaseException] = []
@@ -710,12 +1016,23 @@ class DataParallelTrainer:
                 )
                 raise primary
         else:
-            self._worker_step(step, 0, shards)
+            worker_step(step, 0, shards)
 
         if isinstance(self.collective, ProtectedCollective):
             self.collective.fold_timers(self.timers)
         elapsed = time.perf_counter() - start
         self.timers.add("parallel/step", elapsed)
+        buckets = 0
+        overlap_eff = overlap_s = drain_s = 0.0
+        if self._bucket_stats is not None:
+            seconds = self._bucket_stats.pop_step_seconds()
+            self.timers.add("comm/bucket", seconds["bucket"])
+            self.timers.add("comm/overlap", seconds["overlap"])
+            self.timers.add("comm/drain", seconds["drain"])
+            overlap_s, drain_s = seconds["overlap"], seconds["drain"]
+            total = overlap_s + drain_s
+            overlap_eff = overlap_s / total if total > 0 else 0.0
+            buckets = self._bucketer.num_buckets if self._bucketer is not None else 0
         detections_after, corrections_after = self._checker_totals()
         result = ParallelStepResult(
             step=step,
@@ -728,6 +1045,10 @@ class DataParallelTrainer:
             reduction_reexecutions=self._retry_counts[0],
             detections=detections_after - detections_before,
             corrections=corrections_after - corrections_before,
+            buckets=buckets,
+            overlap_seconds=overlap_s,
+            drain_seconds=drain_s,
+            overlap_efficiency=overlap_eff,
         )
         self.metrics.append(result)
         return result
@@ -744,16 +1065,19 @@ class DataParallelTrainer:
             {rank: shards[rank] for rank in owned} for owned in self._owned_by_worker
         ]
         replies = self._procs.broadcast_request("fwbw", payloads)
-        key = f"step{step}/grads"
-        for worker, reply in enumerate(replies):
-            for rank, (loss, stale, reexec, grads) in reply.items():
-                payload = grads + [_loss_array(namespace_of(grads[0]), loss)]
-                self._shard_losses[rank] = loss
-                self._stale_counts[rank] = stale
-                self._reexec_counts[rank] = reexec
-                self._payloads[rank] = payload
-                self.collective.contribute(key, rank, payload)
-        self._reduce_with_process_policy(step)
+        if self.config.overlap_grad_reduce:
+            self._process_reduce_bucketed(step, replies)
+        else:
+            key = f"step{step}/grads"
+            for worker, reply in enumerate(replies):
+                for rank, (loss, stale, reexec, grads) in reply.items():
+                    payload = grads + [_loss_array(namespace_of(grads[0]), loss)]
+                    self._shard_losses[rank] = loss
+                    self._stale_counts[rank] = stale
+                    self._reexec_counts[rank] = reexec
+                    self._payloads[rank] = payload
+                    self.collective.contribute(key, rank, payload)
+            self._reduce_with_process_policy(step)
         apply_payloads = []
         for owned in self._owned_by_worker:
             apply_payloads.append(
@@ -763,6 +1087,48 @@ class DataParallelTrainer:
                 }
             )
         self._procs.broadcast_request("apply", apply_payloads)
+
+    def _process_reduce_bucketed(self, step: int, replies: List[Dict[int, Any]]) -> None:
+        """Coordinator-side bucketed reduction for the process executor.
+
+        The gradients already crossed the pipe, so there is no in-backward
+        overlap to win here — the point is the *identical numerical path*:
+        the same buckets, the same flat folds, the same bucket-granular
+        retry, so process-executor training stays byte-identical to the
+        overlapped thread path.
+        """
+        if self._bucketer is None:
+            first = next(iter(replies[0].values()))
+            self._bucketer = GradientBucketer(first[3], self.config.bucket_cap_mb)
+        for reply in replies:
+            for rank, (loss, stale, reexec, grads) in reply.items():
+                self._shard_losses[rank] = loss
+                self._stale_counts[rank] = stale
+                self._reexec_counts[rank] = reexec
+                self._bucket_payloads[rank] = {}
+                self._first_launch[rank] = None
+                for bucket in range(self._bucketer.num_buckets):
+                    self._launch_process_bucket(rank, bucket, grads, loss)
+        reduced = self._reduce_buckets_with_policy(
+            step, list(range(self.config.world_size))
+        )
+        self._reduced_cache = {}
+        for rank, (grads, mean_loss) in reduced.items():
+            self._reduced_cache[rank] = grads
+            self._mean_losses[rank] = mean_loss
+
+    def _launch_process_bucket(
+        self, rank: int, bucket: int, grads: List[Any], loss: float
+    ) -> None:
+        begin = time.perf_counter()
+        flat = self._bucketer.flatten(bucket, grads, namespace_of(grads[0]))
+        self._bucket_stats.add_bucket_seconds(time.perf_counter() - begin)
+        payload = [flat]
+        if bucket == self._bucketer.num_buckets - 1:
+            payload.append(_loss_array(namespace_of(grads[0]), loss))
+        self._bucket_payloads[rank][bucket] = payload
+        self._bucket_stats.record_launch(rank, bucket, False)
+        self.collective.contribute(self._bucket_key(self.global_step, bucket), rank, payload)
 
     def _reduce_with_process_policy(self, step: int) -> None:
         """The dirty-reduction policy, driven rank-by-rank by the coordinator."""
@@ -833,6 +1199,12 @@ class DataParallelTrainer:
         if isinstance(self.collective, ProtectedCollective):
             return self.collective.counters()
         return {}
+
+    def bucket_counters(self) -> Dict[str, Any]:
+        """Cumulative bucket launch / retry counters of the overlapped path."""
+        if self._bucket_stats is None:
+            return {}
+        return self._bucket_stats.counters()
 
     def close(self) -> None:
         for runner in self.runners:

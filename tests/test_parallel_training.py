@@ -111,10 +111,35 @@ class TestThreadCollective:
         out = coll.all_reduce("k", 0, [value])[0]
         np.testing.assert_array_equal(out, value)
 
-    def test_contributions_are_copied_on_deposit(self):
-        coll = ThreadCollective(1, op="sum")
+    def test_hookless_deposit_makes_zero_copies(self):
+        # Perf contract: without a fault hook the deposit aliases the
+        # caller's arrays (the fold only reads them), so a training step
+        # pays no defensive copy per contribution.
+        coll = ThreadCollective(2, op="sum")
+        coll.contribute("k", 0, [np.array([1.0, 2.0]), np.array([3.0])])
+        coll.contribute("k", 1, [np.array([4.0, 5.0]), np.array([6.0])])
+        assert coll.deposit_copies() == 0
+        np.testing.assert_array_equal(coll.finish("k", 0)[0], [5.0, 7.0])
+
+    def test_hookless_fold_does_not_mutate_contributed_arrays(self):
+        # Zero-copy must still never write back into the caller's buffers:
+        # the fold copies the rank-0 entry before accumulating.
+        values = [np.array([1.0, 2.0]), np.array([10.0, 20.0])]
+        coll = ThreadCollective(2, op="sum")
+        for rank, value in enumerate(values):
+            coll.contribute("k", rank, [value])
+        np.testing.assert_array_equal(coll.finish("k", 0)[0], [11.0, 22.0])
+        np.testing.assert_array_equal(values[0], [1.0, 2.0])
+        np.testing.assert_array_equal(values[1], [10.0, 20.0])
+
+    def test_hooked_deposits_are_copied_and_counted(self):
+        # With a fault hook installed the deposit is the corruptible "send
+        # buffer": it must be a copy so injected faults never touch the
+        # caller's live gradients, and the counter proves the copies happen.
+        coll = ThreadCollective(1, op="sum", fault_hook=lambda key, rank, arrays: None)
         value = np.array([1.0, 2.0])
-        coll.contribute("k", 0, [value])
+        coll.contribute("k", 0, [value, np.array([3.0])])
+        assert coll.deposit_copies() == 2
         value[0] = 99.0
         np.testing.assert_array_equal(coll.finish("k", 0)[0], [1.0, 2.0])
 
@@ -372,6 +397,37 @@ class TestWorkerEquivalence:
         try:
             with pytest.raises(ValueError, match="divisible"):
                 trainer.train_step(make_batch(0, batch=8))
+        finally:
+            trainer.close()
+
+    def test_batch_smaller_than_shards_rejected(self):
+        # 2 rows over 4 shards would leave two shards empty; an empty shard
+        # yields a NaN loss and zero gradients, poisoning the global mean.
+        config = DataParallelConfig(workers=1, shards=4, executor="serial")
+        trainer = DataParallelTrainer(model_spec=SPEC, config=config)
+        try:
+            with pytest.raises(ValueError, match="smaller than shards"):
+                trainer.train_step(make_batch(0, batch=2))
+        finally:
+            trainer.close()
+
+    def test_empty_batch_rejected(self):
+        config = DataParallelConfig(workers=1, shards=2, executor="serial")
+        trainer = DataParallelTrainer(model_spec=SPEC, config=config)
+        try:
+            with pytest.raises(ValueError, match="smaller than shards"):
+                trainer.train_step(make_batch(0, batch=0))
+        finally:
+            trainer.close()
+
+    def test_uneven_remainder_rejected_not_truncated(self):
+        # 10 rows over 4 shards must raise, not silently drop the remainder:
+        # unequal shards would break mean-of-means == global-batch gradient.
+        config = DataParallelConfig(workers=1, shards=4, executor="serial")
+        trainer = DataParallelTrainer(model_spec=SPEC, config=config)
+        try:
+            with pytest.raises(ValueError, match="divisible"):
+                trainer.train_step(make_batch(0, batch=10))
         finally:
             trainer.close()
 

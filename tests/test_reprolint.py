@@ -296,6 +296,42 @@ def test_th001_shared_attrs_are_per_file(tmp_path):
     assert result.new == []
 
 
+def test_th001_covers_bucket_accounting(tmp_path):
+    # BucketAccounting's launch counters and overlap timing accumulators are
+    # bumped from every rank's worker thread mid-backward; unlocked access is
+    # a finding, locked access and __init__ are clean.
+    result = lint(tmp_path, {
+        "src/repro/comm/bucketing.py": """
+            class BucketAccounting:
+                def __init__(self):
+                    self._launches = 0
+
+                def record_launch(self):
+                    self._overlapped_launches += 1
+
+                def counters(self):
+                    with self._lock:
+                        return self._retries
+        """,
+    })
+    assert rules_fired(result) == ["TH001"]
+    assert result.new[0].detail == "attr:_overlapped_launches"
+
+
+def test_th001_covers_deposit_copy_counter(tmp_path):
+    # The copy-on-deposit elision counter is rendezvous state like the
+    # entries map: reads outside _cv are findings too.
+    result = lint(tmp_path, {
+        "src/repro/comm/collective.py": """
+            class ThreadCollective:
+                def deposit_copies(self):
+                    return self._deposit_copies
+        """,
+    })
+    assert rules_fired(result) == ["TH001"]
+    assert result.new[0].detail == "attr:_deposit_copies"
+
+
 def test_th001_registry_seam_files_hold_no_shared_state(tmp_path):
     # The op/section registries are immutable declarations: hooks.py and
     # sections.py carry no worker-shared attribute set, so even an engine
@@ -444,6 +480,24 @@ def test_ly001_registry_seam_must_not_import_newer_upper_layers(tmp_path):
         "import:repro.faults.injector",
         "import:repro.serving.engine",
         "import:repro.analysis",
+    }
+
+
+def test_ly001_bucketing_inherits_the_comm_contract(tmp_path):
+    # comm/bucketing.py operates on raw backend arrays; importing the
+    # autograd tensor layer (where the readiness hooks live) or the trainer
+    # that drives it would invert the seam.
+    result = lint(tmp_path, {
+        "src/repro/comm/bucketing.py": """
+            from repro.backend import backend_of
+            from repro.tensor.autograd import Tensor
+            from repro.training.parallel import DataParallelTrainer
+        """,
+    })
+    ly = [f for f in result.new if f.rule == "LY001"]
+    assert {f.detail for f in ly} == {
+        "import:repro.tensor.autograd",
+        "import:repro.training.parallel",
     }
 
 

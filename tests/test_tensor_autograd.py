@@ -275,3 +275,53 @@ class TestReductionsAndLoss:
         out = (shared * 3.0 + shared * 4.0).sum()
         out.backward()
         assert np.allclose(x.grad, 2.0 * (3.0 + 4.0))
+
+
+class TestPostAccumulateGradHooks:
+    def test_hook_fires_once_per_backward_with_final_grad(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        seen = []
+        a.register_post_accumulate_grad_hook(
+            lambda t: seen.append(np.array(t.grad))
+        )
+        # Diamond graph: the leaf accumulates from two paths but the hook
+        # must observe only the fully-accumulated gradient, exactly once.
+        shared = a * 2.0
+        (shared * 3.0 + shared * 4.0).sum().backward()
+        assert len(seen) == 1
+        assert np.allclose(seen[0], 14.0)
+
+    def test_hook_fires_each_backward_call(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        count = [0]
+        a.register_post_accumulate_grad_hook(lambda t: count.__setitem__(0, count[0] + 1))
+        (a * 1.0).sum().backward()
+        (a * 1.0).sum().backward()
+        assert count[0] == 2
+
+    def test_non_leaf_registration_rejected(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = a * 2.0
+        with pytest.raises(ValueError, match="leaf"):
+            b.register_post_accumulate_grad_hook(lambda t: None)
+
+    def test_handle_remove_is_idempotent(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        fired = []
+        handle = a.register_post_accumulate_grad_hook(lambda t: fired.append(1))
+        handle.remove()
+        handle.remove()
+        (a * 1.0).sum().backward()
+        assert fired == []
+
+    def test_hooks_fire_before_backward_returns(self, rng):
+        # The overlap machinery relies on hooks running inside backward so a
+        # reduction can launch while later-layer grads are still propagating.
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        order = []
+        a.register_post_accumulate_grad_hook(lambda t: order.append("a"))
+        b.register_post_accumulate_grad_hook(lambda t: order.append("b"))
+        (a * 2.0 + b * 3.0).sum().backward()
+        assert sorted(order) == ["a", "b"]
+        assert a.grad is not None and b.grad is not None

@@ -19,6 +19,13 @@ The forbidden maps therefore also name the newer upper layers (``faults``,
 registry would re-specialize the seam the refactor just generalized.
 Annotation-only dependencies are fine when gated behind
 ``if TYPE_CHECKING:`` (they vanish at runtime).
+
+The gradient bucketer (PR 10, ``comm/bucketing.py``) lives under the same
+``src/repro/comm/`` prefix and inherits the contract automatically: it
+partitions and flattens raw backend arrays, so it may import
+``repro.backend``/``repro.utils`` but not ``repro.tensor`` (autograd) or the
+trainer that drives it — the readiness hooks are wired up in
+``repro.training``, above the seam.
 """
 
 from __future__ import annotations

@@ -26,6 +26,14 @@ shared-attribute list is unchanged — deliberately: the registry seam
 must stay free of worker-shared mutable state.  A section handler that grows
 its own cross-thread counter belongs in ``engine.py`` under ``_cv``, and its
 attribute belongs in this map.
+
+The overlapped trainer (PR 10) added ``repro/comm/bucketing.py`` to the
+scope: :class:`BucketAccounting`'s launch/retry counters and overlap timing
+accumulators are bumped from every rank's worker thread mid-backward and read
+by the coordinator between steps, guarded by ``_lock``.  The thread
+collective also grew a ``_deposit_copies`` counter (copy-on-deposit elision
+accounting) under ``_cv``.  The bucketer and per-rank readiness trackers
+stay immutable / single-threaded by design and deliberately out of the map.
 """
 
 from __future__ import annotations
@@ -63,6 +71,7 @@ class LockDisciplineRule(PathScopedRule):
         "src/repro/core/engine.py",
         "src/repro/comm/collective.py",
         "src/repro/comm/protected.py",
+        "src/repro/comm/bucketing.py",
     )
     #: Lock / condition-variable attribute names that establish a guarded region.
     lock_attrs: Tuple[str, ...] = ("_cv", "_lock")
@@ -82,6 +91,7 @@ class LockDisciplineRule(PathScopedRule):
             "_entries",
             "_results",
             "_fetched",
+            "_deposit_copies",
             "_failure",
             "_closed",
         ),
@@ -93,6 +103,14 @@ class LockDisciplineRule(PathScopedRule):
             "_allreduce_seconds",
             "_verdicts",
             "_verdict_fetches",
+        ),
+        "src/repro/comm/bucketing.py": (
+            "_launches",
+            "_overlapped_launches",
+            "_retries",
+            "_bucket_seconds",
+            "_overlap_seconds",
+            "_drain_seconds",
         ),
     }
     #: Methods that may touch shared state unlocked: construction happens
